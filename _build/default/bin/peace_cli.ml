@@ -1,0 +1,319 @@
+(* The `peace` command-line tool.
+
+   Exposes the group-signature primitive for file-based experimentation
+   (gen-params, setup, issue, sign, verify, revoke, audit) and the WMN
+   simulation scenarios (simulate). *)
+
+open Cmdliner
+open Peace_bigint
+open Peace_pairing
+open Peace_groupsig
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  | exception Sys_error reason ->
+    prerr_endline ("error: " ^ reason);
+    exit 1
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let or_die = function
+  | Ok v -> v
+  | Error reason ->
+    prerr_endline ("error: " ^ reason);
+    exit 1
+
+let hex_encode s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let hex_decode hex =
+  let hex = String.trim hex in
+  if String.length hex mod 2 <> 0 then Error "odd-length hex"
+  else begin
+    match
+      String.init (String.length hex / 2) (fun i ->
+          Char.chr (int_of_string ("0x" ^ String.sub hex (2 * i) 2)))
+    with
+    | s -> Ok s
+    | exception _ -> Error "bad hex"
+  end
+
+let os_entropy =
+  (* seed a DRBG from /dev/urandom once per process *)
+  lazy
+    (let seed =
+       try
+         let ic = open_in_bin "/dev/urandom" in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> really_input_string ic 48)
+       with _ -> Printf.sprintf "fallback-%f-%d" (Unix.gettimeofday ()) (Unix.getpid ())
+     in
+     Peace_hash.Drbg.create ~seed ())
+
+let fresh_rng () = Peace_hash.Drbg.bytes_fn (Lazy.force os_entropy)
+
+let load_params = function
+  | "tiny" -> Lazy.force Params.tiny
+  | "light" -> Lazy.force Params.light
+  | path -> or_die (Params.of_text (read_file path))
+
+(* --- gen-params --- *)
+
+let gen_params qbits pbits name output =
+  let params = Params.generate (fresh_rng ()) ~qbits ~pbits ~name in
+  or_die (Params.validate params);
+  let text = Params.to_text params in
+  (match output with Some path -> write_file path text | None -> print_string text);
+  Printf.eprintf "generated %s: q %d bits, p %d bits\n" name
+    (Bigint.num_bits params.Params.q)
+    (Bigint.num_bits params.Params.p)
+
+let gen_params_cmd =
+  let qbits = Arg.(value & opt int 80 & info [ "q"; "qbits" ] ~doc:"Subgroup order bits.") in
+  let pbits = Arg.(value & opt int 120 & info [ "p"; "pbits" ] ~doc:"Field order bits.") in
+  let pname = Arg.(value & opt string "custom" & info [ "name" ] ~doc:"Parameter set name.") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.") in
+  Cmd.v
+    (Cmd.info "gen-params" ~doc:"Generate fresh type-A pairing parameters")
+    Term.(const gen_params $ qbits $ pbits $ pname $ output)
+
+(* --- setup --- *)
+
+let setup params_src fixed_bases issuer_out gpk_out =
+  let params = load_params params_src in
+  let base_mode = if fixed_bases then Group_sig.Fixed_bases else Group_sig.Per_message in
+  let issuer = Group_sig.setup ~base_mode params (fresh_rng ()) in
+  write_file issuer_out (Group_sig.issuer_to_text issuer);
+  write_file gpk_out (Group_sig.gpk_to_text issuer.Group_sig.gpk);
+  Printf.eprintf "wrote issuer state to %s (KEEP SECRET) and gpk to %s\n" issuer_out gpk_out
+
+let params_arg =
+  Arg.(
+    value
+    & opt string "tiny"
+    & info [ "params" ] ~doc:"Pairing parameters: 'tiny', 'light', or a file path.")
+
+let setup_cmd =
+  let fixed = Arg.(value & flag & info [ "fixed-bases" ] ~doc:"Enable the fast revocation-check mode.") in
+  let issuer_out = Arg.(value & opt string "issuer.peace" & info [ "issuer-out" ] ~doc:"Issuer (secret) output file.") in
+  let gpk_out = Arg.(value & opt string "gpk.peace" & info [ "gpk-out" ] ~doc:"Group public key output file.") in
+  Cmd.v
+    (Cmd.info "setup" ~doc:"Create a group: master secret and public key")
+    Term.(const setup $ params_arg $ fixed $ issuer_out $ gpk_out)
+
+(* --- issue --- *)
+
+let issue issuer_path grp key_out =
+  let issuer = or_die (Group_sig.issuer_of_text (read_file issuer_path)) in
+  let gsk = Group_sig.issue issuer ~grp:(Bigint.of_int grp) (fresh_rng ()) in
+  write_file key_out (Group_sig.gsk_to_text issuer.Group_sig.gpk gsk);
+  Printf.eprintf "issued key for user group %d -> %s\n" grp key_out;
+  Printf.eprintf "revocation token: %s"
+    (Group_sig.token_to_text issuer.Group_sig.gpk (Group_sig.token_of_gsk gsk))
+
+let issue_cmd =
+  let issuer = Arg.(value & opt string "issuer.peace" & info [ "issuer" ] ~doc:"Issuer file.") in
+  let grp = Arg.(value & opt int 1 & info [ "grp"; "group" ] ~doc:"User-group id.") in
+  let out = Arg.(value & opt string "member.key" & info [ "o"; "output" ] ~doc:"Key output file.") in
+  Cmd.v
+    (Cmd.info "issue" ~doc:"Issue a member private key (SDH tuple)")
+    Term.(const issue $ issuer $ grp $ out)
+
+(* --- sign --- *)
+
+let sign gpk_path key_path message =
+  let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
+  let gsk = or_die (Group_sig.gsk_of_text gpk (read_file key_path)) in
+  let signature = Group_sig.sign gpk gsk ~rng:(fresh_rng ()) ~msg:message in
+  print_endline (hex_encode (Group_sig.signature_to_bytes gpk signature))
+
+let message_arg =
+  Arg.(required & opt (some string) None & info [ "m"; "message" ] ~doc:"Message to sign/verify.")
+
+let gpk_arg = Arg.(value & opt string "gpk.peace" & info [ "gpk" ] ~doc:"Group public key file.")
+
+let sign_cmd =
+  let key = Arg.(value & opt string "member.key" & info [ "key" ] ~doc:"Member key file.") in
+  Cmd.v
+    (Cmd.info "sign" ~doc:"Produce an anonymous group signature (hex on stdout)")
+    Term.(const sign $ gpk_arg $ key $ message_arg)
+
+(* --- verify --- *)
+
+let verify gpk_path message sig_hex url_path =
+  let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
+  let sig_bytes = or_die (hex_decode sig_hex) in
+  match Group_sig.signature_of_bytes gpk sig_bytes with
+  | None ->
+    prerr_endline "error: malformed signature";
+    exit 1
+  | Some signature ->
+    let url =
+      match url_path with
+      | None -> []
+      | Some path ->
+        read_file path |> String.trim |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.map (fun line -> or_die (Group_sig.token_of_text gpk line))
+    in
+    let result = Group_sig.verify gpk ~url ~msg:message signature in
+    Format.printf "%a@." Group_sig.pp_verify_result result;
+    if result <> Group_sig.Valid then exit 1
+
+let verify_cmd =
+  let sig_hex = Arg.(required & opt (some string) None & info [ "s"; "signature" ] ~doc:"Signature (hex).") in
+  let url = Arg.(value & opt (some string) None & info [ "url" ] ~doc:"Revocation list file (one token per line).") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a group signature against an optional URL")
+    Term.(const verify $ gpk_arg $ message_arg $ sig_hex $ url)
+
+(* --- audit --- *)
+
+let audit gpk_path message sig_hex grt_path =
+  let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
+  let sig_bytes = or_die (hex_decode sig_hex) in
+  match Group_sig.signature_of_bytes gpk sig_bytes with
+  | None ->
+    prerr_endline "error: malformed signature";
+    exit 1
+  | Some signature ->
+    let grt =
+      read_file grt_path |> String.trim |> String.split_on_char '\n'
+      |> List.filter_map (fun line ->
+             match String.index_opt line ' ' with
+             | None -> None
+             | Some i ->
+               let token_hex = String.sub line 0 i in
+               let label = String.sub line (i + 1) (String.length line - i - 1) in
+               Some (or_die (Group_sig.token_of_text gpk token_hex), label))
+    in
+    (match Group_sig.open_signature gpk ~grt ~msg:message signature with
+    | Some label -> Printf.printf "signer: %s\n" label
+    | None ->
+      Printf.printf "no grt entry matches (or signature invalid)\n";
+      exit 1)
+
+let audit_cmd =
+  let sig_hex = Arg.(required & opt (some string) None & info [ "s"; "signature" ] ~doc:"Signature (hex).") in
+  let grt = Arg.(required & opt (some string) None & info [ "grt" ] ~doc:"Token table: '<token-hex> <label>' per line.") in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Open a signature against the operator's token table")
+    Term.(const audit $ gpk_arg $ message_arg $ sig_hex $ grt)
+
+(* --- simulate --- *)
+
+let simulate scenario seed =
+  let open Peace_sim in
+  match scenario with
+  | "attacks" ->
+    let m = Scenario.attack_matrix ~seed ~attempts_per_class:5 () in
+    Printf.printf "outsider:      %d/%d accepted\n" m.Scenario.am_outsider_accepted m.Scenario.am_outsider_attempts;
+    Printf.printf "revoked:       %d/%d accepted\n" m.Scenario.am_revoked_accepted m.Scenario.am_revoked_attempts;
+    Printf.printf "replay:        %d/%d accepted\n" m.Scenario.am_replay_accepted m.Scenario.am_replay_attempts;
+    Printf.printf "rogue beacons: %d/%d accepted\n" m.Scenario.am_rogue_beacons_accepted m.Scenario.am_rogue_beacon_attempts;
+    Printf.printf "legitimate:    %d/%d accepted\n" m.Scenario.am_legit_accepted m.Scenario.am_legit_attempts
+  | "city" ->
+    let r =
+      Scenario.city_auth ~seed ~n_routers:4 ~n_users:20 ~area_m:1500.0
+        ~range_m:600.0 ~duration_ms:60_000 ~mean_interarrival_ms:10_000.0 ()
+    in
+    Printf.printf "auth: %d/%d ok, handshake %.1f ms mean, %d bytes on air\n"
+      r.Scenario.cr_successes r.Scenario.cr_attempts r.Scenario.cr_handshake_mean_ms
+      r.Scenario.cr_bytes_on_air
+  | "dos" ->
+    let run puzzles =
+      Scenario.dos_attack ~seed ~puzzles ~puzzle_difficulty:12
+        ~attacker_hash_rate_per_ms:10.0 ~attack_rate_per_s:40.0
+        ~legit_rate_per_s:1.0 ~duration_ms:20_000 ()
+    in
+    let off = run false and on = run true in
+    Printf.printf "puzzles off: legit %d/%d, %d verifications\n"
+      off.Scenario.dr_legit_successes off.Scenario.dr_legit_attempts
+      off.Scenario.dr_expensive_verifications;
+    Printf.printf "puzzles on:  legit %d/%d, %d verifications, attacker paid %d hashes\n"
+      on.Scenario.dr_legit_successes on.Scenario.dr_legit_attempts
+      on.Scenario.dr_expensive_verifications on.Scenario.dr_attacker_hashes
+  | "phishing" ->
+    let r =
+      Scenario.phishing ~seed ~crl_refresh_ms:60_000 ~revoke_at_ms:123_000
+        ~duration_ms:400_000 ~attempt_period_ms:5_000 ()
+    in
+    Printf.printf "pre-revocation: %d phished; window: %d (max %d ms); post-refresh: %d\n"
+      r.Scenario.pr_accepted_before_revocation r.Scenario.pr_accepted_in_window
+      r.Scenario.pr_window_ms r.Scenario.pr_accepted_after_refresh
+  | "multihop" ->
+    let r =
+      Scenario.multihop_auth ~seed ~n_near:5 ~n_far:5 ~duration_ms:30_000 ()
+    in
+    Printf.printf "near (direct): %d/%d   far (via relays): %d/%d   peer handshakes: %d\n"
+      r.Scenario.mh_near_successes r.Scenario.mh_near_attempts
+      r.Scenario.mh_far_successes r.Scenario.mh_far_attempts
+      r.Scenario.mh_peer_handshakes
+  | "roaming" ->
+    let r =
+      Scenario.roaming ~seed ~n_routers:4 ~n_users:8 ~duration_ms:60_000
+        ~move_period_ms:15_000 ()
+    in
+    Printf.printf "moves: %d   handoffs: %d (mean %.0f ms, %d failed)\n"
+      r.Scenario.ro_moves r.Scenario.ro_handoffs r.Scenario.ro_handoff_mean_ms
+      r.Scenario.ro_handoff_failures
+  | other ->
+    Printf.eprintf
+      "unknown scenario %S (try: attacks, city, dos, phishing, multihop, roaming)\n"
+      other;
+    exit 2
+
+let simulate_cmd =
+  let scenario =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO"
+           ~doc:"attacks | city | dos | phishing | multihop | roaming")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a WMN simulation scenario")
+    Term.(const simulate $ scenario $ seed)
+
+(* --- validate-params --- *)
+
+let validate_params params_src =
+  let params = load_params params_src in
+  or_die (Params.validate params);
+  Printf.printf "%s: ok (q %d bits, p %d bits, cofactor %d bits)\n"
+    params.Params.name
+    (Bigint.num_bits params.Params.q)
+    (Bigint.num_bits params.Params.p)
+    (Bigint.num_bits params.Params.h)
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate-params" ~doc:"Re-check a pairing parameter set")
+    Term.(const validate_params $ params_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "peace" ~version:"1.0.0"
+      ~doc:"PEACE: privacy-enhanced yet accountable security framework for WMNs"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            gen_params_cmd;
+            validate_cmd;
+            setup_cmd;
+            issue_cmd;
+            sign_cmd;
+            verify_cmd;
+            audit_cmd;
+            simulate_cmd;
+          ]))

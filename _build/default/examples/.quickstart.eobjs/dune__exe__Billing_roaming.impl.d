@@ -1,0 +1,1 @@
+examples/billing_roaming.ml: Accounting Config Deployment Format Identity List Peace_core Peace_sim Printf Protocol_error Session

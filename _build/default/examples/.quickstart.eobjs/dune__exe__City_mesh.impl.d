@@ -1,0 +1,1 @@
+examples/city_mesh.ml: List Peace_sim Printf Scenario

@@ -1,0 +1,1 @@
+examples/dos_defense.ml: Peace_sim Printf Scenario

@@ -1,0 +1,1 @@
+examples/privacy_audit.ml: Config Deployment Identity Law_authority List Mesh_router Option Peace_core Printf Protocol_error Session String User

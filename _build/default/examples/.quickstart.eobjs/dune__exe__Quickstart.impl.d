@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Deployment Identity Law_authority List Mesh_router Messages Network_operator Peace_core Printf Protocol_error Session String Ttp User

@@ -1,0 +1,1 @@
+examples/revocation_lifecycle.ml: Config Deployment Group_manager Identity List Mesh_router Network_operator Peace_core Printf Protocol_error Ttp Url

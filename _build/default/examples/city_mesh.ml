@@ -1,0 +1,42 @@
+(* City-scale mesh simulation: the paper's motivating scenario (§I).
+
+   A metropolitan WMN — routers on a grid, residents authenticating as they
+   move about — simulated with the discrete-event engine. All protocol
+   messages are real serialised bytes over a radio model with latency.
+
+   Run with: dune exec examples/city_mesh.exe *)
+
+open Peace_sim
+
+let run ~n_routers ~n_users =
+  Printf.printf
+    "simulating: %d routers, %d users, 2 km x 2 km, 60 s of city time...\n%!"
+    n_routers n_users;
+  let r =
+    Scenario.city_auth ~seed:2026 ~n_routers ~n_users ~duration_ms:60_000
+      ~mean_interarrival_ms:15_000.0 ()
+  in
+  Printf.printf "  authentication attempts   %d\n" r.Scenario.cr_attempts;
+  Printf.printf "  sessions established      %d\n" r.Scenario.cr_successes;
+  Printf.printf "  handshake latency         %.1f ms mean / %.1f ms p95\n"
+    r.Scenario.cr_handshake_mean_ms r.Scenario.cr_handshake_p95_ms;
+  Printf.printf "  time-to-auth (incl. beacon wait) %.1f ms mean\n"
+    r.Scenario.cr_time_to_auth_mean_ms;
+  Printf.printf "  bytes on air              %d\n" r.Scenario.cr_bytes_on_air;
+  Printf.printf "  router utilisation        %.1f %%\n"
+    (100.0 *. r.Scenario.cr_router_utilisation);
+  if r.Scenario.cr_failures <> [] then begin
+    Printf.printf "  rejections:\n";
+    List.iter
+      (fun (reason, count) -> Printf.printf "    %-50s %d\n" reason count)
+      r.Scenario.cr_failures
+  end;
+  Printf.printf "\n"
+
+let () =
+  Printf.printf "== PEACE metropolitan mesh simulation ==\n\n";
+  run ~n_routers:4 ~n_users:20;
+  run ~n_routers:9 ~n_users:40;
+  Printf.printf
+    "every session above used a fresh unlinkable pseudonym pair; every\n\
+     access request carried a verifier-local-revocation group signature.\n"

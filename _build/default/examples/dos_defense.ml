@@ -1,0 +1,48 @@
+(* DoS flooding versus the client-puzzle defence (paper §V-A).
+
+   A flooder injects well-formed but unverifiable access requests at a mesh
+   router. Each one normally costs the router an expensive group-signature
+   verification. With client puzzles enabled, requests without a valid
+   solution are dropped at the cost of one hash, and the attacker must
+   brute-force a puzzle per request.
+
+   Run with: dune exec examples/dos_defense.exe *)
+
+open Peace_sim
+
+let show label (r : Scenario.dos_result) =
+  Printf.printf "%s\n" label;
+  Printf.printf "  bogus requests reaching router   %d\n" r.Scenario.dr_bogus_received;
+  Printf.printf "  expensive verifications run      %d\n"
+    r.Scenario.dr_expensive_verifications;
+  Printf.printf "  cheap rejections                 %d\n" r.Scenario.dr_cheap_rejections;
+  Printf.printf "  router utilisation               %.1f %%\n"
+    (100.0 *. r.Scenario.dr_router_utilisation);
+  Printf.printf "  legit users: %d/%d authenticated\n" r.Scenario.dr_legit_successes
+    r.Scenario.dr_legit_attempts;
+  Printf.printf "  attacker hash work forced        %d\n\n" r.Scenario.dr_attacker_hashes
+
+let () =
+  Printf.printf "== PEACE DoS defence: client puzzles ==\n\n";
+  Printf.printf "attack: 40 bogus access requests/s for 30 s; legit load 1 auth/s\n\n%!";
+  let without =
+    Scenario.dos_attack ~seed:7 ~puzzles:false ~attack_rate_per_s:40.0
+      ~legit_rate_per_s:1.0 ~duration_ms:30_000 ()
+  in
+  show "--- puzzles OFF ---" without;
+  let with_puzzles =
+    Scenario.dos_attack ~seed:7 ~puzzles:true ~puzzle_difficulty:12
+      ~attacker_hash_rate_per_ms:10.0 ~attack_rate_per_s:40.0
+      ~legit_rate_per_s:1.0 ~duration_ms:30_000 ()
+  in
+  show "--- puzzles ON (difficulty 12, attacker at 10k hashes/s) ---" with_puzzles;
+  let reduction =
+    100.0
+    *. (1.0
+       -. (float_of_int with_puzzles.Scenario.dr_expensive_verifications
+          /. float_of_int (max 1 without.Scenario.dr_expensive_verifications)))
+  in
+  Printf.printf
+    "puzzles cut the router's expensive verification load by %.0f %% while\n\
+     legitimate users kept authenticating — the §V-A claim, measured.\n"
+    reduction

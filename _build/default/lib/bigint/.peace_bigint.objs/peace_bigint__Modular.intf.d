@@ -1,0 +1,1 @@
+lib/bigint/modular.mli: Bigint

@@ -1,0 +1,1 @@
+lib/bigint/mont.ml: Array Bigint

@@ -1,0 +1,1 @@
+lib/bigint/mont.mli: Bigint

@@ -1,0 +1,26 @@
+(** Modular arithmetic helpers over [Bigint].
+
+    All moduli must be positive. Results are canonical representatives in
+    [\[0, m)]. *)
+
+val add : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+(** [add a b m] is [(a + b) mod m]. *)
+
+val sub : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+val mul : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+
+val powm : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+(** [powm b e m] is [b{^e} mod m] for [e >= 0]. Uses Montgomery windowed
+    exponentiation when [m] is odd, square-and-multiply otherwise. *)
+
+val invert : Bigint.t -> Bigint.t -> Bigint.t
+(** [invert a m] is the [x] in [\[0, m)] with [a*x = 1 (mod m)].
+    @raise Division_by_zero if no inverse exists. *)
+
+val jacobi : Bigint.t -> Bigint.t -> int
+(** [jacobi a n] is the Jacobi symbol [(a/n)] for odd positive [n];
+    [-1], [0] or [1]. *)
+
+val sqrt : Bigint.t -> Bigint.t -> Bigint.t option
+(** [sqrt a p] is a square root of [a] modulo an odd prime [p] when one
+    exists (Tonelli–Shanks; fast path for [p = 3 (mod 4)]). *)

@@ -1,0 +1,47 @@
+(** Montgomery-domain modular arithmetic over a fixed odd modulus.
+
+    A [ctx] precomputes everything needed for constant-shape CIOS
+    multiplication on 30-bit limbs. Elements ([elt]) are fixed-width limb
+    vectors in Montgomery representation; they are only meaningful relative
+    to the context that created them.
+
+    This is the hot inner loop of the pairing, ECDSA and RSA layers. *)
+
+type ctx
+(** Precomputed state for one odd modulus. *)
+
+type elt
+(** A residue in Montgomery form. Treat as immutable. *)
+
+val create : Bigint.t -> ctx
+(** [create m] builds a context for odd modulus [m > 2].
+    @raise Invalid_argument if [m] is even or too small. *)
+
+val modulus : ctx -> Bigint.t
+val num_limbs : ctx -> int
+
+val of_bigint : ctx -> Bigint.t -> elt
+(** Reduces an arbitrary integer (negative allowed) into the field and
+    converts to Montgomery form. *)
+
+val to_bigint : ctx -> elt -> Bigint.t
+(** Canonical representative in [\[0, m)]. *)
+
+val zero : ctx -> elt
+val one : ctx -> elt
+val add : ctx -> elt -> elt -> elt
+val sub : ctx -> elt -> elt -> elt
+val neg : ctx -> elt -> elt
+val mul : ctx -> elt -> elt -> elt
+val sqr : ctx -> elt -> elt
+val equal : ctx -> elt -> elt -> bool
+val is_zero : ctx -> elt -> bool
+
+val pow : ctx -> elt -> Bigint.t -> elt
+(** [pow ctx b e] for [e >= 0], 4-bit fixed-window exponentiation. *)
+
+val inv : ctx -> elt -> elt
+(** Multiplicative inverse. @raise Division_by_zero if the element is not
+    invertible (shares a factor with the modulus). *)
+
+val of_int : ctx -> int -> elt

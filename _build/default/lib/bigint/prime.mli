@@ -1,0 +1,19 @@
+(** Probabilistic primality testing and prime generation. *)
+
+val is_probable_prime : ?rounds:int -> Bigint.t -> bool
+(** Miller–Rabin with [rounds] random bases (default 32) after trial
+    division by small primes. Deterministic witnesses are used for inputs
+    below 3,215,031,751. *)
+
+val miller_rabin : Bigint.t -> bases:Bigint.t list -> bool
+(** Miller–Rabin restricted to the given witness bases. *)
+
+val random_prime : (int -> string) -> bits:int -> Bigint.t
+(** [random_prime rng ~bits] draws uniform odd candidates with the top bit
+    set until one passes [is_probable_prime]. Requires [bits >= 2]. *)
+
+val next_prime : Bigint.t -> Bigint.t
+(** Smallest probable prime strictly greater than the argument. *)
+
+val small_primes : int array
+(** The primes below 1000, used for trial division. *)

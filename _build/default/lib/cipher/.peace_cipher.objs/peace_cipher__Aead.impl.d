@@ -1,0 +1,1 @@
+lib/cipher/aead.ml: Bytes Chacha20 Hmac Int64 Peace_hash Sha256 String

@@ -1,0 +1,40 @@
+open Peace_hash
+
+let key_size = 32
+let nonce_size = 12
+let tag_size = Sha256.digest_size
+
+let derive_keys key =
+  if String.length key <> key_size then invalid_arg "Aead: key must be 32 bytes";
+  let okm = Hmac.hkdf ~info:"peace-aead-v1" key 64 in
+  (String.sub okm 0 32, String.sub okm 32 32)
+
+let length_prefix s =
+  let n = String.length s in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int n);
+  Bytes.unsafe_to_string b
+
+let mac_input ~nonce ~aad ciphertext =
+  length_prefix nonce ^ nonce ^ length_prefix aad ^ aad ^ ciphertext
+
+let encrypt ~key ~nonce ?(aad = "") plaintext =
+  if String.length nonce <> nonce_size then invalid_arg "Aead: nonce must be 12 bytes";
+  let enc_key, mac_key = derive_keys key in
+  let ciphertext = Chacha20.xor ~key:enc_key ~nonce plaintext in
+  let tag = Hmac.sha256 ~key:mac_key (mac_input ~nonce ~aad ciphertext) in
+  ciphertext ^ tag
+
+let decrypt ~key ~nonce ?(aad = "") message =
+  if String.length nonce <> nonce_size then invalid_arg "Aead: nonce must be 12 bytes";
+  let n = String.length message in
+  if n < tag_size then None
+  else begin
+    let ciphertext = String.sub message 0 (n - tag_size) in
+    let tag = String.sub message (n - tag_size) tag_size in
+    let enc_key, mac_key = derive_keys key in
+    let expected = Hmac.sha256 ~key:mac_key (mac_input ~nonce ~aad ciphertext) in
+    if Hmac.equal_constant_time tag expected then
+      Some (Chacha20.xor ~key:enc_key ~nonce ciphertext)
+    else None
+  end

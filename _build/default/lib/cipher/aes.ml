@@ -1,0 +1,184 @@
+(* AES-128, FIPS 197. State is a 16-byte array in column-major order
+   (state.(r + 4c) = row r, column c), matching the specification. *)
+
+let sbox =
+  [|
+    0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b;
+    0xfe; 0xd7; 0xab; 0x76; 0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0;
+    0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0; 0xb7; 0xfd; 0x93; 0x26;
+    0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+    0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2;
+    0xeb; 0x27; 0xb2; 0x75; 0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0;
+    0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84; 0x53; 0xd1; 0x00; 0xed;
+    0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+    0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f;
+    0x50; 0x3c; 0x9f; 0xa8; 0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5;
+    0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2; 0xcd; 0x0c; 0x13; 0xec;
+    0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+    0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14;
+    0xde; 0x5e; 0x0b; 0xdb; 0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c;
+    0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79; 0xe7; 0xc8; 0x37; 0x6d;
+    0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+    0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f;
+    0x4b; 0xbd; 0x8b; 0x8a; 0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e;
+    0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e; 0xe1; 0xf8; 0x98; 0x11;
+    0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+    0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f;
+    0xb0; 0x54; 0xbb; 0x16;
+  |]
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+let xtime b =
+  let shifted = b lsl 1 in
+  if b land 0x80 <> 0 then (shifted lxor 0x1b) land 0xff else shifted
+
+(* GF(2^8) multiplication by repeated xtime *)
+let gmul a b =
+  let acc = ref 0 in
+  let a = ref a and b = ref b in
+  for _ = 0 to 7 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc land 0xff
+
+type key = int array array (* 11 round keys of 16 bytes *)
+
+let expand_key key_bytes =
+  if String.length key_bytes <> 16 then
+    invalid_arg "Aes.expand_key: key must be 16 bytes";
+  let words = Array.make 44 [||] in
+  for i = 0 to 3 do
+    words.(i) <-
+      Array.init 4 (fun j -> Char.code key_bytes.[(4 * i) + j])
+  done;
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let prev = words.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        (* RotWord + SubWord + Rcon *)
+        let rotated = [| prev.(1); prev.(2); prev.(3); prev.(0) |] in
+        let substituted = Array.map (fun b -> sbox.(b)) rotated in
+        substituted.(0) <- substituted.(0) lxor !rcon;
+        if i mod 4 = 0 then rcon := xtime !rcon;
+        substituted
+      end
+      else prev
+    in
+    words.(i) <- Array.init 4 (fun j -> words.(i - 4).(j) lxor temp.(j))
+  done;
+  Array.init 11 (fun round ->
+      Array.init 16 (fun k -> words.((4 * round) + (k / 4)).(k mod 4)))
+
+let add_round_key state round_key =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor round_key.(i)
+  done
+
+let sub_bytes state box =
+  for i = 0 to 15 do
+    state.(i) <- box.(state.(i))
+  done
+
+(* state is laid out as flat bytes s0..s15 = columns of 4; row r of column
+   c is state.(4c + r) *)
+let shift_rows state =
+  let copy = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * c) + r) <- copy.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows state =
+  let copy = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * ((c + r) mod 4)) + r) <- copy.((4 * c) + r)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = state.(o) and a1 = state.(o + 1) in
+    let a2 = state.(o + 2) and a3 = state.(o + 3) in
+    state.(o) <- xtime a0 lxor (xtime a1 lxor a1) lxor a2 lxor a3;
+    state.(o + 1) <- a0 lxor xtime a1 lxor (xtime a2 lxor a2) lxor a3;
+    state.(o + 2) <- a0 lxor a1 lxor xtime a2 lxor (xtime a3 lxor a3);
+    state.(o + 3) <- (xtime a0 lxor a0) lxor a1 lxor a2 lxor xtime a3
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = state.(o) and a1 = state.(o + 1) in
+    let a2 = state.(o + 2) and a3 = state.(o + 3) in
+    state.(o) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    state.(o + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    state.(o + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    state.(o + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let check_block block =
+  if String.length block <> 16 then invalid_arg "Aes: block must be 16 bytes"
+
+let encrypt_block key block =
+  check_block block;
+  let state = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key state key.(0);
+  for round = 1 to 9 do
+    sub_bytes state sbox;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.(round)
+  done;
+  sub_bytes state sbox;
+  shift_rows state;
+  add_round_key state key.(10);
+  String.init 16 (fun i -> Char.chr state.(i))
+
+let decrypt_block key block =
+  check_block block;
+  let state = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key state key.(10);
+  for round = 9 downto 1 do
+    inv_shift_rows state;
+    sub_bytes state inv_sbox;
+    add_round_key state key.(round);
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  sub_bytes state inv_sbox;
+  add_round_key state key.(0);
+  String.init 16 (fun i -> Char.chr state.(i))
+
+let ctr ~key ~nonce ?(counter = 0) data =
+  if String.length nonce <> 12 then invalid_arg "Aes.ctr: nonce must be 12 bytes";
+  if counter < 0 || counter > 0xFFFFFFFF then invalid_arg "Aes.ctr: bad counter";
+  let expanded = expand_key key in
+  let n = String.length data in
+  let out = Bytes.create n in
+  let block_count = (n + 15) / 16 in
+  for b = 0 to block_count - 1 do
+    let ctr_block =
+      let buf = Bytes.create 16 in
+      Bytes.blit_string nonce 0 buf 0 12;
+      Bytes.set_int32_be buf 12 (Int32.of_int ((counter + b) land 0xFFFFFFFF));
+      Bytes.unsafe_to_string buf
+    in
+    let keystream = encrypt_block expanded ctr_block in
+    let offset = 16 * b in
+    let take = min 16 (n - offset) in
+    for i = 0 to take - 1 do
+      Bytes.set out (offset + i)
+        (Char.chr (Char.code data.[offset + i] lxor Char.code keystream.[i]))
+    done
+  done;
+  Bytes.unsafe_to_string out

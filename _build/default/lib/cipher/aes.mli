@@ -1,0 +1,21 @@
+(** AES-128 (FIPS 197) block cipher with CTR mode.
+
+    The cipher of the paper's era; provided as an alternative keystream for
+    {!Aead} deployments that require AES. Table-free implementation (S-box
+    lookups plus xtime), so no large precomputed tables. Not hardened
+    against cache-timing side channels — see the discussion in DESIGN.md. *)
+
+type key
+(** An expanded 128-bit key schedule. *)
+
+val expand_key : string -> key
+(** @raise Invalid_argument unless the key is exactly 16 bytes. *)
+
+val encrypt_block : key -> string -> string
+(** [encrypt_block k block] for a 16-byte block. *)
+
+val decrypt_block : key -> string -> string
+
+val ctr : key:string -> nonce:string -> ?counter:int -> string -> string
+(** CTR-mode keystream XOR: 16-byte [key], 12-byte [nonce], 32-bit block
+    [counter] (default 0). Involutive, like {!Chacha20.xor}. *)

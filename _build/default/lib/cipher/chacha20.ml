@@ -1,0 +1,80 @@
+(* ChaCha20, RFC 8439. Words are 32-bit values in native ints. *)
+
+let mask32 = 0xFFFFFFFF
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let word32_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let init_state ~key ~nonce ~counter =
+  if String.length key <> 32 then invalid_arg "Chacha20: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Chacha20: nonce must be 12 bytes";
+  if counter < 0 || counter > mask32 then invalid_arg "Chacha20: bad counter";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- word32_le key (4 * i)
+  done;
+  st.(12) <- counter;
+  for i = 0 to 2 do
+    st.(13 + i) <- word32_le nonce (4 * i)
+  done;
+  st
+
+let block_of_state st =
+  let work = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round work 0 4 8 12;
+    quarter_round work 1 5 9 13;
+    quarter_round work 2 6 10 14;
+    quarter_round work 3 7 11 15;
+    quarter_round work 0 5 10 15;
+    quarter_round work 1 6 11 12;
+    quarter_round work 2 7 8 13;
+    quarter_round work 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = (work.(i) + st.(i)) land mask32 in
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  out
+
+let block ~key ~nonce ~counter =
+  Bytes.unsafe_to_string (block_of_state (init_state ~key ~nonce ~counter))
+
+let xor ~key ~nonce ?(counter = 0) data =
+  let n = String.length data in
+  let out = Bytes.create n in
+  let st = init_state ~key ~nonce ~counter in
+  let pos = ref 0 in
+  while !pos < n do
+    let ks = block_of_state st in
+    st.(12) <- (st.(12) + 1) land mask32;
+    let take = min 64 (n - !pos) in
+    for i = 0 to take - 1 do
+      Bytes.set out (!pos + i)
+        (Char.chr (Char.code data.[!pos + i] lxor Char.code (Bytes.get ks i)))
+    done;
+    pos := !pos + 64
+  done;
+  Bytes.unsafe_to_string out

@@ -1,0 +1,10 @@
+(** ChaCha20 stream cipher (RFC 8439). *)
+
+val block : key:string -> nonce:string -> counter:int -> string
+(** One 64-byte keystream block. [key] is 32 bytes, [nonce] 12 bytes,
+    [counter] a non-negative 32-bit block index. *)
+
+val xor : key:string -> nonce:string -> ?counter:int -> string -> string
+(** [xor ~key ~nonce data] XORs [data] with the keystream starting at block
+    [counter] (default 0). Encryption and decryption are the same
+    operation. *)

@@ -1,0 +1,1 @@
+lib/core/accounting.ml: Format Hashtbl List Mesh_router Network_operator Option

@@ -1,0 +1,1 @@
+lib/core/accounting.mli: Format Mesh_router Network_operator

@@ -1,0 +1,1 @@
+lib/core/blinding.ml: Bigint Char Hmac Peace_bigint Peace_hash String

@@ -1,0 +1,1 @@
+lib/core/blinding.mli: Bigint Peace_bigint

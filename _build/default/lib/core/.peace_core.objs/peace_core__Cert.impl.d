@@ -1,0 +1,1 @@
+lib/core/cert.ml: Config Curve Ecdsa Format List Peace_ec Wire

@@ -1,0 +1,1 @@
+lib/core/cert.mli: Config Curve Ecdsa Format Peace_ec

@@ -1,0 +1,1 @@
+lib/core/config.ml: Clock Curve Curves Lazy Params Peace_ec Peace_groupsig Peace_pairing

@@ -1,0 +1,1 @@
+lib/core/config.mli: Clock Curve Params Peace_ec Peace_groupsig Peace_pairing

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Config Drbg Group_manager Hashtbl Identity Law_authority List Mesh_router Messages Network_operator Peace_hash Printf Ttp User

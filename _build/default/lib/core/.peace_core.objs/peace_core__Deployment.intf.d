@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Config Group_manager Group_sig Identity Law_authority Mesh_router Network_operator Peace_groupsig Protocol_error Session Ttp User

@@ -1,0 +1,1 @@
+lib/core/group_manager.ml: Bigint Config Ecdsa Hashtbl List Network_operator Peace_bigint Peace_ec

@@ -1,0 +1,1 @@
+lib/core/group_manager.mli: Bigint Config Curve Ecdsa Network_operator Peace_bigint Peace_ec

@@ -1,0 +1,1 @@
+lib/core/identity.ml: Format List

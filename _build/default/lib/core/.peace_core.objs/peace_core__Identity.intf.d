@@ -1,0 +1,1 @@
+lib/core/identity.mli: Format

@@ -1,0 +1,1 @@
+lib/core/law_authority.ml: Group_manager Network_operator Printf

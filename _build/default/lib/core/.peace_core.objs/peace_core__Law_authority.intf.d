@@ -1,0 +1,1 @@
+lib/core/law_authority.mli: Group_manager Group_sig Network_operator Peace_groupsig

@@ -1,0 +1,1 @@
+lib/core/mesh_router.mli: Cert Config Curve Group_sig Messages Peace_ec Peace_groupsig Protocol_error Session Url

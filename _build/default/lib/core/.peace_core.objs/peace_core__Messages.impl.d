@@ -1,0 +1,1 @@
+lib/core/messages.ml: Cert Config G1 Group_sig Peace_ec Peace_groupsig Peace_pairing Puzzle Url Wire

@@ -1,0 +1,1 @@
+lib/core/messages.mli: Cert Config Ecdsa G1 Group_sig Peace_ec Peace_groupsig Peace_pairing Puzzle Url

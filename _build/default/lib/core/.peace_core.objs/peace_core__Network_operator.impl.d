@@ -1,0 +1,1 @@
+lib/core/network_operator.ml: Bigint Blinding Cert Clock Config Curve Ecdsa G1 Group_sig Hashtbl List Params Peace_bigint Peace_ec Peace_groupsig Peace_pairing Url Wire

@@ -1,0 +1,1 @@
+lib/core/network_operator.mli: Bigint Cert Config Curve Ecdsa Group_sig Peace_bigint Peace_ec Peace_groupsig Url

@@ -1,0 +1,1 @@
+lib/core/onion.ml: Relay

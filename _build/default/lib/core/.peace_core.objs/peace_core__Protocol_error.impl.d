@@ -1,0 +1,1 @@
+lib/core/protocol_error.ml: Cert Format

@@ -1,0 +1,1 @@
+lib/core/protocol_error.mli: Cert Format

@@ -1,0 +1,1 @@
+lib/core/puzzle.ml: Bytes Char Int64 Peace_hash Sha256 String Wire

@@ -1,0 +1,1 @@
+lib/core/relay.ml: Session Wire

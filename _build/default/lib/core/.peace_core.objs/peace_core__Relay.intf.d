@@ -1,0 +1,1 @@
+lib/core/relay.mli: Session

@@ -1,0 +1,1 @@
+lib/core/session.ml: Aead Bytes Config G1 Hmac Int64 Peace_bigint Peace_cipher Peace_hash Peace_pairing Sha256 String Wire

@@ -1,0 +1,1 @@
+lib/core/session.mli: Bigint Config G1 Peace_bigint Peace_pairing

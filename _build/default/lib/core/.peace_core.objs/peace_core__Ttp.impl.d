@@ -1,0 +1,1 @@
+lib/core/ttp.ml: Config Ecdsa Hashtbl List Network_operator Peace_ec Wire

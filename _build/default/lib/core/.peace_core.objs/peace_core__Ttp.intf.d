@@ -1,0 +1,1 @@
+lib/core/ttp.mli: Config Curve Ecdsa Network_operator Peace_ec

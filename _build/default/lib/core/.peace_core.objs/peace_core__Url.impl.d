@@ -1,0 +1,1 @@
+lib/core/url.ml: Config Ecdsa Format G1 Group_sig List Peace_ec Peace_groupsig Peace_pairing Wire

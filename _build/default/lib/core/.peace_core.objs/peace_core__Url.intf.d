@@ -1,0 +1,1 @@
+lib/core/url.mli: Config Curve Ecdsa Format Group_sig Peace_ec Peace_groupsig

@@ -1,0 +1,1 @@
+lib/core/user.mli: Cert Config Curve Ecdsa Group_manager Group_sig Identity Messages Peace_ec Peace_groupsig Peace_pairing Protocol_error Session Url

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Buffer Bytes Char Int32 Int64 String

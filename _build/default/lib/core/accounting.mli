@@ -1,0 +1,48 @@
+(** Privacy-preserving usage accounting.
+
+    The paper motivates access control partly by billing ("for both billing
+    purpose and avoiding abuse of network resources", §I) and argues the
+    group-level audit result "is sufficient for user accountability
+    purposes" (§IV-D). This module realises that: routers meter sessions
+    anonymously; the operator attributes each metered session to a user
+    GROUP via the audit protocol and produces per-group invoices. No
+    individual user is ever identified — each group manager apportions its
+    own invoice internally, exactly as the paper's service-subscription
+    agreements prescribe. *)
+
+type usage = {
+  u_session_id : string;
+  u_bytes_up : int;
+  u_bytes_down : int;
+  u_duration_ms : int;
+}
+
+type meter
+(** A router-side meter: accumulates per-session counters. *)
+
+val create_meter : unit -> meter
+val record_up : meter -> session_id:string -> bytes:int -> unit
+val record_down : meter -> session_id:string -> bytes:int -> unit
+val close_session : meter -> session_id:string -> duration_ms:int -> unit
+val usages : meter -> usage list
+(** Closed sessions only, most recent first. *)
+
+val open_sessions : meter -> int
+
+(** One group's line on the operator's invoice. *)
+type invoice_line = {
+  il_group_id : int;
+  il_sessions : int;
+  il_bytes : int;
+  il_duration_ms : int;
+}
+
+val invoice :
+  Network_operator.t -> router:Mesh_router.t -> meter -> invoice_line list
+(** Attributes every metered (closed) session of this router's access log
+    to its user group with {!Network_operator.audit} and aggregates.
+    Sessions whose signature does not open (e.g. foreign/unknown keys) are
+    skipped — they were never granted access in the first place. Lines are
+    sorted by group id. *)
+
+val pp_invoice : Format.formatter -> invoice_line list -> unit

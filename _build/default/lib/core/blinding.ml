@@ -1,0 +1,9 @@
+open Peace_bigint
+open Peace_hash
+
+let apply ~x data =
+  let pad =
+    Hmac.hkdf ~info:"peace-ttp-blind" (Bigint.to_bytes_be x) (String.length data)
+  in
+  String.init (String.length data) (fun i ->
+      Char.chr (Char.code data.[i] lxor Char.code pad.[i]))

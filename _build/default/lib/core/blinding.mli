@@ -1,0 +1,12 @@
+(** The ⊕-blinding of key shares sent to the TTP (paper §IV-A step 7).
+
+    The paper XORs the member secret x_j directly onto the encoding of
+    A_{i,j}; since encodings here are longer than x, the pad is the HKDF
+    expansion of x to the full width — the same one-time-pad argument, made
+    sound for mismatched lengths (the paper's footnote 1 handles only the
+    too-long case). Unblinding is the same operation. *)
+
+open Peace_bigint
+
+val apply : x:Bigint.t -> string -> string
+(** [apply ~x data] XORs the x-derived pad onto [data]; involutive. *)

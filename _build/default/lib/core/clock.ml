@@ -1,0 +1,20 @@
+type t = System | Manual of int ref
+
+let now = function
+  | System -> int_of_float (Unix.gettimeofday () *. 1000.)
+  | Manual r -> !r
+
+let system = System
+let manual ?(start = 0) () = Manual (ref start)
+
+let advance t amount =
+  match t with
+  | System -> invalid_arg "Clock.advance: system clock"
+  | Manual r ->
+    if amount < 0 then invalid_arg "Clock.advance: negative amount";
+    r := !r + amount
+
+let set t value =
+  match t with
+  | System -> invalid_arg "Clock.set: system clock"
+  | Manual r -> r := value

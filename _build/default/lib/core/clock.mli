@@ -1,0 +1,26 @@
+(** Time sources.
+
+    Protocol entities never read wall-clock time directly; they are handed a
+    clock so that tests and the discrete-event simulator can control time
+    (replay windows, certificate expiry, CRL update periods). Times are
+    integer milliseconds. *)
+
+type t
+(** A time source. *)
+
+val now : t -> int
+(** Current time in milliseconds. *)
+
+val system : t
+(** Wall clock (Unix epoch milliseconds). *)
+
+val manual : ?start:int -> unit -> t
+(** A controllable clock starting at [start] (default 0). *)
+
+val advance : t -> int -> unit
+(** Moves a manual clock forward by the given amount.
+    @raise Invalid_argument on the system clock or a negative amount. *)
+
+val set : t -> int -> unit
+(** Sets a manual clock (may move backwards, for replay tests).
+    @raise Invalid_argument on the system clock. *)

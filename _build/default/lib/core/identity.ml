@@ -1,0 +1,22 @@
+type essential = { name : string; national_id : string }
+type role = { group_id : int; description : string }
+type t = { uid : string; essential : essential; roles : role list }
+
+let make ~uid ~name ~national_id roles =
+  { uid; essential = { name; national_id }; roles }
+
+let has_role t ~group_id = List.exists (fun r -> r.group_id = group_id) t.roles
+
+let role_description t ~group_id =
+  List.find_map
+    (fun r -> if r.group_id = group_id then Some r.description else None)
+    t.roles
+
+let pp_role fmt r = Format.fprintf fmt "%s (group %d)" r.description r.group_id
+
+let pp fmt t =
+  Format.fprintf fmt "user %s [%a]" t.uid
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       pp_role)
+    t.roles

@@ -1,0 +1,38 @@
+type trace_result = {
+  traced_group_id : int;
+  traced_nonessential : string option;
+  traced_uid : string option;
+}
+
+let audit_only no ~msg signature =
+  match Network_operator.audit no ~msg signature with
+  | None -> None
+  | Some finding ->
+    Some
+      {
+        traced_group_id = finding.Network_operator.found_group_id;
+        traced_nonessential =
+          Some
+            (Printf.sprintf "member of user group %d"
+               finding.Network_operator.found_group_id);
+        traced_uid = None;
+      }
+
+let trace no ~group_manager_of ~msg signature =
+  match Network_operator.audit no ~msg signature with
+  | None -> None
+  | Some finding ->
+    let group_id = finding.Network_operator.found_group_id in
+    let uid =
+      match group_manager_of group_id with
+      | None -> None
+      | Some gm ->
+        Group_manager.lookup_uid gm ~index:finding.Network_operator.found_index
+    in
+    Some
+      {
+        traced_group_id = group_id;
+        traced_nonessential =
+          Some (Printf.sprintf "member of user group %d" group_id);
+        traced_uid = uid;
+      }

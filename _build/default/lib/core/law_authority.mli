@@ -1,0 +1,28 @@
+(** The law-authority tracing procedure of §IV-D.
+
+    Full identity disclosure requires the {e joint} effort of the network
+    operator (who maps a signature to a key index and user group) and that
+    group's manager (who maps the index to a member uid). Neither party can
+    complete the trace alone, and each step leaves a non-repudiable record. *)
+
+open Peace_groupsig
+
+type trace_result = {
+  traced_group_id : int;
+  traced_nonessential : string option;
+      (** what the audit alone reveals: the role/attribute, e.g.
+          "member of Company XYZ" *)
+  traced_uid : string option;
+      (** the member, only when the group manager cooperated *)
+}
+
+val audit_only :
+  Network_operator.t -> msg:string -> Group_sig.signature -> trace_result option
+(** The operator's view (§IV-D "user privacy against NO"): group only. *)
+
+val trace :
+  Network_operator.t -> group_manager_of:(int -> Group_manager.t option) ->
+  msg:string -> Group_sig.signature -> trace_result option
+(** The full two-party trace. [group_manager_of] models the legal request
+    to the responsible GM; returning [None] models a refusing/unknown
+    manager, in which case the result still carries the group. *)

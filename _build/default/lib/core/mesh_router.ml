@@ -1,0 +1,252 @@
+open Peace_bigint
+open Peace_ec
+open Peace_pairing
+open Peace_groupsig
+
+type log_entry = {
+  le_session_id : string;
+  le_ts : int;
+  le_transcript : string;
+  le_gsig : Group_sig.signature;
+}
+
+type outstanding_beacon = {
+  ob_g : G1.point;
+  ob_g_rr : G1.point;
+  ob_r_r : Bigint.t;
+  ob_ts : int;
+  ob_puzzle : Puzzle.t option;
+}
+
+type t = {
+  config : Config.t;
+  router_id : int;
+  keypair : Ecdsa.keypair;
+  mutable gpk : Group_sig.gpk;
+  operator_public : Curve.point;
+  rng : int -> string;
+  mutable cert : Cert.t option;
+  mutable crl : Cert.crl option;
+  mutable url : Url.t option;
+  mutable puzzle_difficulty : int option;
+  mutable auto_defense : (int * int) option; (* threshold per window, difficulty *)
+  mutable request_times : int list; (* arrival times in the current window *)
+  outstanding : (string, outstanding_beacon) Hashtbl.t; (* by g_rr encoding *)
+  seen_requests : (string, int) Hashtbl.t; (* transcript hash -> ts (replay cache) *)
+  sessions : (string, Session.t) Hashtbl.t;
+  mutable log : log_entry list;
+  mutable verifications : int;
+  mutable cheap_rejections : int;
+}
+
+let create config ~router_id ~gpk ~operator_public ~rng =
+  {
+    config;
+    router_id;
+    keypair = Ecdsa.generate config.Config.curve rng;
+    gpk;
+    operator_public;
+    rng;
+    cert = None;
+    crl = None;
+    url = None;
+    puzzle_difficulty = None;
+    auto_defense = None;
+    request_times = [];
+    outstanding = Hashtbl.create 32;
+    seen_requests = Hashtbl.create 64;
+    sessions = Hashtbl.create 32;
+    log = [];
+    verifications = 0;
+    cheap_rejections = 0;
+  }
+
+let router_id t = t.router_id
+let public_key t = t.keypair.Ecdsa.q
+let install_cert t cert = t.cert <- Some cert
+
+let update_lists t crl url =
+  t.crl <- Some crl;
+  t.url <- Some url
+
+let set_under_attack t ~difficulty = t.puzzle_difficulty <- Some difficulty
+let clear_under_attack t = t.puzzle_difficulty <- None
+let under_attack t = t.puzzle_difficulty <> None
+
+
+let now t = Clock.now t.config.Config.clock
+
+let enable_auto_defense t ~threshold_per_s ~difficulty =
+  if threshold_per_s <= 0 || difficulty < 0 then
+    invalid_arg "Mesh_router.enable_auto_defense";
+  t.auto_defense <- Some (threshold_per_s, difficulty)
+
+let disable_auto_defense t = t.auto_defense <- None
+
+(* one-second sliding window over access-request arrivals; flips the
+   puzzle requirement on when the rate crosses the threshold and off when
+   it falls below half of it (hysteresis) *)
+let note_request_arrival t =
+  match t.auto_defense with
+  | None -> ()
+  | Some (threshold, difficulty) ->
+    let t_now = now t in
+    t.request_times <-
+      t_now :: List.filter (fun ts -> t_now - ts < 1000) t.request_times;
+    let rate = List.length t.request_times in
+    (match t.puzzle_difficulty with
+    | None when rate > threshold -> t.puzzle_difficulty <- Some difficulty
+    | Some _ when rate <= threshold / 2 && rate < threshold ->
+      t.puzzle_difficulty <- None
+    | _ -> ())
+
+let gc_outstanding t =
+  (* drop beacons and replay-cache entries past the acceptance window *)
+  let cutoff = now t - (2 * t.config.Config.ts_window_ms) in
+  let stale =
+    Hashtbl.fold
+      (fun key ob acc -> if ob.ob_ts < cutoff then key :: acc else acc)
+      t.outstanding []
+  in
+  List.iter (Hashtbl.remove t.outstanding) stale;
+  let stale_seen =
+    Hashtbl.fold
+      (fun key ts acc -> if ts < cutoff then key :: acc else acc)
+      t.seen_requests []
+  in
+  List.iter (Hashtbl.remove t.seen_requests) stale_seen
+
+let beacon t =
+  let cert =
+    match t.cert with
+    | Some c -> c
+    | None -> invalid_arg "Mesh_router.beacon: no certificate installed"
+  in
+  let crl, url =
+    match (t.crl, t.url) with
+    | Some crl, Some url -> (crl, url)
+    | _ -> invalid_arg "Mesh_router.beacon: revocation lists not installed"
+  in
+  gc_outstanding t;
+  let params = t.config.Config.pairing in
+  let q = params.Params.q in
+  (* fresh generator g and share g^{r_R} *)
+  let g = G1.mul params (Bigint.random_range t.rng Bigint.one q) (G1.generator params) in
+  let r_r = Bigint.random_range t.rng Bigint.one q in
+  let g_rr = G1.mul params r_r g in
+  let ts1 = now t in
+  let puzzle =
+    match t.puzzle_difficulty with
+    | None -> None
+    | Some difficulty -> Some (Puzzle.make ~rng:t.rng ~difficulty)
+  in
+  let unsigned =
+    {
+      Messages.router_id = t.router_id;
+      g;
+      g_rr;
+      ts1;
+      puzzle;
+      beacon_sig = Ecdsa.sign t.config.Config.curve ~key:t.keypair "";
+      cert;
+      crl;
+      url;
+    }
+  in
+  let payload = Messages.beacon_signed_payload t.config unsigned in
+  let signed =
+    { unsigned with Messages.beacon_sig = Ecdsa.sign t.config.Config.curve ~key:t.keypair payload }
+  in
+  Hashtbl.replace t.outstanding
+    (G1.encode params g_rr)
+    { ob_g = g; ob_g_rr = g_rr; ob_r_r = r_r; ob_ts = ts1; ob_puzzle = puzzle };
+  signed
+
+let cheap_reject t err =
+  t.cheap_rejections <- t.cheap_rejections + 1;
+  Error err
+
+let rec handle_access_request t (m : Messages.access_request) =
+  let params = t.config.Config.pairing in
+  let t_now = now t in
+  note_request_arrival t;
+  (* cheap checks first: freshness, matching beacon, puzzle *)
+  if abs (t_now - m.Messages.ts2) > t.config.Config.ts_window_ms then
+    cheap_reject t Protocol_error.Stale_timestamp
+  else begin
+    match Hashtbl.find_opt t.outstanding (G1.encode params m.Messages.ar_g_rr) with
+    | None -> cheap_reject t Protocol_error.Unknown_session
+    | Some ob ->
+      (* replay cache: an (M.2) transcript may be processed only once *)
+      let fingerprint =
+        Peace_hash.Sha256.digest
+          (Messages.auth_transcript t.config m.Messages.g_rj
+             m.Messages.ar_g_rr m.Messages.ts2)
+      in
+      if Hashtbl.mem t.seen_requests fingerprint then
+        cheap_reject t Protocol_error.Stale_timestamp
+      else begin
+      match ob.ob_puzzle with
+      | Some puzzle when t.puzzle_difficulty <> None -> begin
+        match m.Messages.puzzle_solution with
+        | None -> cheap_reject t Protocol_error.Puzzle_required
+        | Some solution ->
+          if not (Puzzle.check puzzle solution) then
+            cheap_reject t Protocol_error.Bad_puzzle_solution
+          else process_verified t m ob
+      end
+      | _ -> process_verified t m ob
+      end
+  end
+
+and process_verified t (m : Messages.access_request) ob =
+  let params = t.config.Config.pairing in
+  let transcript =
+    Messages.auth_transcript t.config m.Messages.g_rj m.Messages.ar_g_rr
+      m.Messages.ts2
+  in
+  (* only requests that reach verification enter the replay cache, so a
+     cheap rejection (missing puzzle solution, say) can be retried *)
+  Hashtbl.replace t.seen_requests (Peace_hash.Sha256.digest transcript)
+    m.Messages.ts2;
+  t.verifications <- t.verifications + 1;
+  let url_tokens = match t.url with Some u -> Url.tokens u | None -> [] in
+  match Group_sig.verify t.gpk ~url:url_tokens ~msg:transcript m.Messages.gsig with
+  | Group_sig.Invalid_proof -> Error Protocol_error.Invalid_group_signature
+  | Group_sig.Revoked -> Error Protocol_error.User_revoked
+  | Group_sig.Valid ->
+    let session =
+      Session.derive t.config ~role:Session.Responder ~local_secret:ob.ob_r_r
+        ~remote_share:m.Messages.g_rj ~initiator_share:m.Messages.g_rj
+        ~responder_share:ob.ob_g_rr ~now:(now t)
+    in
+    Hashtbl.replace t.sessions (Session.id session) session;
+    t.log <-
+      {
+        le_session_id = Session.id session;
+        le_ts = m.Messages.ts2;
+        le_transcript = transcript;
+        le_gsig = m.Messages.gsig;
+      }
+      :: t.log;
+    (* (M.3): E_K(MR_k, g^{r_j}, g^{r_R}) *)
+    let w = Wire.writer () in
+    Wire.u32 w t.router_id;
+    Wire.bytes w (G1.encode params m.Messages.g_rj);
+    Wire.bytes w (G1.encode params ob.ob_g_rr);
+    let payload = Session.seal session (Wire.contents w) in
+    Ok
+      ( {
+          Messages.ac_g_rj = m.Messages.g_rj;
+          ac_g_rr = ob.ob_g_rr;
+          payload;
+        },
+        session )
+
+let session_count t = Hashtbl.length t.sessions
+let find_session t ~id = Hashtbl.find_opt t.sessions id
+let access_log t = t.log
+let verifications_performed t = t.verifications
+let requests_rejected_cheaply t = t.cheap_rejections
+
+let update_gpk t gpk = t.gpk <- gpk

@@ -1,0 +1,75 @@
+(** A mesh router (MR_k): broadcasts beacons, authenticates users via their
+    group signatures, establishes per-session keys, and logs access
+    requests for the operator's audit (paper §IV-B).
+
+    Routers keep the per-beacon DH secret r_R until the beacon expires, so
+    an access request can arrive against any recent beacon. Under a
+    suspected DoS attack they attach client puzzles to beacons and refuse
+    to verify group signatures on requests without a valid solution
+    (§V-A). *)
+
+open Peace_ec
+open Peace_groupsig
+
+type t
+
+(** A logged (M.2) for the audit trail of §IV-D. *)
+type log_entry = {
+  le_session_id : string;
+  le_ts : int;
+  le_transcript : string;
+  le_gsig : Group_sig.signature;
+}
+
+val create :
+  Config.t -> router_id:int -> gpk:Group_sig.gpk ->
+  operator_public:Curve.point -> rng:(int -> string) -> t
+(** The router generates its ECDSA keypair; certify it with
+    {!Network_operator.register_router} and install via {!install_cert}. *)
+
+val router_id : t -> int
+val public_key : t -> Curve.point
+val install_cert : t -> Cert.t -> unit
+val update_lists : t -> Cert.crl -> Url.t -> unit
+(** Periodic refresh from the operator (pre-established secure channel). *)
+
+val set_under_attack : t -> difficulty:int -> unit
+(** Enables client puzzles on subsequent beacons. *)
+
+val clear_under_attack : t -> unit
+val under_attack : t -> bool
+
+val beacon : t -> Messages.beacon
+(** Emits (M.1) with a fresh DH generator and share.
+    @raise Invalid_argument if no certificate is installed. *)
+
+val handle_access_request :
+  t -> Messages.access_request ->
+  (Messages.access_confirm * Session.t, Protocol_error.t) result
+(** Processes (M.2): freshness, puzzle (when under attack), group-signature
+    verification with URL revocation scan, then key agreement and (M.3). *)
+
+val session_count : t -> int
+val find_session : t -> id:string -> Session.t option
+
+val access_log : t -> log_entry list
+(** Most recent first. *)
+
+val verifications_performed : t -> int
+(** Number of group-signature verifications this router has executed —
+    the DoS experiment's cost metric. *)
+
+val requests_rejected_cheaply : t -> int
+(** Requests dropped before any expensive verification (bad puzzle /
+    missing solution / stale) — the puzzle defence's benefit metric. *)
+
+val update_gpk : t -> Group_sig.gpk -> unit
+(** Epoch rotation: installs the operator's new group public key. *)
+
+val enable_auto_defense : t -> threshold_per_s:int -> difficulty:int -> unit
+(** Adaptive variant of the §V-A defence: the router monitors its
+    access-request arrival rate over a one-second sliding window and
+    attaches puzzles to beacons automatically while the rate exceeds
+    [threshold_per_s] (clearing with hysteresis at half the threshold). *)
+
+val disable_auto_defense : t -> unit

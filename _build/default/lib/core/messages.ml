@@ -1,0 +1,263 @@
+open Peace_pairing
+open Peace_groupsig
+
+type beacon = {
+  router_id : int;
+  g : G1.point;
+  g_rr : G1.point;
+  ts1 : int;
+  puzzle : Puzzle.t option;
+  beacon_sig : Peace_ec.Ecdsa.signature;
+  cert : Cert.t;
+  crl : Cert.crl;
+  url : Url.t;
+}
+
+type access_request = {
+  g_rj : G1.point;
+  ar_g_rr : G1.point;
+  ts2 : int;
+  gsig : Group_sig.signature;
+  puzzle_solution : string option;
+}
+
+type access_confirm = {
+  ac_g_rj : G1.point;
+  ac_g_rr : G1.point;
+  payload : string;
+}
+
+type peer_hello = {
+  ph_g : G1.point;
+  ph_g_rj : G1.point;
+  ph_ts1 : int;
+  ph_gsig : Group_sig.signature;
+}
+
+type peer_response = {
+  pr_g_rj : G1.point;
+  pr_g_rl : G1.point;
+  pr_ts2 : int;
+  pr_gsig : Group_sig.signature;
+}
+
+type peer_confirm = {
+  pc_g_rj : G1.point;
+  pc_g_rl : G1.point;
+  pc_payload : string;
+}
+
+let point_bytes config pt = G1.encode config.Config.pairing pt
+let point_of config s = G1.decode config.Config.pairing s
+
+let auth_transcript config a b ts =
+  let w = Wire.writer () in
+  Wire.raw w "peace-auth-v1";
+  Wire.bytes w (point_bytes config a);
+  Wire.bytes w (point_bytes config b);
+  Wire.u64 w ts;
+  Wire.contents w
+
+let opt_puzzle_bytes = function None -> "" | Some p -> Puzzle.to_bytes p
+
+let beacon_signed_payload config b =
+  let w = Wire.writer () in
+  Wire.raw w "peace-beacon-v1";
+  Wire.u32 w b.router_id;
+  Wire.bytes w (point_bytes config b.g);
+  Wire.bytes w (point_bytes config b.g_rr);
+  Wire.u64 w b.ts1;
+  Wire.bytes w (opt_puzzle_bytes b.puzzle);
+  Wire.contents w
+
+(* --- serialisation --- *)
+
+let beacon_to_bytes config b =
+  let w = Wire.writer () in
+  Wire.u32 w b.router_id;
+  Wire.bytes w (point_bytes config b.g);
+  Wire.bytes w (point_bytes config b.g_rr);
+  Wire.u64 w b.ts1;
+  Wire.bytes w (opt_puzzle_bytes b.puzzle);
+  Wire.bytes w (Peace_ec.Ecdsa.signature_to_bytes config.Config.curve b.beacon_sig);
+  Wire.bytes w (Cert.to_bytes config b.cert);
+  Wire.bytes w (Cert.crl_to_bytes config b.crl);
+  Wire.bytes w (Url.to_bytes config b.url);
+  Wire.contents w
+
+let beacon_of_bytes config s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* router_id = read_u32 r in
+    let* g_bytes = read_bytes r in
+    let* g_rr_bytes = read_bytes r in
+    let* ts1 = read_u64 r in
+    let* puzzle_bytes = read_bytes r in
+    let* sig_bytes = read_bytes r in
+    let* cert_bytes = read_bytes r in
+    let* crl_bytes = read_bytes r in
+    let* url_bytes = read_bytes r in
+    let* () = expect_end r in
+    let puzzle =
+      if puzzle_bytes = "" then Ok None
+      else
+        match Puzzle.of_bytes puzzle_bytes with
+        | Some p -> Ok (Some p)
+        | None -> Error "beacon: bad puzzle"
+    in
+    let* puzzle = puzzle in
+    match
+      ( point_of config g_bytes,
+        point_of config g_rr_bytes,
+        Peace_ec.Ecdsa.signature_of_bytes config.Config.curve sig_bytes,
+        Cert.of_bytes config cert_bytes,
+        Cert.crl_of_bytes config crl_bytes,
+        Url.of_bytes config url_bytes )
+    with
+    | Some g, Some g_rr, Some beacon_sig, Some cert, Some crl, Some url ->
+      Ok { router_id; g; g_rr; ts1; puzzle; beacon_sig; cert; crl; url }
+    | _ -> Error "beacon: bad component"
+  with
+  | Ok b -> Some b
+  | Error _ -> None
+
+let access_request_to_bytes config gpk m =
+  let w = Wire.writer () in
+  Wire.bytes w (point_bytes config m.g_rj);
+  Wire.bytes w (point_bytes config m.ar_g_rr);
+  Wire.u64 w m.ts2;
+  Wire.bytes w (Group_sig.signature_to_bytes gpk m.gsig);
+  Wire.bytes w (match m.puzzle_solution with None -> "" | Some s -> s);
+  Wire.contents w
+
+let access_request_of_bytes config gpk s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* g_rj_bytes = read_bytes r in
+    let* g_rr_bytes = read_bytes r in
+    let* ts2 = read_u64 r in
+    let* gsig_bytes = read_bytes r in
+    let* sol = read_bytes r in
+    let* () = expect_end r in
+    match
+      ( point_of config g_rj_bytes,
+        point_of config g_rr_bytes,
+        Group_sig.signature_of_bytes gpk gsig_bytes )
+    with
+    | Some g_rj, Some ar_g_rr, Some gsig ->
+      Ok
+        {
+          g_rj;
+          ar_g_rr;
+          ts2;
+          gsig;
+          puzzle_solution = (if sol = "" then None else Some sol);
+        }
+    | _ -> Error "access_request: bad component"
+  with
+  | Ok m -> Some m
+  | Error _ -> None
+
+let access_confirm_to_bytes config m =
+  let w = Wire.writer () in
+  Wire.bytes w (point_bytes config m.ac_g_rj);
+  Wire.bytes w (point_bytes config m.ac_g_rr);
+  Wire.bytes w m.payload;
+  Wire.contents w
+
+let access_confirm_of_bytes config s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* g_rj_bytes = read_bytes r in
+    let* g_rr_bytes = read_bytes r in
+    let* payload = read_bytes r in
+    let* () = expect_end r in
+    match (point_of config g_rj_bytes, point_of config g_rr_bytes) with
+    | Some ac_g_rj, Some ac_g_rr -> Ok { ac_g_rj; ac_g_rr; payload }
+    | _ -> Error "access_confirm: bad point"
+  with
+  | Ok m -> Some m
+  | Error _ -> None
+
+let peer_hello_to_bytes config gpk m =
+  let w = Wire.writer () in
+  Wire.bytes w (point_bytes config m.ph_g);
+  Wire.bytes w (point_bytes config m.ph_g_rj);
+  Wire.u64 w m.ph_ts1;
+  Wire.bytes w (Group_sig.signature_to_bytes gpk m.ph_gsig);
+  Wire.contents w
+
+let peer_hello_of_bytes config gpk s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* g_bytes = read_bytes r in
+    let* g_rj_bytes = read_bytes r in
+    let* ph_ts1 = read_u64 r in
+    let* gsig_bytes = read_bytes r in
+    let* () = expect_end r in
+    match
+      ( point_of config g_bytes,
+        point_of config g_rj_bytes,
+        Group_sig.signature_of_bytes gpk gsig_bytes )
+    with
+    | Some ph_g, Some ph_g_rj, Some ph_gsig ->
+      Ok { ph_g; ph_g_rj; ph_ts1; ph_gsig }
+    | _ -> Error "peer_hello: bad component"
+  with
+  | Ok m -> Some m
+  | Error _ -> None
+
+let peer_response_to_bytes config gpk m =
+  let w = Wire.writer () in
+  Wire.bytes w (point_bytes config m.pr_g_rj);
+  Wire.bytes w (point_bytes config m.pr_g_rl);
+  Wire.u64 w m.pr_ts2;
+  Wire.bytes w (Group_sig.signature_to_bytes gpk m.pr_gsig);
+  Wire.contents w
+
+let peer_response_of_bytes config gpk s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* g_rj_bytes = read_bytes r in
+    let* g_rl_bytes = read_bytes r in
+    let* pr_ts2 = read_u64 r in
+    let* gsig_bytes = read_bytes r in
+    let* () = expect_end r in
+    match
+      ( point_of config g_rj_bytes,
+        point_of config g_rl_bytes,
+        Group_sig.signature_of_bytes gpk gsig_bytes )
+    with
+    | Some pr_g_rj, Some pr_g_rl, Some pr_gsig ->
+      Ok { pr_g_rj; pr_g_rl; pr_ts2; pr_gsig }
+    | _ -> Error "peer_response: bad component"
+  with
+  | Ok m -> Some m
+  | Error _ -> None
+
+let peer_confirm_to_bytes config m =
+  let w = Wire.writer () in
+  Wire.bytes w (point_bytes config m.pc_g_rj);
+  Wire.bytes w (point_bytes config m.pc_g_rl);
+  Wire.bytes w m.pc_payload;
+  Wire.contents w
+
+let peer_confirm_of_bytes config s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* g_rj_bytes = read_bytes r in
+    let* g_rl_bytes = read_bytes r in
+    let* pc_payload = read_bytes r in
+    let* () = expect_end r in
+    match (point_of config g_rj_bytes, point_of config g_rl_bytes) with
+    | Some pc_g_rj, Some pc_g_rl -> Ok { pc_g_rj; pc_g_rl; pc_payload }
+    | _ -> Error "peer_confirm: bad point"
+  with
+  | Ok m -> Some m
+  | Error _ -> None

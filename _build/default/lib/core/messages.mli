@@ -1,0 +1,94 @@
+(** Wire formats of the six PEACE protocol messages.
+
+    User–router authentication (paper §IV-B): (M.1) beacon, (M.2) access
+    request, (M.3) access confirm. User–user authentication (§IV-C):
+    (M̃.1) peer hello, (M̃.2) peer response, (M̃.3) peer confirm.
+
+    Group signatures bind the Diffie–Hellman transcript
+    (gᵃ, gᵇ, timestamp); {!auth_transcript} builds that byte string
+    identically on both sides. *)
+
+open Peace_ec
+open Peace_pairing
+open Peace_groupsig
+
+(** (M.1) — broadcast periodically by each mesh router. *)
+type beacon = {
+  router_id : int;
+  g : G1.point;  (** fresh session DH generator *)
+  g_rr : G1.point;  (** g^{r_R} *)
+  ts1 : int;
+  puzzle : Puzzle.t option;  (** present when the router is under attack *)
+  beacon_sig : Ecdsa.signature;  (** Sig_{RSK_k} over (g, g^{r_R}, ts1, puzzle) *)
+  cert : Cert.t;
+  crl : Cert.crl;
+  url : Url.t;
+}
+
+(** (M.2) — unicast reply carrying the anonymous group signature. *)
+type access_request = {
+  g_rj : G1.point;
+  ar_g_rr : G1.point;
+  ts2 : int;
+  gsig : Group_sig.signature;
+  puzzle_solution : string option;
+}
+
+(** (M.3) — the router's key confirmation, encrypted under K_{k,j}. *)
+type access_confirm = {
+  ac_g_rj : G1.point;
+  ac_g_rr : G1.point;
+  payload : string;  (** E_{K}(MR_k, g^{r_j}, g^{r_R}) *)
+}
+
+(** (M̃.1) — local broadcast by a user seeking relay peers. *)
+type peer_hello = {
+  ph_g : G1.point;
+  ph_g_rj : G1.point;
+  ph_ts1 : int;
+  ph_gsig : Group_sig.signature;
+}
+
+(** (M̃.2) *)
+type peer_response = {
+  pr_g_rj : G1.point;
+  pr_g_rl : G1.point;
+  pr_ts2 : int;
+  pr_gsig : Group_sig.signature;
+}
+
+(** (M̃.3) *)
+type peer_confirm = {
+  pc_g_rj : G1.point;
+  pc_g_rl : G1.point;
+  pc_payload : string;  (** E_K(g^{r_j}, g^{r_l}, ts1, ts2) *)
+}
+
+val auth_transcript : Config.t -> G1.point -> G1.point -> int -> string
+(** [auth_transcript config a b ts] — the byte string the group signature
+    covers: framed (a, b, ts). *)
+
+val beacon_signed_payload : Config.t -> beacon -> string
+(** What [beacon_sig] covers (everything except certificate and lists,
+    which carry the operator's own signatures). *)
+
+(** {1 Serialisation} — decoding is total and validates group membership of
+    all points. Decoders need the group public key to size signatures. *)
+
+val beacon_to_bytes : Config.t -> beacon -> string
+val beacon_of_bytes : Config.t -> string -> beacon option
+
+val access_request_to_bytes : Config.t -> Group_sig.gpk -> access_request -> string
+val access_request_of_bytes : Config.t -> Group_sig.gpk -> string -> access_request option
+
+val access_confirm_to_bytes : Config.t -> access_confirm -> string
+val access_confirm_of_bytes : Config.t -> string -> access_confirm option
+
+val peer_hello_to_bytes : Config.t -> Group_sig.gpk -> peer_hello -> string
+val peer_hello_of_bytes : Config.t -> Group_sig.gpk -> string -> peer_hello option
+
+val peer_response_to_bytes : Config.t -> Group_sig.gpk -> peer_response -> string
+val peer_response_of_bytes : Config.t -> Group_sig.gpk -> string -> peer_response option
+
+val peer_confirm_to_bytes : Config.t -> peer_confirm -> string
+val peer_confirm_of_bytes : Config.t -> string -> peer_confirm option

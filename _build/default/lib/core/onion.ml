@@ -1,0 +1,18 @@
+type peeled = Forward of string * string | Deliver of string
+
+let wrap path payload =
+  if path = [] then invalid_arg "Onion.wrap: empty path";
+  (* the innermost layer carries the payload and an empty next-hop *)
+  let rec build = function
+    | [] -> assert false
+    | [ (session, _label) ] -> Relay.wrap session ~dst:"" payload
+    | (session, _label) :: ((_, next_label) :: _ as rest) ->
+      Relay.wrap session ~dst:next_label (build rest)
+  in
+  build path
+
+let peel session message =
+  match Relay.unwrap session message with
+  | None -> None
+  | Some ("", payload) -> Some (Deliver payload)
+  | Some (next, inner) -> Some (Forward (next, inner))

@@ -1,0 +1,26 @@
+(** Layered (onion) forwarding over established peer sessions.
+
+    The paper's conclusion positions PEACE as the substrate "for designing
+    other upper layer security and privacy solutions, e.g., anonymous
+    communication". This module is that upper layer in miniature: a sender
+    who holds PEACE sessions with each relay on a path wraps a payload in
+    per-hop encryption layers; every relay learns only its predecessor and
+    successor, never the whole path or the payload.
+
+    Sessions with distant relays are themselves obtained anonymously — the
+    §IV-C peer handshake carries no identities, and can be run through
+    {!Relay} hops. *)
+
+val wrap : (Session.t * string) list -> string -> string
+(** [wrap [(s1, hop1); (s2, hop2); …] payload] — layers are applied
+    inside-out, so the message is peeled by hop1 first (using session s1),
+    which learns only [hop2]; the last hop recovers the payload with its
+    next-hop label [""].
+    @raise Invalid_argument on an empty path. *)
+
+type peeled =
+  | Forward of string * string  (** (next hop label, remaining onion) *)
+  | Deliver of string  (** innermost payload *)
+
+val peel : Session.t -> string -> peeled option
+(** One relay's step. [None] on tamper/replay/not-for-us. *)

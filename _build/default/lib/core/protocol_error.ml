@@ -1,0 +1,34 @@
+type t =
+  | Stale_timestamp
+  | Bad_router_certificate of Cert.error
+  | Router_revoked
+  | Bad_beacon_signature
+  | Bad_revocation_list
+  | Invalid_group_signature
+  | User_revoked
+  | Puzzle_required
+  | Bad_puzzle_solution
+  | Unknown_session
+  | Decryption_failed
+  | No_group_key
+  | Malformed of string
+
+let pp fmt = function
+  | Stale_timestamp -> Format.pp_print_string fmt "stale timestamp"
+  | Bad_router_certificate e ->
+    Format.fprintf fmt "bad router certificate (%a)" Cert.pp_error e
+  | Router_revoked -> Format.pp_print_string fmt "router revoked"
+  | Bad_beacon_signature -> Format.pp_print_string fmt "bad beacon signature"
+  | Bad_revocation_list -> Format.pp_print_string fmt "bad revocation list"
+  | Invalid_group_signature ->
+    Format.pp_print_string fmt "invalid group signature"
+  | User_revoked -> Format.pp_print_string fmt "user revoked"
+  | Puzzle_required -> Format.pp_print_string fmt "puzzle required"
+  | Bad_puzzle_solution -> Format.pp_print_string fmt "bad puzzle solution"
+  | Unknown_session -> Format.pp_print_string fmt "unknown session"
+  | Decryption_failed -> Format.pp_print_string fmt "decryption failed"
+  | No_group_key -> Format.pp_print_string fmt "no group key"
+  | Malformed reason -> Format.fprintf fmt "malformed message (%s)" reason
+
+let to_string t = Format.asprintf "%a" pp t
+let equal (a : t) (b : t) = a = b

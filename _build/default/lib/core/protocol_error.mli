@@ -1,0 +1,24 @@
+(** Typed failures of the PEACE authentication protocols.
+
+    Every rejection maps to one of the attack classes of the paper's threat
+    model (§III-B), which lets the simulator and tests assert not just that
+    bogus traffic is dropped but {e why}. *)
+
+type t =
+  | Stale_timestamp  (** outside the replay window *)
+  | Bad_router_certificate of Cert.error
+  | Router_revoked  (** certificate appears in the CRL *)
+  | Bad_beacon_signature
+  | Bad_revocation_list  (** CRL/URL operator signature fails *)
+  | Invalid_group_signature  (** Eq. 2 fails — outsider/bogus injection *)
+  | User_revoked  (** Eq. 3 matched a URL token *)
+  | Puzzle_required  (** router under attack, no solution attached *)
+  | Bad_puzzle_solution
+  | Unknown_session  (** no outstanding handshake matches *)
+  | Decryption_failed  (** key-confirmation payload did not authenticate *)
+  | No_group_key  (** user holds no key usable for this operation *)
+  | Malformed of string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,65 @@
+open Peace_hash
+
+type t = { nonce : string; difficulty : int }
+
+let make ~rng ~difficulty =
+  if difficulty < 0 || difficulty > 64 then invalid_arg "Puzzle.make: difficulty";
+  { nonce = rng 16; difficulty }
+
+let leading_zero_bits digest =
+  let rec count i acc =
+    if i >= String.length digest then acc
+    else begin
+      let byte = Char.code digest.[i] in
+      if byte = 0 then count (i + 1) (acc + 8)
+      else begin
+        let rec bits b acc = if b land 0x80 = 0 then bits (b lsl 1) (acc + 1) else acc in
+        acc + bits byte 0
+      end
+    end
+  in
+  count 0 0
+
+let encode_counter c =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int c);
+  Bytes.unsafe_to_string b
+
+let check t solution =
+  String.length solution = 8
+  && leading_zero_bits (Sha256.digest (t.nonce ^ solution)) >= t.difficulty
+
+let solve ?max_tries t =
+  let limit = match max_tries with None -> max_int | Some l -> l in
+  let rec search counter =
+    if counter >= limit then None
+    else begin
+      let candidate = encode_counter counter in
+      if check t candidate then Some candidate else search (counter + 1)
+    end
+  in
+  search 0
+
+let solving_work _t solution =
+  if String.length solution = 8 then
+    Int64.to_int (String.get_int64_be solution 0) + 1
+  else 0
+
+let to_bytes t =
+  let w = Wire.writer () in
+  Wire.u8 w t.difficulty;
+  Wire.bytes w t.nonce;
+  Wire.contents w
+
+let of_bytes s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* difficulty = read_u8 r in
+    let* nonce = read_bytes r in
+    let* () = expect_end r in
+    if difficulty > 64 then Error "Puzzle: bad difficulty"
+    else Ok { nonce; difficulty }
+  with
+  | Ok t -> Some t
+  | Error _ -> None

@@ -1,0 +1,29 @@
+(** Client puzzles (Juels–Brainard style) — the paper's DoS countermeasure
+    (§V-A).
+
+    When a mesh router suspects a flooding attack it attaches a puzzle to
+    its beacons; an access request is only processed (i.e. the expensive
+    group-signature verification is only run) if it carries a valid
+    solution. Solving requires a brute-force search of expected 2^difficulty
+    hash evaluations; verification is a single hash. *)
+
+type t = { nonce : string; difficulty : int }
+(** A challenge: find [s] such that SHA-256(nonce ‖ s) has [difficulty]
+    leading zero bits. *)
+
+val make : rng:(int -> string) -> difficulty:int -> t
+(** Fresh puzzle with a 16-byte nonce. [0 <= difficulty <= 64]. *)
+
+val solve : ?max_tries:int -> t -> string option
+(** Brute-force search; [None] only if [max_tries] (default unbounded)
+    is exhausted. *)
+
+val check : t -> string -> bool
+(** One hash evaluation. *)
+
+val solving_work : t -> string -> int
+(** Number of candidates a sequential search tries before reaching this
+    solution — used by the DoS experiment to account attacker effort. *)
+
+val to_bytes : t -> string
+val of_bytes : string -> t option

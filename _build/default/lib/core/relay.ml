@@ -1,0 +1,24 @@
+let wrap session ~dst payload =
+  let w = Wire.writer () in
+  Wire.bytes w dst;
+  Wire.bytes w payload;
+  Session.seal session (Wire.contents w)
+
+let unwrap session message =
+  match Session.open_ session message with
+  | None -> None
+  | Some plaintext -> begin
+    let open Wire in
+    let r = reader plaintext in
+    match
+      let* dst = read_bytes r in
+      let* payload = read_bytes r in
+      let* () = expect_end r in
+      Ok (dst, payload)
+    with
+    | Ok v -> Some v
+    | Error _ -> None
+  end
+
+let wrap_reply session payload = Session.seal session payload
+let unwrap_reply session message = Session.open_ session message

@@ -1,0 +1,26 @@
+(** Hop-protected relaying over an authenticated peer session.
+
+    The paper's architecture (§III-A) has an asymmetric link budget: the
+    downlink from a mesh router reaches every user in its cell in one hop,
+    but a user's uplink may need to travel "through a chain of other peer
+    users". PEACE requires those peers to mutually authenticate first
+    (§IV-C); this module is the thin framing that then rides the resulting
+    session: the originator seals (destination, payload) under the peer
+    session key, the relay unwraps, forwards the payload verbatim, and
+    returns replies the same way.
+
+    The relayed payload itself is untouched — an (M.2) stays exactly the
+    bytes the router expects — so relaying is transparent to the
+    user–router protocol while the hop is authenticated and encrypted. *)
+
+val wrap : Session.t -> dst:string -> string -> string
+(** [wrap session ~dst payload] — seal a forwarding request for the peer.
+    [dst] is an opaque next-hop label (the simulator uses addresses). *)
+
+val unwrap : Session.t -> string -> (string * string) option
+(** The relay side: [(dst, payload)], or [None] on tamper/replay. *)
+
+val wrap_reply : Session.t -> string -> string
+(** Relay → originator: seal a response payload travelling back. *)
+
+val unwrap_reply : Session.t -> string -> string option

@@ -1,0 +1,45 @@
+open Peace_ec
+
+type t = {
+  config : Config.t;
+  shares : (int * int, string) Hashtbl.t;
+  receipts : (int * int, Ecdsa.signature) Hashtbl.t;
+}
+
+let create config =
+  { config; shares = Hashtbl.create 64; receipts = Hashtbl.create 64 }
+
+let store t ttp_shares =
+  List.iter
+    (fun share ->
+      Hashtbl.replace t.shares
+        (share.Network_operator.ts_group_id, share.Network_operator.ts_index)
+        share.Network_operator.blinded_a)
+    ttp_shares
+
+let release t ~group_id ~index = Hashtbl.find_opt t.shares (group_id, index)
+
+let receipt_payload t ~group_id ~index =
+  match release t ~group_id ~index with
+  | None -> None
+  | Some blinded ->
+    let w = Wire.writer () in
+    Wire.raw w "peace-ttp-receipt-v1";
+    Wire.u32 w group_id;
+    Wire.u32 w index;
+    Wire.bytes w blinded;
+    Some (Wire.contents w)
+
+let record_user_receipt t ~group_id ~index ~user_public signature =
+  match receipt_payload t ~group_id ~index with
+  | None -> false
+  | Some payload ->
+    if Ecdsa.verify t.config.Config.curve ~public:user_public payload signature
+    then begin
+      Hashtbl.replace t.receipts (group_id, index) signature;
+      true
+    end
+    else false
+
+let share_count t = Hashtbl.length t.shares
+let receipt_count t = Hashtbl.length t.receipts

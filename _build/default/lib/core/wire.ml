@@ -1,0 +1,67 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+
+let u8 w v =
+  if v < 0 || v > 0xff then invalid_arg "Wire.u8";
+  Buffer.add_char w (Char.chr v)
+
+let u32 w v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.u32";
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int v);
+  Buffer.add_bytes w b
+
+let u64 w v =
+  if v < 0 then invalid_arg "Wire.u64";
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int v);
+  Buffer.add_bytes w b
+
+let raw w s = Buffer.add_string w s
+
+let bytes w s =
+  u32 w (String.length s);
+  raw w s
+
+let contents = Buffer.contents
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let take r n =
+  if n < 0 || r.pos + n > String.length r.data then
+    Error "Wire: truncated input"
+  else begin
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    Ok s
+  end
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let read_u8 r =
+  let* s = take r 1 in
+  Ok (Char.code s.[0])
+
+let read_u32 r =
+  let* s = take r 4 in
+  (* mask away Int32 sign extension: u32 always fits a 63-bit int *)
+  Ok (Int32.to_int (String.get_int32_be s 0) land 0xFFFFFFFF)
+
+let read_u64 r =
+  let* s = take r 8 in
+  let v = String.get_int64_be s 0 in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    Error "Wire: u64 out of range"
+  else Ok (Int64.to_int v)
+
+let read_bytes r =
+  let* n = read_u32 r in
+  take r n
+
+let read_raw r n = take r n
+
+let expect_end r =
+  if r.pos = String.length r.data then Ok () else Error "Wire: trailing bytes"

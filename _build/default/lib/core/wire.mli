@@ -1,0 +1,34 @@
+(** Length-prefixed binary encoding for protocol messages.
+
+    A deliberately small, unambiguous format: every field is written with an
+    explicit length or fixed width, so concatenation attacks on signed
+    transcripts are not possible. Decoding is total — malformed input yields
+    [Error], never an exception. *)
+
+type writer
+
+val writer : unit -> writer
+val u8 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val u64 : writer -> int -> unit
+val bytes : writer -> string -> unit
+(** Length-prefixed byte string. *)
+
+val raw : writer -> string -> unit
+(** Fixed-width field; the reader must know its width. *)
+
+val contents : writer -> string
+
+type reader
+
+val reader : string -> reader
+val read_u8 : reader -> (int, string) result
+val read_u32 : reader -> (int, string) result
+val read_u64 : reader -> (int, string) result
+val read_bytes : reader -> (string, string) result
+val read_raw : reader -> int -> (string, string) result
+val expect_end : reader -> (unit, string) result
+(** Succeeds only if the reader consumed its whole input. *)
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+(** Result bind, for decoder pipelines. *)

@@ -1,0 +1,1 @@
+lib/ec/curve.ml: Array Bigint Format Modular Mont Peace_bigint String

@@ -1,0 +1,1 @@
+lib/ec/curves.ml: Bigint Curve Peace_bigint

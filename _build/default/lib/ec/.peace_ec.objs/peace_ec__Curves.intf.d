@@ -1,0 +1,1 @@
+lib/ec/curves.mli: Curve Lazy

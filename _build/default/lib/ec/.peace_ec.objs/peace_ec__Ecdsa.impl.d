@@ -1,0 +1,1 @@
+lib/ec/ecdsa.ml: Bigint Curve Drbg Modular Peace_bigint Peace_hash Sha256 String

@@ -1,0 +1,1 @@
+lib/ec/ecdsa.mli: Bigint Curve Peace_bigint

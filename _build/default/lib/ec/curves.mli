@@ -1,0 +1,12 @@
+(** Standard curve domain parameters.
+
+    PEACE assumes ECDSA-160 for router certificates and receipt signatures;
+    [secp160r1] matches that security level. [secp256r1] is provided as a
+    modern alternative and for cross-checking against widely published test
+    vectors. *)
+
+val secp160r1 : Curve.t Lazy.t
+(** SEC 2 curve secp160r1 (the "ECDSA-160" of the paper). *)
+
+val secp256r1 : Curve.t Lazy.t
+(** NIST P-256. *)

@@ -1,0 +1,1 @@
+lib/groupsig/bbs04.ml: Bigint Buffer Bytes G1 Hmac Int32 List Modular Pairing Params Peace_bigint Peace_hash Peace_pairing String

@@ -1,0 +1,1 @@
+lib/groupsig/bbs04.mli: Bigint G1 Pairing Params Peace_bigint Peace_pairing

@@ -1,0 +1,1 @@
+lib/groupsig/group_sig.ml: Bigint Buffer Bytes Char Format G1 Hashtbl Hmac Int32 List Modular Pairing Params Peace_bigint Peace_hash Peace_pairing Printf String

@@ -1,0 +1,1 @@
+lib/groupsig/group_sig.mli: Bigint Format G1 Pairing Params Peace_bigint Peace_pairing

@@ -1,0 +1,474 @@
+open Peace_bigint
+open Peace_hash
+open Peace_pairing
+
+type base_mode = Per_message | Fixed_bases
+
+type gpk = {
+  params : Params.t;
+  g1 : G1.point;
+  g2 : G1.point;
+  w : G1.point;
+  base_mode : base_mode;
+  e_g1_g2 : Pairing.Gt.elt;
+  fixed_u : G1.point;
+  fixed_v : G1.point;
+}
+
+type gsk = {
+  a : G1.point;
+  grp : Bigint.t;
+  x : Bigint.t;
+  e_a_g2 : Pairing.Gt.elt;
+}
+
+type issuer = { gpk : gpk; gamma : Bigint.t }
+type revocation_token = G1.point
+
+type signature = {
+  r_nonce : string;
+  t1 : G1.point;
+  t2 : G1.point;
+  c : Bigint.t;
+  s_alpha : Bigint.t;
+  s_x : Bigint.t;
+  s_delta : Bigint.t;
+}
+
+type verify_result = Valid | Invalid_proof | Revoked
+
+let equal_verify_result a b =
+  match (a, b) with
+  | Valid, Valid | Invalid_proof, Invalid_proof | Revoked, Revoked -> true
+  | (Valid | Invalid_proof | Revoked), _ -> false
+
+let pp_verify_result fmt = function
+  | Valid -> Format.pp_print_string fmt "valid"
+  | Invalid_proof -> Format.pp_print_string fmt "invalid-proof"
+  | Revoked -> Format.pp_print_string fmt "revoked"
+
+let scalar_width params = (Bigint.num_bits params.Params.q + 7) / 8
+
+(* length-prefixed concatenation so hash inputs cannot be ambiguous *)
+let frame parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 (Int32.of_int (String.length s));
+      Buffer.add_bytes buf b;
+      Buffer.add_string buf s)
+    parts;
+  Buffer.contents buf
+
+let gpk_bytes gpk =
+  let params = gpk.params in
+  frame
+    [
+      Bigint.to_bytes_be params.Params.p;
+      Bigint.to_bytes_be params.Params.q;
+      G1.encode params gpk.g1;
+      G1.encode params gpk.g2;
+      G1.encode params gpk.w;
+    ]
+
+(* H₀ of the paper: derive the signature bases (û, v̂) *)
+let bases gpk ~msg ~r_nonce =
+  match gpk.base_mode with
+  | Fixed_bases -> (gpk.fixed_u, gpk.fixed_v)
+  | Per_message ->
+    let context = frame [ gpk_bytes gpk; msg; r_nonce ] in
+    ( G1.hash_to_point gpk.params ("peace-h0-u" ^ context),
+      G1.hash_to_point gpk.params ("peace-h0-v" ^ context) )
+
+(* H of the paper: the Fiat-Shamir challenge, a scalar mod q *)
+let challenge gpk ~msg ~r_nonce ~t1 ~t2 ~r1 ~r2 ~r3 =
+  let params = gpk.params in
+  let data =
+    frame
+      [
+        "peace-challenge";
+        gpk_bytes gpk;
+        msg;
+        r_nonce;
+        G1.encode params t1;
+        G1.encode params t2;
+        G1.encode params r1;
+        Pairing.Gt.encode params r2;
+        G1.encode params r3;
+      ]
+  in
+  (* widen past q to make the modular bias negligible *)
+  let wide = Hmac.hkdf ~info:"peace-challenge-scalar" data (scalar_width params + 16) in
+  Bigint.erem (Bigint.of_bytes_be wide) params.Params.q
+
+let setup ?(base_mode = Per_message) params rng =
+  let q = params.Params.q in
+  let gamma = Bigint.random_range rng Bigint.one q in
+  let g = G1.generator params in
+  (* the paper draws g2 at random and sets g1 = ψ(g2); in the symmetric
+     setting we take a random multiple of the subgroup generator *)
+  let g2 = G1.mul params (Bigint.random_range rng Bigint.one q) g in
+  let g1 = g2 in
+  let w = G1.mul params gamma g2 in
+  let e_g1_g2 = Pairing.tate params g1 g2 in
+  let fixed_u = G1.hash_to_point params ("peace-fixed-u" ^ G1.encode params g2) in
+  let fixed_v = G1.hash_to_point params ("peace-fixed-v" ^ G1.encode params g2) in
+  { gpk = { params; g1; g2; w; base_mode; e_g1_g2; fixed_u; fixed_v }; gamma }
+
+let issue_with_x issuer ~grp ~x =
+  let params = issuer.gpk.params in
+  let q = params.Params.q in
+  let denom = Modular.add (Modular.add issuer.gamma grp q) x q in
+  if Bigint.is_zero denom then None
+  else begin
+    let a = G1.mul params (Modular.invert denom q) issuer.gpk.g1 in
+    Some { a; grp; x; e_a_g2 = Pairing.tate params a issuer.gpk.g2 }
+  end
+
+let issue issuer ~grp rng =
+  let q = issuer.gpk.params.Params.q in
+  let rec draw () =
+    let x = Bigint.random_range rng Bigint.one q in
+    match issue_with_x issuer ~grp ~x with Some k -> k | None -> draw ()
+  in
+  draw ()
+
+let token_of_gsk gsk = gsk.a
+
+let key_is_valid_parts gpk ~a ~grp ~x =
+  let params = gpk.params in
+  let q = params.Params.q in
+  let x_eff = Modular.add grp x q in
+  let rhs_arg = G1.add params gpk.w (G1.mul params x_eff gpk.g2) in
+  Pairing.Gt.equal params (Pairing.tate params a rhs_arg) gpk.e_g1_g2
+
+let assemble_gsk gpk ~a ~grp ~x =
+  if key_is_valid_parts gpk ~a ~grp ~x then
+    Some { a; grp; x; e_a_g2 = Pairing.tate gpk.params a gpk.g2 }
+  else None
+
+let key_is_valid gpk gsk =
+  let params = gpk.params in
+  let q = params.Params.q in
+  let x_eff = Modular.add gsk.grp gsk.x q in
+  (* e(A, w + (grp+x)·g2) = e(g1, g2) *)
+  let rhs_arg = G1.add params gpk.w (G1.mul params x_eff gpk.g2) in
+  Pairing.Gt.equal params (Pairing.tate params gsk.a rhs_arg) gpk.e_g1_g2
+
+let sign gpk gsk ~rng ~msg =
+  let params = gpk.params in
+  let q = params.Params.q in
+  let r_nonce = rng (scalar_width params) in
+  let u, v = bases gpk ~msg ~r_nonce in
+  let alpha = Bigint.random_range rng Bigint.one q in
+  let t1 = G1.mul params alpha u in
+  let t2 = G1.add params gsk.a (G1.mul params alpha v) in
+  let x_eff = Modular.add gsk.grp gsk.x q in
+  let delta = Modular.mul x_eff alpha q in
+  let r_alpha = Bigint.random_below rng q in
+  let r_x = Bigint.random_below rng q in
+  let r_delta = Bigint.random_below rng q in
+  let r1 = G1.mul params r_alpha u in
+  (* e(T2, g2) = e(A, g2)·e(v, g2)^α, with e(A, g2) precomputed per key *)
+  let e_v_g2 = Pairing.tate params v gpk.g2 in
+  let e_v_w = Pairing.tate params v gpk.w in
+  let e_t2_g2 = Pairing.Gt.mul params gsk.e_a_g2 (Pairing.Gt.pow params e_v_g2 alpha) in
+  let r2 =
+    Pairing.Gt.mul params
+      (Pairing.Gt.pow params e_t2_g2 r_x)
+      (Pairing.Gt.mul params
+         (Pairing.Gt.pow params e_v_w (Bigint.neg r_alpha))
+         (Pairing.Gt.pow params e_v_g2 (Bigint.neg r_delta)))
+  in
+  let r3 =
+    G1.add params (G1.mul params r_x t1) (G1.neg params (G1.mul params r_delta u))
+  in
+  let c = challenge gpk ~msg ~r_nonce ~t1 ~t2 ~r1 ~r2 ~r3 in
+  {
+    r_nonce;
+    t1;
+    t2;
+    c;
+    s_alpha = Modular.add r_alpha (Modular.mul c alpha q) q;
+    s_x = Modular.add r_x (Modular.mul c x_eff q) q;
+    s_delta = Modular.add r_delta (Modular.mul c delta q) q;
+  }
+
+let proof_ok gpk ~msg signature =
+  let params = gpk.params in
+  let q = params.Params.q in
+  let { r_nonce; t1; t2; c; s_alpha; s_x; s_delta } = signature in
+  String.length r_nonce = scalar_width params
+  && G1.on_curve params t1 && G1.on_curve params t2
+  && (not (G1.is_infinity t1))
+  && Bigint.compare c q < 0 && Bigint.sign c >= 0
+  && Bigint.compare s_alpha q < 0 && Bigint.compare s_x q < 0
+  && Bigint.compare s_delta q < 0
+  &&
+  let u, v = bases gpk ~msg ~r_nonce in
+  (* R̃1 = s_α·u − c·T1 *)
+  let r1 =
+    G1.add params (G1.mul params s_alpha u) (G1.neg params (G1.mul params c t1))
+  in
+  (* R̃2 = e(T2, s_x·g2 + c·w) · e(v, −s_α·w − s_δ·g2) · e(g1,g2)^{−c} *)
+  let arg1 = G1.add params (G1.mul params s_x gpk.g2) (G1.mul params c gpk.w) in
+  let arg2 =
+    G1.add params
+      (G1.mul params (Modular.sub Bigint.zero s_alpha q) gpk.w)
+      (G1.mul params (Modular.sub Bigint.zero s_delta q) gpk.g2)
+  in
+  let r2 =
+    Pairing.Gt.mul params
+      (Pairing.tate_product params [ (t2, arg1); (v, arg2) ])
+      (Pairing.Gt.pow params gpk.e_g1_g2 (Bigint.neg c))
+  in
+  (* R̃3 = s_x·T1 − s_δ·u *)
+  let r3 =
+    G1.add params (G1.mul params s_x t1) (G1.neg params (G1.mul params s_delta u))
+  in
+  Bigint.equal c (challenge gpk ~msg ~r_nonce ~t1 ~t2 ~r1 ~r2 ~r3)
+
+(* Eq. 3: is token A encoded in (T1, T2)?  e(T2 − A, û) = e(T1, v̂) *)
+let revocation_matches gpk ~u ~v ~e_t1_v signature token =
+  let params = gpk.params in
+  ignore v;
+  let lhs = Pairing.tate params (G1.add params signature.t2 (G1.neg params token)) u in
+  Pairing.Gt.equal params lhs e_t1_v
+
+let is_signer gpk ~msg signature token =
+  let u, v = bases gpk ~msg ~r_nonce:signature.r_nonce in
+  let e_t1_v = Pairing.tate gpk.params signature.t1 v in
+  revocation_matches gpk ~u ~v ~e_t1_v signature token
+
+let verify gpk ?(url = []) ~msg signature =
+  if not (proof_ok gpk ~msg signature) then Invalid_proof
+  else if url = [] then Valid
+  else begin
+    let u, v = bases gpk ~msg ~r_nonce:signature.r_nonce in
+    let e_t1_v = Pairing.tate gpk.params signature.t1 v in
+    if List.exists (revocation_matches gpk ~u ~v ~e_t1_v signature) url then
+      Revoked
+    else Valid
+  end
+
+type fast_table = (string, unit) Hashtbl.t
+
+let build_fast_table gpk tokens =
+  if gpk.base_mode <> Fixed_bases then
+    invalid_arg "Group_sig.build_fast_table: gpk must use Fixed_bases";
+  let params = gpk.params in
+  let table = Hashtbl.create (List.length tokens * 2) in
+  List.iter
+    (fun token ->
+      let e_a_u = Pairing.tate params token gpk.fixed_u in
+      Hashtbl.replace table (Pairing.Gt.encode params e_a_u) ())
+    tokens;
+  table
+
+let fast_table_size = Hashtbl.length
+
+let verify_fast gpk table ~msg signature =
+  if gpk.base_mode <> Fixed_bases then
+    invalid_arg "Group_sig.verify_fast: gpk must use Fixed_bases";
+  if not (proof_ok gpk ~msg signature) then Invalid_proof
+  else begin
+    let params = gpk.params in
+    (* revoked iff e(A, û) = e(T2, û) / e(T1, v̂) for some table entry *)
+    let d =
+      Pairing.Gt.mul params
+        (Pairing.tate params signature.t2 gpk.fixed_u)
+        (Pairing.Gt.inv params (Pairing.tate params signature.t1 gpk.fixed_v))
+    in
+    if Hashtbl.mem table (Pairing.Gt.encode params d) then Revoked else Valid
+  end
+
+let open_signature gpk ~grt ~msg signature =
+  if not (proof_ok gpk ~msg signature) then None
+  else begin
+    let u, v = bases gpk ~msg ~r_nonce:signature.r_nonce in
+    let e_t1_v = Pairing.tate gpk.params signature.t1 v in
+    List.find_map
+      (fun (token, tag) ->
+        if revocation_matches gpk ~u ~v ~e_t1_v signature token then Some tag
+        else None)
+      grt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let signature_size gpk =
+  let params = gpk.params in
+  (5 * scalar_width params) + (2 * Params.group_element_bytes params)
+
+let paper_signature_bits = 1192
+
+let signature_to_bytes gpk s =
+  let params = gpk.params in
+  let width = scalar_width params in
+  String.concat ""
+    [
+      s.r_nonce;
+      G1.encode params s.t1;
+      G1.encode params s.t2;
+      Bigint.to_bytes_be ~width s.c;
+      Bigint.to_bytes_be ~width s.s_alpha;
+      Bigint.to_bytes_be ~width s.s_x;
+      Bigint.to_bytes_be ~width s.s_delta;
+    ]
+
+let signature_of_bytes gpk bytes =
+  let params = gpk.params in
+  let width = scalar_width params in
+  let point_width = Params.group_element_bytes params in
+  if String.length bytes <> signature_size gpk then None
+  else begin
+    let pos = ref 0 in
+    let take n =
+      let s = String.sub bytes !pos n in
+      pos := !pos + n;
+      s
+    in
+    let r_nonce = take width in
+    let t1_bytes = take point_width in
+    let t2_bytes = take point_width in
+    let c = Bigint.of_bytes_be (take width) in
+    let s_alpha = Bigint.of_bytes_be (take width) in
+    let s_x = Bigint.of_bytes_be (take width) in
+    let s_delta = Bigint.of_bytes_be (take width) in
+    match (G1.decode params t1_bytes, G1.decode params t2_bytes) with
+    | Some t1, Some t2 -> Some { r_nonce; t1; t2; c; s_alpha; s_x; s_delta }
+    | _ -> None
+  end
+
+(* --- textual key storage for the CLI --- *)
+
+let point_hex params pt =
+  (* hex of the compressed encoding *)
+  let s = G1.encode params pt in
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let point_of_hex params hex =
+  if String.length hex mod 2 <> 0 then None
+  else begin
+    match
+      String.init (String.length hex / 2) (fun i ->
+          Char.chr (int_of_string ("0x" ^ String.sub hex (2 * i) 2)))
+    with
+    | bytes -> G1.decode params bytes
+    | exception _ -> None
+  end
+
+let gpk_to_text gpk =
+  let params = gpk.params in
+  String.concat "\n"
+    [
+      "peace-gpk-v1";
+      (match gpk.base_mode with Per_message -> "per-message" | Fixed_bases -> "fixed-bases");
+      Params.to_text params |> String.trim |> String.map (fun c -> if c = '\n' then '|' else c);
+      point_hex params gpk.g1;
+      point_hex params gpk.g2;
+      point_hex params gpk.w;
+      point_hex params gpk.fixed_u;
+      point_hex params gpk.fixed_v;
+    ]
+  ^ "\n"
+
+let gpk_of_text text =
+  match String.split_on_char '\n' (String.trim text) with
+  | [ "peace-gpk-v1"; mode; params_line; g1h; g2h; wh; uh; vh ] -> begin
+    let params_text = String.map (fun c -> if c = '|' then '\n' else c) params_line in
+    match Params.of_text params_text with
+    | Error reason -> Error ("bad parameters: " ^ reason)
+    | Ok params -> begin
+      let base_mode =
+        match mode with
+        | "fixed-bases" -> Some Fixed_bases
+        | "per-message" -> Some Per_message
+        | _ -> None
+      in
+      match
+        ( base_mode,
+          point_of_hex params g1h,
+          point_of_hex params g2h,
+          point_of_hex params wh,
+          point_of_hex params uh,
+          point_of_hex params vh )
+      with
+      | Some base_mode, Some g1, Some g2, Some w, Some fixed_u, Some fixed_v ->
+        Ok
+          {
+            params;
+            g1;
+            g2;
+            w;
+            base_mode;
+            e_g1_g2 = Pairing.tate params g1 g2;
+            fixed_u;
+            fixed_v;
+          }
+      | _ -> Error "bad group public key encoding"
+    end
+  end
+  | _ -> Error "unrecognised gpk file"
+
+let issuer_to_text issuer =
+  "peace-issuer-v1\n" ^ Bigint.to_hex issuer.gamma ^ "\n"
+  ^ gpk_to_text issuer.gpk
+
+let issuer_of_text text =
+  match String.index_opt text '\n' with
+  | None -> Error "unrecognised issuer file"
+  | Some first_nl -> begin
+    if String.sub text 0 first_nl <> "peace-issuer-v1" then
+      Error "unrecognised issuer file"
+    else begin
+      let rest = String.sub text (first_nl + 1) (String.length text - first_nl - 1) in
+      match String.index_opt rest '\n' with
+      | None -> Error "unrecognised issuer file"
+      | Some nl -> begin
+        match Bigint.of_hex (String.sub rest 0 nl) with
+        | gamma -> begin
+          match gpk_of_text (String.sub rest (nl + 1) (String.length rest - nl - 1)) with
+          | Ok gpk -> Ok { gpk; gamma }
+          | Error _ as e -> e
+        end
+        | exception Invalid_argument reason -> Error reason
+      end
+    end
+  end
+
+let gsk_to_text gpk gsk =
+  String.concat "\n"
+    [
+      "peace-gsk-v1";
+      point_hex gpk.params gsk.a;
+      Bigint.to_hex gsk.grp;
+      Bigint.to_hex gsk.x;
+    ]
+  ^ "\n"
+
+let gsk_of_text gpk text =
+  match String.split_on_char '\n' (String.trim text) with
+  | [ "peace-gsk-v1"; ah; grph; xh ] -> begin
+    match (point_of_hex gpk.params ah, Bigint.of_hex grph, Bigint.of_hex xh) with
+    | Some a, grp, x -> begin
+      match assemble_gsk gpk ~a ~grp ~x with
+      | Some gsk -> Ok gsk
+      | None -> Error "key fails the SDH validity check"
+    end
+    | None, _, _ -> Error "bad A component"
+    | exception Invalid_argument reason -> Error reason
+  end
+  | _ -> Error "unrecognised gsk file"
+
+let token_to_text gpk token = point_hex gpk.params token ^ "\n"
+
+let token_of_text gpk text =
+  match point_of_hex gpk.params (String.trim text) with
+  | Some token -> Ok token
+  | None -> Error "bad revocation token encoding"

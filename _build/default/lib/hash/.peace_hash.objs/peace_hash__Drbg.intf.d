@@ -1,0 +1,1 @@
+lib/hash/drbg.mli:

@@ -1,0 +1,1 @@
+lib/hash/sha512.ml: Array Bytes Int64 String

@@ -1,0 +1,1 @@
+lib/hash/sha512.mli:

@@ -1,0 +1,36 @@
+(* HMAC-DRBG over SHA-256, NIST SP 800-90A (no prediction-resistance plumbing:
+   reseeding is explicit and the generate limit is not enforced). *)
+
+type t = { mutable key : string; mutable v : string }
+
+let update t provided =
+  t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.sha256 ~key:t.key t.v;
+  if provided <> "" then begin
+    t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.sha256 ~key:t.key t.v
+  end
+
+let create ?(personalization = "") ~seed () =
+  let t =
+    {
+      key = String.make Sha256.digest_size '\000';
+      v = String.make Sha256.digest_size '\x01';
+    }
+  in
+  update t (seed ^ personalization);
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate";
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.sha256 ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let bytes_fn t n = generate t n

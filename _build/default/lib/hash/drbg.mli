@@ -1,0 +1,21 @@
+(** Deterministic random bit generator: HMAC-DRBG (NIST SP 800-90A) over
+    SHA-256.
+
+    Deterministic given its seed, which makes protocol runs and tests
+    reproducible; callers that need real entropy seed it from the OS. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?personalization:string -> seed:string -> unit -> t
+(** Instantiates from seed entropy and an optional personalization string. *)
+
+val reseed : t -> string -> unit
+(** Mixes fresh entropy into the state. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces [n] pseudo-random bytes and advances the state. *)
+
+val bytes_fn : t -> int -> string
+(** [bytes_fn t] is [generate t] packaged for APIs that take an
+    [int -> string] byte source (e.g. {!Peace_bigint.Bigint.random_below}). *)

@@ -1,0 +1,159 @@
+(* SHA-512, FIPS 180-4, on Int64 words. *)
+
+let digest_size = 64
+let block_size = 128
+
+let k =
+  Array.map Int64.of_string
+    [|
+      "0x428a2f98d728ae22"; "0x7137449123ef65cd"; "0xb5c0fbcfec4d3b2f";
+      "0xe9b5dba58189dbbc"; "0x3956c25bf348b538"; "0x59f111f1b605d019";
+      "0x923f82a4af194f9b"; "0xab1c5ed5da6d8118"; "0xd807aa98a3030242";
+      "0x12835b0145706fbe"; "0x243185be4ee4b28c"; "0x550c7dc3d5ffb4e2";
+      "0x72be5d74f27b896f"; "0x80deb1fe3b1696b1"; "0x9bdc06a725c71235";
+      "0xc19bf174cf692694"; "0xe49b69c19ef14ad2"; "0xefbe4786384f25e3";
+      "0x0fc19dc68b8cd5b5"; "0x240ca1cc77ac9c65"; "0x2de92c6f592b0275";
+      "0x4a7484aa6ea6e483"; "0x5cb0a9dcbd41fbd4"; "0x76f988da831153b5";
+      "0x983e5152ee66dfab"; "0xa831c66d2db43210"; "0xb00327c898fb213f";
+      "0xbf597fc7beef0ee4"; "0xc6e00bf33da88fc2"; "0xd5a79147930aa725";
+      "0x06ca6351e003826f"; "0x142929670a0e6e70"; "0x27b70a8546d22ffc";
+      "0x2e1b21385c26c926"; "0x4d2c6dfc5ac42aed"; "0x53380d139d95b3df";
+      "0x650a73548baf63de"; "0x766a0abb3c77b2a8"; "0x81c2c92e47edaee6";
+      "0x92722c851482353b"; "0xa2bfe8a14cf10364"; "0xa81a664bbc423001";
+      "0xc24b8b70d0f89791"; "0xc76c51a30654be30"; "0xd192e819d6ef5218";
+      "0xd69906245565a910"; "0xf40e35855771202a"; "0x106aa07032bbd1b8";
+      "0x19a4c116b8d2d0c8"; "0x1e376c085141ab53"; "0x2748774cdf8eeb99";
+      "0x34b0bcb5e19b48a8"; "0x391c0cb3c5c95a63"; "0x4ed8aa4ae3418acb";
+      "0x5b9cca4f7763e373"; "0x682e6ff3d6b2b8a3"; "0x748f82ee5defb2fc";
+      "0x78a5636f43172f60"; "0x84c87814a1f0ab72"; "0x8cc702081a6439ec";
+      "0x90befffa23631e28"; "0xa4506cebde82bde9"; "0xbef9a3f7b2c67915";
+      "0xc67178f2e372532b"; "0xca273eceea26619c"; "0xd186b8c721c0c207";
+      "0xeada7dd6cde0eb1e"; "0xf57d4f7fee6ed178"; "0x06f067aa72176fba";
+      "0x0a637dc5a2c898a6"; "0x113f9804bef90dae"; "0x1b710b35131c471b";
+      "0x28db77f523047d84"; "0x32caab7b40c72493"; "0x3c9ebe0a15c9bebc";
+      "0x431d67c49c100d4c"; "0x4cc5d4becb3e42b6"; "0x597f299cfc657e2a";
+      "0x5fcb6fab3ad6faec"; "0x6c44198c4a475817";
+    |]
+
+type ctx = {
+  h : int64 array;
+  buf : Bytes.t;
+  mutable buf_len : int;
+  mutable total : int;
+  w : int64 array;
+}
+
+let init () =
+  {
+    h =
+      Array.map Int64.of_string
+        [|
+          "0x6a09e667f3bcc908"; "0xbb67ae8584caa73b"; "0x3c6ef372fe94f82b";
+          "0xa54ff53a5f1d36f1"; "0x510e527fade682d1"; "0x9b05688c2b3e6c1f";
+          "0x1f83d9abfb41bd6b"; "0x5be0cd19137e2179";
+        |];
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0;
+    w = Array.make 80 0L;
+  }
+
+let rotr x n = Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
+
+let compress ctx block =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    w.(t) <- Bytes.get_int64_be block (8 * t)
+  done;
+  for t = 16 to 79 do
+    let s0 =
+      Int64.logxor
+        (Int64.logxor (rotr w.(t - 15) 1) (rotr w.(t - 15) 8))
+        (Int64.shift_right_logical w.(t - 15) 7)
+    in
+    let s1 =
+      Int64.logxor
+        (Int64.logxor (rotr w.(t - 2) 19) (rotr w.(t - 2) 61))
+        (Int64.shift_right_logical w.(t - 2) 6)
+    in
+    w.(t) <- Int64.add (Int64.add w.(t - 16) s0) (Int64.add w.(t - 7) s1)
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 79 do
+    let s1 = Int64.logxor (Int64.logxor (rotr !e 14) (rotr !e 18)) (rotr !e 41) in
+    let ch = Int64.logxor (Int64.logand !e !f) (Int64.logand (Int64.lognot !e) !g) in
+    let t1 = Int64.add (Int64.add (Int64.add !hh s1) (Int64.add ch k.(t))) w.(t) in
+    let s0 = Int64.logxor (Int64.logxor (rotr !a 28) (rotr !a 34)) (rotr !a 39) in
+    let maj =
+      Int64.logxor
+        (Int64.logxor (Int64.logand !a !b) (Int64.logand !a !c))
+        (Int64.logand !b !c)
+    in
+    let t2 = Int64.add s0 maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := Int64.add !d t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := Int64.add t1 t2
+  done;
+  h.(0) <- Int64.add h.(0) !a;
+  h.(1) <- Int64.add h.(1) !b;
+  h.(2) <- Int64.add h.(2) !c;
+  h.(3) <- Int64.add h.(3) !d;
+  h.(4) <- Int64.add h.(4) !e;
+  h.(5) <- Int64.add h.(5) !f;
+  h.(6) <- Int64.add h.(6) !g;
+  h.(7) <- Int64.add h.(7) !hh
+
+let update ctx s =
+  let n = String.length s in
+  ctx.total <- ctx.total + n;
+  let pos = ref 0 in
+  if ctx.buf_len > 0 then begin
+    let take = min n (block_size - ctx.buf_len) in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = block_size then begin
+      compress ctx ctx.buf;
+      ctx.buf_len <- 0
+    end
+  end;
+  while n - !pos >= block_size do
+    Bytes.blit_string s !pos ctx.buf 0 block_size;
+    compress ctx ctx.buf;
+    pos := !pos + block_size
+  done;
+  if n - !pos > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 (n - !pos);
+    ctx.buf_len <- n - !pos
+  end
+
+let finalize ctx =
+  let bit_len = Int64.of_int (ctx.total * 8) in
+  Bytes.set ctx.buf ctx.buf_len '\x80';
+  ctx.buf_len <- ctx.buf_len + 1;
+  if ctx.buf_len > block_size - 16 then begin
+    Bytes.fill ctx.buf ctx.buf_len (block_size - ctx.buf_len) '\000';
+    compress ctx ctx.buf;
+    ctx.buf_len <- 0
+  end;
+  Bytes.fill ctx.buf ctx.buf_len (block_size - ctx.buf_len) '\000';
+  (* 128-bit length: the high 64 bits stay zero for any realistic input *)
+  Bytes.set_int64_be ctx.buf (block_size - 8) bit_len;
+  compress ctx ctx.buf;
+  let out = Bytes.create digest_size in
+  for i = 0 to 7 do
+    Bytes.set_int64_be out (8 * i) ctx.h.(i)
+  done;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  finalize ctx

@@ -1,0 +1,18 @@
+(** SHA-512 (FIPS 180-4). One-shot and streaming interfaces. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** Returns the 64-byte digest; the context must not be reused. *)
+
+val digest : string -> string
+(** One-shot hash: 64-byte digest. *)
+
+val digest_size : int
+(** 64. *)
+
+val block_size : int
+(** 128. *)

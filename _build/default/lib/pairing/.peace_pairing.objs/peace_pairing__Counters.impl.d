@@ -1,0 +1,1 @@
+lib/pairing/counters.ml: Format

@@ -1,0 +1,1 @@
+lib/pairing/fq2.ml: Bigint Mont Peace_bigint String

@@ -1,0 +1,1 @@
+lib/pairing/fq2.mli: Bigint Mont Peace_bigint

@@ -1,0 +1,1 @@
+lib/pairing/g1.ml: Array Bigint Counters Format Hmac Modular Mont Params Peace_bigint Peace_hash String

@@ -1,0 +1,1 @@
+lib/pairing/g1.mli: Bigint Format Mont Params Peace_bigint

@@ -1,0 +1,1 @@
+lib/pairing/pairing.ml: Array Bigint Counters Fq2 G1 List Mont Params Peace_bigint

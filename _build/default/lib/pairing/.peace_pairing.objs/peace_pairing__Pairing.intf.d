@@ -1,0 +1,1 @@
+lib/pairing/pairing.mli: Bigint Fq2 G1 Params Peace_bigint

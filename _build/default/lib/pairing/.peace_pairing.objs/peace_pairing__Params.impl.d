@@ -1,0 +1,1 @@
+lib/pairing/params.ml: Bigint Modular Mont Peace_bigint Prime String

@@ -1,0 +1,1 @@
+lib/pairing/params.mli: Bigint Lazy Mont Peace_bigint

@@ -1,0 +1,44 @@
+type snapshot = {
+  pairings : int;
+  g1_mul : int;
+  gt_exp : int;
+  hash_to_g1 : int;
+}
+
+let pairings = ref 0
+let g1_mul = ref 0
+let gt_exp = ref 0
+let hash_to_g1 = ref 0
+
+let reset () =
+  pairings := 0;
+  g1_mul := 0;
+  gt_exp := 0;
+  hash_to_g1 := 0
+
+let snapshot () =
+  {
+    pairings = !pairings;
+    g1_mul = !g1_mul;
+    gt_exp = !gt_exp;
+    hash_to_g1 = !hash_to_g1;
+  }
+
+let diff later earlier =
+  {
+    pairings = later.pairings - earlier.pairings;
+    g1_mul = later.g1_mul - earlier.g1_mul;
+    gt_exp = later.gt_exp - earlier.gt_exp;
+    hash_to_g1 = later.hash_to_g1 - earlier.hash_to_g1;
+  }
+
+let total_exponentiations s = s.g1_mul + s.gt_exp
+
+let pp fmt s =
+  Format.fprintf fmt "pairings=%d g1_mul=%d gt_exp=%d hash_to_g1=%d" s.pairings
+    s.g1_mul s.gt_exp s.hash_to_g1
+
+let count_pairing () = incr pairings
+let count_g1_mul () = incr g1_mul
+let count_gt_exp () = incr gt_exp
+let count_hash_to_g1 () = incr hash_to_g1

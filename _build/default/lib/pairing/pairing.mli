@@ -1,0 +1,49 @@
+(** The modified Tate pairing ê : G1 × G1 → GT ⊂ F_p².
+
+    ê(P, Q) = f_{q,P}(φ(Q))^{(p²−1)/q} with distortion map
+    φ(x, y) = (−x, iy). It is bilinear, symmetric in distribution
+    (ê(P,Q) = ê(Q,P)) and non-degenerate: ê(G, G) ≠ 1.
+
+    Every evaluation bumps {!Counters}. *)
+
+open Peace_bigint
+
+module Gt : sig
+  (** The target group: order-q subgroup of F_p²^*. *)
+
+  type elt = Fq2.elt
+
+  val one : Params.t -> elt
+  val mul : Params.t -> elt -> elt -> elt
+  val inv : Params.t -> elt -> elt
+  val equal : Params.t -> elt -> elt -> bool
+  val is_one : Params.t -> elt -> bool
+
+  val pow : Params.t -> elt -> Bigint.t -> elt
+  (** Counted as one GT exponentiation. Negative exponents allowed. *)
+
+  val encode : Params.t -> elt -> string
+
+  val decode : Params.t -> string -> elt option
+  (** Validates field membership only; run {!in_subgroup} on values from
+      untrusted sources. *)
+
+  val in_subgroup : Params.t -> elt -> bool
+  (** [elt^q = 1] — membership in the order-q target subgroup. Decoded
+      GT elements from untrusted sources should pass this before use. *)
+end
+
+val tate : Params.t -> G1.point -> G1.point -> Gt.elt
+(** [tate params p q] is ê(P, Q); [1] when either argument is infinity.
+    Counted as one pairing. *)
+
+val tate_product : Params.t -> (G1.point * G1.point) list -> Gt.elt
+(** [tate_product params [(p1,q1); (p2,q2); …]] is ∏ᵢ ê(pᵢ, qᵢ), computed
+    with a single shared Miller loop (one f-squaring per bit regardless of
+    the number of pairs) and one final exponentiation. Counted as one
+    pairing per pair. Verification uses this to fold its two pairings. *)
+
+val tate_affine : Params.t -> G1.point -> G1.point -> Gt.elt
+(** Reference implementation of {!tate} with an affine Miller loop (one
+    field inversion per step). Slower; kept for cross-checking the
+    optimized projective loop and for the A5 ablation. *)

@@ -1,0 +1,1 @@
+lib/rsa/rsa.ml: Bigint Modular Peace_bigint Peace_hash Prime Sha256 String

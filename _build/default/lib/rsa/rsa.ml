@@ -1,0 +1,84 @@
+open Peace_bigint
+open Peace_hash
+
+type public_key = { n : Bigint.t; e : Bigint.t }
+
+type private_key = {
+  public : public_key;
+  d : Bigint.t;
+  p : Bigint.t;
+  q : Bigint.t;
+  dp : Bigint.t;
+  dq : Bigint.t;
+  qinv : Bigint.t;
+}
+
+let public_exponent = Bigint.of_int 65537
+
+let generate rng ~bits =
+  if bits < 128 || bits land 1 = 1 then invalid_arg "Rsa.generate: bad modulus size";
+  let half = bits / 2 in
+  let rec draw_prime () =
+    let p = Prime.random_prime rng ~bits:half in
+    (* gcd(e, p-1) = 1 so that e is invertible *)
+    if Bigint.is_one (Bigint.gcd public_exponent (Bigint.pred p)) then p
+    else draw_prime ()
+  in
+  let rec keypair () =
+    let p = draw_prime () in
+    let q = draw_prime () in
+    if Bigint.equal p q then keypair ()
+    else begin
+      let n = Bigint.mul p q in
+      if Bigint.num_bits n <> bits then keypair ()
+      else begin
+        let p1 = Bigint.pred p and q1 = Bigint.pred q in
+        let lambda = Bigint.div (Bigint.mul p1 q1) (Bigint.gcd p1 q1) in
+        let d = Modular.invert public_exponent lambda in
+        {
+          public = { n; e = public_exponent };
+          d;
+          p;
+          q;
+          dp = Bigint.erem d p1;
+          dq = Bigint.erem d q1;
+          qinv = Modular.invert q p;
+        }
+      end
+    end
+  in
+  keypair ()
+
+let signature_size key = (Bigint.num_bits key.n + 7) / 8
+
+(* DER DigestInfo prefix for SHA-256 (RFC 8017, section 9.2 notes) *)
+let sha256_prefix =
+  "\x30\x31\x30\x0d\x06\x09\x60\x86\x48\x01\x65\x03\x04\x02\x01\x05\x00\x04\x20"
+
+let emsa_pkcs1_v15 ~em_len msg =
+  let t = sha256_prefix ^ Sha256.digest msg in
+  let t_len = String.length t in
+  if em_len < t_len + 11 then invalid_arg "Rsa: modulus too small for padding";
+  "\x00\x01" ^ String.make (em_len - t_len - 3) '\xff' ^ "\x00" ^ t
+
+let sign key msg =
+  let em_len = signature_size key.public in
+  let m = Bigint.of_bytes_be (emsa_pkcs1_v15 ~em_len msg) in
+  (* CRT: s_p = m^dp mod p, s_q = m^dq mod q, recombine *)
+  let sp = Modular.powm m key.dp key.p in
+  let sq = Modular.powm m key.dq key.q in
+  let h = Modular.mul key.qinv (Modular.sub sp sq key.p) key.p in
+  let s = Bigint.add sq (Bigint.mul h key.q) in
+  Bigint.to_bytes_be ~width:em_len s
+
+let verify key msg signature =
+  let em_len = signature_size key in
+  String.length signature = em_len
+  &&
+  let s = Bigint.of_bytes_be signature in
+  Bigint.compare s key.n < 0
+  &&
+  let m = Modular.powm s key.e key.n in
+  match Bigint.to_bytes_be ~width:em_len m with
+  | encoded -> String.equal encoded (emsa_pkcs1_v15 ~em_len msg)
+  | exception Invalid_argument _ -> false

@@ -1,0 +1,33 @@
+(** RSA signatures (PKCS#1 v1.5 signature padding with SHA-256).
+
+    Present purely as the size/cost baseline of the paper's Section V-C,
+    which compares the PEACE group signature against "a standard 1024-bit
+    RSA signature". *)
+
+open Peace_bigint
+
+type public_key = { n : Bigint.t; e : Bigint.t }
+
+type private_key = {
+  public : public_key;
+  d : Bigint.t;
+  p : Bigint.t;
+  q : Bigint.t;
+  dp : Bigint.t;   (** d mod (p-1), for CRT signing *)
+  dq : Bigint.t;   (** d mod (q-1) *)
+  qinv : Bigint.t; (** q⁻¹ mod p *)
+}
+
+val generate : (int -> string) -> bits:int -> private_key
+(** [generate rng ~bits] produces a key with a [bits]-bit modulus and
+    public exponent 65537. [bits >= 128] and even. *)
+
+val sign : private_key -> string -> string
+(** PKCS#1 v1.5 signature over SHA-256 of the message; output is
+    modulus-sized. Uses the CRT. *)
+
+val verify : public_key -> string -> string -> bool
+(** [verify key msg signature] — total on adversarial input. *)
+
+val signature_size : public_key -> int
+(** Modulus size in bytes (128 for RSA-1024). *)

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Engine Float Hashtbl List Option Sim_rand String

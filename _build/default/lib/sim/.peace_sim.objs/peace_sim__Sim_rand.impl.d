@@ -1,0 +1,1 @@
+lib/sim/sim_rand.ml: Char Float String

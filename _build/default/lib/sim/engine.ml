@@ -1,0 +1,56 @@
+open Peace_core
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  clock : Clock.t;
+  mutable running : bool;
+}
+
+let create ?(start = 1_000_000) () =
+  { queue = Event_queue.create (); clock = Clock.manual ~start (); running = false }
+
+let clock t = t.clock
+let now t = Clock.now t.clock
+
+let schedule_at t ~time handler =
+  if time < now t then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time handler
+
+let schedule t ~delay handler =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(now t + delay) handler
+
+let schedule_every t ~period ?until handler =
+  if period <= 0 then invalid_arg "Engine.schedule_every: period";
+  let rec tick () =
+    (match until with
+    | Some horizon when now t > horizon -> ()
+    | _ ->
+      handler ();
+      schedule t ~delay:period tick)
+  in
+  schedule t ~delay:period tick
+
+let run ?until t =
+  if t.running then invalid_arg "Engine.run: reentrant run";
+  t.running <- true;
+  let horizon = match until with None -> max_int | Some h -> h in
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | None -> ()
+    | Some time when time > horizon -> ()
+    | Some _ -> (
+      match Event_queue.pop t.queue with
+      | None -> ()
+      | Some (time, handler) ->
+        Clock.set t.clock time;
+        handler ();
+        loop ())
+  in
+  Fun.protect ~finally:(fun () -> t.running <- false) loop;
+  (* land the clock on the horizon so subsequent scheduling is sane *)
+  match until with
+  | Some h when h > now t -> Clock.set t.clock h
+  | _ -> ()
+
+let pending t = Event_queue.size t.queue

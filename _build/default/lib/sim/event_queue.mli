@@ -1,0 +1,16 @@
+(** A binary min-heap of timestamped events for the discrete-event engine.
+
+    Ties break by insertion order, so simulations are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Earliest event, removing it; [None] when empty. *)
+
+val peek_time : 'a t -> int option

@@ -1,0 +1,61 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.counters name r;
+    r
+
+let incr t name = incr (counter_ref t name)
+let incr_by t name n = counter_ref t name := !(counter_ref t name) + n
+let count t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let series_ref t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.series name r;
+    r
+
+let sample t name v = series_ref t name := v :: !(series_ref t name)
+let samples t name = match Hashtbl.find_opt t.series name with Some r -> !r | None -> []
+
+let mean t name =
+  match samples t name with
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+let percentile t name p =
+  match samples t name with
+  | [] -> None
+  | xs ->
+    let sorted = List.sort compare xs in
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    let rank = Stdlib.max 0 (Stdlib.min (n - 1) rank) in
+    Some (List.nth sorted rank)
+
+let pp_summary fmt t =
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-40s %d@." name v)
+    (counters t);
+  Hashtbl.iter
+    (fun name _ ->
+      match (mean t name, percentile t name 95.0) with
+      | Some m, Some p95 ->
+        Format.fprintf fmt "%-40s mean=%.2f p95=%.2f n=%d@." name m p95
+          (List.length (samples t name))
+      | _ -> ())
+    t.series

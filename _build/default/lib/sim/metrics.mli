@@ -1,0 +1,18 @@
+(** Simulation metrics: named counters and sample series. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val incr_by : t -> string -> int -> unit
+val count : t -> string -> int
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val sample : t -> string -> float -> unit
+val samples : t -> string -> float list
+val mean : t -> string -> float option
+val percentile : t -> string -> float -> float option
+(** [percentile t name 95.0]; [None] when the series is empty. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+type address = int
+
+type node = {
+  mutable pos : float * float;
+  tx_range : float;
+  handler : string -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  rand : Sim_rand.t;
+  base_latency_ms : float;
+  latency_per_m : float;
+  loss_prob : float;
+  nodes : (address, node) Hashtbl.t;
+  mutable bytes_sent : int;
+  mutable frames_sent : int;
+  mutable frames_lost : int;
+  mutable frames_out_of_range : int;
+}
+
+let create engine rand ?(base_latency_ms = 2.0) ?(latency_per_m = 0.01)
+    ?(loss_prob = 0.0) () =
+  {
+    engine;
+    rand;
+    base_latency_ms;
+    latency_per_m;
+    loss_prob;
+    nodes = Hashtbl.create 64;
+    bytes_sent = 0;
+    frames_sent = 0;
+    frames_lost = 0;
+    frames_out_of_range = 0;
+  }
+
+let register t address ~pos ?(tx_range = infinity) handler =
+  Hashtbl.replace t.nodes address { pos; tx_range; handler }
+
+let unregister t address = Hashtbl.remove t.nodes address
+
+let move t address pos =
+  match Hashtbl.find_opt t.nodes address with
+  | Some node -> node.pos <- pos
+  | None -> ()
+
+let position t address =
+  Option.map (fun n -> n.pos) (Hashtbl.find_opt t.nodes address)
+
+let dist_xy (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let distance t a b =
+  match (position t a, position t b) with
+  | Some pa, Some pb -> Some (dist_xy pa pb)
+  | _ -> None
+
+let latency_ms t d = t.base_latency_ms +. (t.latency_per_m *. d)
+
+let transmit t ~dst ~dist payload =
+  t.bytes_sent <- t.bytes_sent + String.length payload;
+  t.frames_sent <- t.frames_sent + 1;
+  if t.loss_prob > 0.0 && Sim_rand.bool t.rand ~p:t.loss_prob then
+    t.frames_lost <- t.frames_lost + 1
+  else begin
+    let delay = int_of_float (ceil (latency_ms t dist)) in
+    Engine.schedule t.engine ~delay (fun () ->
+        (* the destination may have moved away or left by delivery time *)
+        match Hashtbl.find_opt t.nodes dst with
+        | Some node -> node.handler payload
+        | None -> ())
+  end
+
+let send t ~src ~dst payload =
+  match (Hashtbl.find_opt t.nodes src, distance t src dst) with
+  | Some sender, Some d ->
+    if d > sender.tx_range then
+      t.frames_out_of_range <- t.frames_out_of_range + 1
+    else transmit t ~dst ~dist:d payload
+  | _ -> ()
+
+let nodes_in_range t ~of_ ~range =
+  match position t of_ with
+  | None -> []
+  | Some origin ->
+    Hashtbl.fold
+      (fun address node acc ->
+        if address <> of_ && dist_xy origin node.pos <= range then address :: acc
+        else acc)
+      t.nodes []
+    |> List.sort compare
+
+let broadcast t ~src ~range payload =
+  let effective =
+    match Hashtbl.find_opt t.nodes src with
+    | Some sender -> Float.min range sender.tx_range
+    | None -> range
+  in
+  List.iter
+    (fun dst -> send t ~src ~dst payload)
+    (nodes_in_range t ~of_:src ~range:effective)
+
+let nearest t ~of_ ~among =
+  match position t of_ with
+  | None -> None
+  | Some origin ->
+    List.fold_left
+      (fun best candidate ->
+        match position t candidate with
+        | None -> best
+        | Some pos -> begin
+          let d = dist_xy origin pos in
+          match best with
+          | Some (_, best_d) when best_d <= d -> best
+          | _ -> Some (candidate, d)
+        end)
+      None among
+    |> Option.map fst
+
+let bytes_sent t = t.bytes_sent
+let frames_out_of_range t = t.frames_out_of_range
+let frames_sent t = t.frames_sent
+let frames_lost t = t.frames_lost

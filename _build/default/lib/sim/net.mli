@@ -1,0 +1,50 @@
+(** The radio network model: positioned nodes, distance-dependent latency,
+    Bernoulli losses, byte accounting.
+
+    Payloads are the real serialised protocol messages, so the simulator
+    exercises the same wire formats the paper's message-size analysis
+    counts. *)
+
+type address = int
+
+type t
+
+val create :
+  Engine.t -> Sim_rand.t -> ?base_latency_ms:float -> ?latency_per_m:float ->
+  ?loss_prob:float -> unit -> t
+(** Defaults: 2 ms base latency, 0.01 ms/m propagation+forwarding factor,
+    no loss. *)
+
+val register :
+  t -> address -> pos:float * float -> ?tx_range:float -> (string -> unit) ->
+  unit
+(** Adds a node with a receive handler and an optional transmit range
+    (default unlimited) — the paper's asymmetric link budget: routers
+    reach their whole cell, users only their neighbourhood.
+    Re-registering replaces everything. *)
+
+val unregister : t -> address -> unit
+val move : t -> address -> float * float -> unit
+val position : t -> address -> (float * float) option
+val distance : t -> address -> address -> float option
+
+val send : t -> src:address -> dst:address -> string -> unit
+(** Delivers (unless lost) after the link latency. Unknown destinations
+    drop silently (the node left). *)
+
+val broadcast : t -> src:address -> range:float -> string -> unit
+(** Delivers to every registered node within [range] metres of [src]
+    (except itself). *)
+
+val nodes_in_range : t -> of_:address -> range:float -> address list
+val nearest : t -> of_:address -> among:address list -> address option
+
+val bytes_sent : t -> int
+(** Total bytes put on the air (including lost frames). *)
+
+val frames_sent : t -> int
+val frames_lost : t -> int
+
+val frames_out_of_range : t -> int
+(** Unicasts dropped because the destination exceeded the sender's
+    transmit range. *)

@@ -1,0 +1,1243 @@
+open Peace_bigint
+open Peace_pairing
+open Peace_groupsig
+open Peace_core
+
+type cost_model = {
+  sign_ms : float;
+  verify_base_ms : float;
+  verify_per_token_ms : float;
+  beacon_validate_ms : float;
+  puzzle_check_ms : float;
+}
+
+let default_cost_model =
+  {
+    sign_ms = 40.0;
+    verify_base_ms = 60.0;
+    verify_per_token_ms = 9.0;
+    beacon_validate_ms = 5.0;
+    puzzle_check_ms = 0.02;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Message envelopes on the simulated radio                            *)
+(* ------------------------------------------------------------------ *)
+
+let tag_beacon = 1
+let tag_access_request = 2
+let tag_access_confirm = 3
+
+let envelope ~tag ~sender payload =
+  let w = Wire.writer () in
+  Wire.u8 w tag;
+  Wire.u32 w sender;
+  Wire.bytes w payload;
+  Wire.contents w
+
+let parse_envelope s =
+  let open Wire in
+  let r = reader s in
+  match
+    let* tag = read_u8 r in
+    let* sender = read_u32 r in
+    let* payload = read_bytes r in
+    let* () = expect_end r in
+    Ok (tag, sender, payload)
+  with
+  | Ok v -> Some v
+  | Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Common scaffolding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type world = {
+  engine : Engine.t;
+  rand : Sim_rand.t;
+  config : Config.t;
+  deployment : Deployment.t;
+  net : Net.t;
+  metrics : Metrics.t;
+}
+
+let make_world ?(seed = 42) ?(loss_prob = 0.0) () =
+  let engine = Engine.create () in
+  let rand = Sim_rand.create ~seed in
+  let config = Config.tiny_test ~clock:(Engine.clock engine) () in
+  let deployment =
+    Deployment.create ~seed:(Printf.sprintf "sim-%d" seed) config
+  in
+  let net = Net.create engine rand ~loss_prob () in
+  { engine; rand; config; deployment; net; metrics = Metrics.create () }
+
+(* pad the operator's URL with [n] revoked-but-never-assigned keys so the
+   revocation scan costs what the paper's analysis predicts *)
+let pad_url world n =
+  if n > 0 then begin
+    let padding_group = 999_999 in
+    ignore (Deployment.add_group world.deployment ~group_id:padding_group ~size:n);
+    for index = 0 to n - 1 do
+      Network_operator.revoke_user_key
+        (Deployment.operator world.deployment)
+        ~group_id:padding_group ~index
+    done;
+    Deployment.refresh_routers world.deployment
+  end
+
+let ms f = Stdlib.max 0 (int_of_float (ceil f))
+
+(* --- router service model: a queue in front of the real handler --- *)
+
+type router_node = {
+  rn : Mesh_router.t;
+  rn_addr : int;
+  mutable rn_busy_until : int;
+  mutable rn_busy_total : float;
+  mutable rn_queue : int;
+  rn_queue_limit : int;
+}
+
+let router_service world cost node ~url_size ~sender ~under_attack request =
+  (* charge the modeled processing time, then run the real handler *)
+  let now = Engine.now world.engine in
+  let service_cost =
+    (if under_attack then cost.puzzle_check_ms else 0.0)
+    +. cost.verify_base_ms
+    +. (cost.verify_per_token_ms *. float_of_int url_size)
+  in
+  if node.rn_queue >= node.rn_queue_limit then
+    Metrics.incr world.metrics "router.dropped_queue_full"
+  else begin
+    node.rn_queue <- node.rn_queue + 1;
+    let start = Stdlib.max now node.rn_busy_until in
+    let finish = start + ms service_cost in
+    node.rn_busy_until <- finish;
+    node.rn_busy_total <- node.rn_busy_total +. service_cost;
+    Engine.schedule_at world.engine ~time:finish (fun () ->
+        node.rn_queue <- node.rn_queue - 1;
+        match Mesh_router.handle_access_request node.rn request with
+        | Ok (confirm, _session) ->
+          Metrics.incr world.metrics "router.accepted";
+          Net.send world.net ~src:node.rn_addr ~dst:sender
+            (envelope ~tag:tag_access_confirm ~sender:node.rn_addr
+               (Messages.access_confirm_to_bytes world.config confirm))
+        | Error e ->
+          Metrics.incr world.metrics
+            ("router.rejected." ^ Protocol_error.to_string e))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E9: city-scale authentication                                       *)
+(* ------------------------------------------------------------------ *)
+
+type city_result = {
+  cr_attempts : int;
+  cr_successes : int;
+  cr_failures : (string * int) list;
+  cr_handshake_mean_ms : float;
+  cr_handshake_p95_ms : float;
+  cr_time_to_auth_mean_ms : float;
+  cr_bytes_on_air : int;
+  cr_router_utilisation : float;
+}
+
+type user_node = {
+  un : User.t;
+  un_addr : int;
+  mutable un_want_auth : bool;
+  mutable un_attempt_started : int;
+  mutable un_m2_sent : int;
+  mutable un_pending : User.pending_access option;
+  mutable un_busy : bool; (* currently computing (modeled delay) *)
+}
+
+let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
+    ?(range_m = 450.0) ?(beacon_period_ms = 500) ?(url_size = 0)
+    ?(loss_prob = 0.0) ~n_routers ~n_users ~duration_ms ~mean_interarrival_ms
+    () =
+  let world = make_world ~seed ~loss_prob () in
+  let group_id = 1 in
+  ignore (Deployment.add_group world.deployment ~group_id ~size:n_users);
+  pad_url world url_size;
+  (* routers on a rough grid *)
+  let grid = int_of_float (ceil (sqrt (float_of_int n_routers))) in
+  let routers =
+    List.init n_routers (fun i ->
+        let router = Deployment.add_router world.deployment ~router_id:i in
+        let x = (float_of_int (i mod grid) +. 0.5) *. (area_m /. float_of_int grid) in
+        let y = (float_of_int (i / grid) +. 0.5) *. (area_m /. float_of_int grid) in
+        let node =
+          {
+            rn = router;
+            rn_addr = i;
+            rn_busy_until = 0;
+            rn_busy_total = 0.0;
+            rn_queue = 0;
+            rn_queue_limit = 64;
+          }
+        in
+        Net.register world.net node.rn_addr ~pos:(x, y) (fun payload ->
+            match parse_envelope payload with
+            | Some (tag, sender, body) when tag = tag_access_request -> begin
+              match
+                Messages.access_request_of_bytes world.config
+                  (Deployment.gpk world.deployment)
+                  body
+              with
+              | Some request ->
+                router_service world cost node ~url_size ~sender
+                  ~under_attack:false request
+              | None -> Metrics.incr world.metrics "router.unparseable"
+            end
+            | _ -> ());
+        node)
+  in
+  (* users uniformly over the city *)
+  let user_base_addr = 10_000 in
+  let users =
+    List.init n_users (fun i ->
+        let identity =
+          Identity.make
+            ~uid:(Printf.sprintf "user-%d" i)
+            ~name:(Printf.sprintf "User %d" i)
+            ~national_id:(Printf.sprintf "nid-%d" i)
+            [ { Identity.group_id; description = "resident" } ]
+        in
+        match Deployment.add_user world.deployment identity with
+        | Error reason -> failwith ("city_auth: " ^ reason)
+        | Ok user ->
+          let node =
+            {
+              un = user;
+              un_addr = user_base_addr + i;
+              un_want_auth = false;
+              un_attempt_started = 0;
+              un_m2_sent = 0;
+              un_pending = None;
+              un_busy = false;
+            }
+          in
+          let pos = (Sim_rand.float world.rand area_m, Sim_rand.float world.rand area_m) in
+          Net.register world.net node.un_addr ~pos (fun payload ->
+              match parse_envelope payload with
+              | Some (tag, sender, body) when tag = tag_beacon -> begin
+                (* a handshake whose M.2 or M.3 frame was lost times out and
+                   the user retries on a later beacon *)
+                (match node.un_pending with
+                | Some _
+                  when Engine.now world.engine - node.un_m2_sent > 3_000 ->
+                  node.un_pending <- None;
+                  Metrics.incr world.metrics "user.handshake_timeout"
+                | _ -> ());
+                if node.un_want_auth && node.un_pending = None && not node.un_busy
+                then begin
+                  match Messages.beacon_of_bytes world.config body with
+                  | None -> ()
+                  | Some beacon ->
+                    node.un_busy <- true;
+                    let delay = ms (cost.beacon_validate_ms +. cost.sign_ms) in
+                    Engine.schedule world.engine ~delay (fun () ->
+                        node.un_busy <- false;
+                        match User.process_beacon node.un beacon with
+                        | Ok (request, pending) ->
+                          node.un_pending <- Some pending;
+                          node.un_m2_sent <- Engine.now world.engine;
+                          Net.send world.net ~src:node.un_addr ~dst:sender
+                            (envelope ~tag:tag_access_request
+                               ~sender:node.un_addr
+                               (Messages.access_request_to_bytes world.config
+                                  (Deployment.gpk world.deployment)
+                                  request))
+                        | Error e ->
+                          Metrics.incr world.metrics
+                            ("user.beacon_rejected." ^ Protocol_error.to_string e))
+                end
+              end
+              | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+                match (node.un_pending, Messages.access_confirm_of_bytes world.config body) with
+                | Some pending, Some confirm -> begin
+                  match User.process_confirm node.un pending confirm with
+                  | Ok _session ->
+                    node.un_pending <- None;
+                    node.un_want_auth <- false;
+                    let now = Engine.now world.engine in
+                    Metrics.incr world.metrics "user.authenticated";
+                    Metrics.sample world.metrics "handshake_ms"
+                      (float_of_int (now - node.un_m2_sent));
+                    Metrics.sample world.metrics "time_to_auth_ms"
+                      (float_of_int (now - node.un_attempt_started))
+                  | Error e ->
+                    node.un_pending <- None;
+                    Metrics.incr world.metrics
+                      ("user.confirm_rejected." ^ Protocol_error.to_string e)
+                end
+                | _ -> ()
+              end
+              | _ -> ());
+          node)
+  in
+  (* beacons *)
+  List.iter
+    (fun node ->
+      Engine.schedule_every world.engine ~period:beacon_period_ms
+        ~until:(Engine.now world.engine + duration_ms) (fun () ->
+          let beacon = Mesh_router.beacon node.rn in
+          Net.broadcast world.net ~src:node.rn_addr ~range:range_m
+            (envelope ~tag:tag_beacon ~sender:node.rn_addr
+               (Messages.beacon_to_bytes world.config beacon))))
+    routers;
+  (* keep revocation lists fresh so beacons stay acceptable *)
+  Engine.schedule_every world.engine
+    ~period:(world.config.Config.crl_period_ms / 2)
+    ~until:(Engine.now world.engine + duration_ms)
+    (fun () -> Deployment.refresh_routers world.deployment);
+  (* Poisson (re-)authentication arrivals per user *)
+  let attempts = ref 0 in
+  List.iter
+    (fun node ->
+      let rec arrival () =
+        let delay = ms (Sim_rand.exponential world.rand ~mean:mean_interarrival_ms) in
+        Engine.schedule world.engine ~delay (fun () ->
+            if Engine.now world.engine <= 1_000_000 + duration_ms then begin
+              if not node.un_want_auth then begin
+                node.un_want_auth <- true;
+                node.un_attempt_started <- Engine.now world.engine;
+                incr attempts
+              end;
+              arrival ()
+            end)
+      in
+      arrival ())
+    users;
+  Engine.run ~until:(1_000_000 + duration_ms) world.engine;
+  let successes = Metrics.count world.metrics "user.authenticated" in
+  let failures =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 5
+        && (String.sub name 0 5 = "user." || String.sub name 0 7 = "router.")
+        && name <> "user.authenticated" && name <> "router.accepted")
+      (Metrics.counters world.metrics)
+  in
+  let util =
+    List.fold_left
+      (fun acc node -> acc +. (node.rn_busy_total /. float_of_int duration_ms))
+      0.0 routers
+    /. float_of_int (List.length routers)
+  in
+  {
+    cr_attempts = !attempts;
+    cr_successes = successes;
+    cr_failures = failures;
+    cr_handshake_mean_ms =
+      Option.value ~default:0.0 (Metrics.mean world.metrics "handshake_ms");
+    cr_handshake_p95_ms =
+      Option.value ~default:0.0 (Metrics.percentile world.metrics "handshake_ms" 95.0);
+    cr_time_to_auth_mean_ms =
+      Option.value ~default:0.0 (Metrics.mean world.metrics "time_to_auth_ms");
+    cr_bytes_on_air = Net.bytes_sent world.net;
+    cr_router_utilisation = util;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E7: DoS flooding and client puzzles                                 *)
+(* ------------------------------------------------------------------ *)
+
+type dos_result = {
+  dr_legit_attempts : int;
+  dr_legit_successes : int;
+  dr_bogus_received : int;
+  dr_expensive_verifications : int;
+  dr_cheap_rejections : int;
+  dr_router_utilisation : float;
+  dr_attacker_hashes : int;
+}
+
+let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
+    ?(puzzle_difficulty = 8) ?(attacker_hash_rate_per_ms = 500.0)
+    ~attack_rate_per_s ~legit_rate_per_s ~duration_ms () =
+  let world = make_world ~seed () in
+  let group_id = 1 in
+  let n_users = 20 in
+  ignore (Deployment.add_group world.deployment ~group_id ~size:n_users);
+  let router = Deployment.add_router world.deployment ~router_id:0 in
+  if puzzles then Mesh_router.set_under_attack router ~difficulty:puzzle_difficulty;
+  let node =
+    {
+      rn = router;
+      rn_addr = 0;
+      rn_busy_until = 0;
+      rn_busy_total = 0.0;
+      rn_queue = 0;
+      rn_queue_limit = 64;
+    }
+  in
+  let gpk = Deployment.gpk world.deployment in
+  let bogus_received = ref 0 in
+  Net.register world.net 0 ~pos:(0.0, 0.0) (fun payload ->
+      match parse_envelope payload with
+      | Some (tag, sender, body) when tag = tag_access_request -> begin
+        match Messages.access_request_of_bytes world.config gpk body with
+        | Some request ->
+          if sender >= 90_000 then incr bogus_received;
+          router_service world cost node ~url_size:0 ~sender
+            ~under_attack:puzzles request
+        | None -> Metrics.incr world.metrics "router.unparseable"
+      end
+      | _ -> ());
+  (* legitimate users near the router *)
+  let users =
+    List.init n_users (fun i ->
+        let identity =
+          Identity.make
+            ~uid:(Printf.sprintf "user-%d" i)
+            ~name:"U" ~national_id:(string_of_int i)
+            [ { Identity.group_id; description = "resident" } ]
+        in
+        match Deployment.add_user world.deployment identity with
+        | Error reason -> failwith ("dos_attack: " ^ reason)
+        | Ok user ->
+          let node_u =
+            {
+              un = user;
+              un_addr = 10_000 + i;
+              un_want_auth = false;
+              un_attempt_started = 0;
+              un_m2_sent = 0;
+              un_pending = None;
+              un_busy = false;
+            }
+          in
+          Net.register world.net node_u.un_addr
+            ~pos:(Sim_rand.float world.rand 100.0, Sim_rand.float world.rand 100.0)
+            (fun payload ->
+              match parse_envelope payload with
+              | Some (tag, sender, body) when tag = tag_beacon -> begin
+                if node_u.un_want_auth && node_u.un_pending = None && not node_u.un_busy
+                then begin
+                  match Messages.beacon_of_bytes world.config body with
+                  | None -> ()
+                  | Some beacon ->
+                    node_u.un_busy <- true;
+                    (* puzzle solving costs the user real simulated time *)
+                    let work_before = User.puzzle_work_done node_u.un in
+                    let delay0 = ms (cost.beacon_validate_ms +. cost.sign_ms) in
+                    Engine.schedule world.engine ~delay:delay0 (fun () ->
+                        match User.process_beacon node_u.un beacon with
+                        | Ok (request, pending) ->
+                          let work =
+                            User.puzzle_work_done node_u.un - work_before
+                          in
+                          let solve_delay =
+                            ms (float_of_int work /. attacker_hash_rate_per_ms)
+                          in
+                          (* stay busy until the request is actually sent,
+                             or a later beacon would double-fire the M.2 *)
+                          Engine.schedule world.engine ~delay:solve_delay
+                            (fun () ->
+                              node_u.un_busy <- false;
+                              node_u.un_pending <- Some pending;
+                              node_u.un_m2_sent <- Engine.now world.engine;
+                              Net.send world.net ~src:node_u.un_addr ~dst:sender
+                                (envelope ~tag:tag_access_request
+                                   ~sender:node_u.un_addr
+                                   (Messages.access_request_to_bytes world.config
+                                      gpk request)))
+                        | Error _ -> node_u.un_busy <- false)
+                end
+              end
+              | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+                match
+                  (node_u.un_pending, Messages.access_confirm_of_bytes world.config body)
+                with
+                | Some pending, Some confirm -> begin
+                  match User.process_confirm node_u.un pending confirm with
+                  | Ok _ ->
+                    node_u.un_pending <- None;
+                    node_u.un_want_auth <- false;
+                    Metrics.incr world.metrics "user.authenticated"
+                  | Error _ -> node_u.un_pending <- None
+                end
+                | _ -> ()
+              end
+              | _ -> ());
+          node_u)
+  in
+  (* beacons *)
+  Engine.schedule_every world.engine ~period:500 ~until:(Engine.now world.engine + duration_ms) (fun () ->
+      let beacon = Mesh_router.beacon node.rn in
+      Net.broadcast world.net ~src:0 ~range:500.0
+        (envelope ~tag:tag_beacon ~sender:0
+           (Messages.beacon_to_bytes world.config beacon)));
+  Engine.schedule_every world.engine
+    ~period:(world.config.Config.crl_period_ms / 2)
+    ~until:(Engine.now world.engine + duration_ms)
+    (fun () -> Deployment.refresh_routers world.deployment);
+  (* legit arrivals: pick an idle user at random *)
+  let legit_attempts = ref 0 in
+  let legit_mean_ms = 1000.0 /. legit_rate_per_s in
+  let rec legit_arrival () =
+    let delay = ms (Sim_rand.exponential world.rand ~mean:legit_mean_ms) in
+    Engine.schedule world.engine ~delay (fun () ->
+        if Engine.now world.engine <= 1_000_000 + duration_ms then begin
+          let idle = List.filter (fun u -> not u.un_want_auth) users in
+          (match idle with
+          | [] -> ()
+          | _ ->
+            let u = List.nth idle (Sim_rand.int world.rand (List.length idle)) in
+            u.un_want_auth <- true;
+            u.un_attempt_started <- Engine.now world.engine;
+            incr legit_attempts);
+          legit_arrival ()
+        end)
+  in
+  legit_arrival ();
+  (* the flooder: a foreign key whose signatures parse but never verify *)
+  let attacker_rng = Sim_rand.bytes_fn (Sim_rand.create ~seed:(seed + 7)) in
+  let foreign_issuer =
+    Group_sig.setup ~base_mode:world.config.Config.base_mode
+      world.config.Config.pairing attacker_rng
+  in
+  let foreign_key = Group_sig.issue foreign_issuer ~grp:Bigint.one attacker_rng in
+  let attacker_addr = 90_000 in
+  let latest_beacon = ref None in
+  let attacker_hashes = ref 0 in
+  Net.register world.net attacker_addr ~pos:(10.0, 10.0) (fun payload ->
+      match parse_envelope payload with
+      | Some (tag, _sender, body) when tag = tag_beacon ->
+        latest_beacon := Messages.beacon_of_bytes world.config body
+      | _ -> ());
+  let attack_mean_ms = 1000.0 /. attack_rate_per_s in
+  let rec attack () =
+    let base_delay = Sim_rand.exponential world.rand ~mean:attack_mean_ms in
+    Engine.schedule world.engine ~delay:(ms base_delay) (fun () ->
+        if Engine.now world.engine <= 1_000_000 + duration_ms then begin
+          (match !latest_beacon with
+          | None -> attack ()
+          | Some beacon ->
+            let params = world.config.Config.pairing in
+            let q = params.Params.q in
+            let r_j =
+              Bigint.random_range attacker_rng Bigint.one q
+            in
+            let g_rj = G1.mul params r_j beacon.Messages.g in
+            let ts2 = Engine.now world.engine in
+            ignore ts2;
+            let finish_and_send solution solve_delay =
+              Engine.schedule world.engine ~delay:solve_delay (fun () ->
+                  let ts2 = Engine.now world.engine in
+                  let transcript =
+                    Messages.auth_transcript world.config g_rj
+                      beacon.Messages.g_rr ts2
+                  in
+                  let gsig =
+                    Group_sig.sign foreign_issuer.Group_sig.gpk foreign_key
+                      ~rng:attacker_rng ~msg:transcript
+                  in
+                  let request =
+                    {
+                      Messages.g_rj;
+                      ar_g_rr = beacon.Messages.g_rr;
+                      ts2;
+                      gsig;
+                      puzzle_solution = solution;
+                    }
+                  in
+                  Net.send world.net ~src:attacker_addr ~dst:0
+                    (envelope ~tag:tag_access_request ~sender:attacker_addr
+                       (Messages.access_request_to_bytes world.config gpk request));
+                  attack ())
+            in
+            match beacon.Messages.puzzle with
+            | Some puzzle when puzzles -> begin
+              (* the attacker must brute-force the puzzle *)
+              match Puzzle.solve puzzle with
+              | Some solution ->
+                let work = Puzzle.solving_work puzzle solution in
+                attacker_hashes := !attacker_hashes + work;
+                finish_and_send (Some solution)
+                  (ms (float_of_int work /. attacker_hash_rate_per_ms))
+              | None -> attack ()
+            end
+            | _ -> finish_and_send None 0)
+        end)
+  in
+  attack ();
+  Engine.run ~until:(1_000_000 + duration_ms) world.engine;
+  {
+    dr_legit_attempts = !legit_attempts;
+    dr_legit_successes = Metrics.count world.metrics "user.authenticated";
+    dr_bogus_received = !bogus_received;
+    dr_expensive_verifications = Mesh_router.verifications_performed router;
+    dr_cheap_rejections = Mesh_router.requests_rejected_cheaply router;
+    dr_router_utilisation = node.rn_busy_total /. float_of_int duration_ms;
+    dr_attacker_hashes = !attacker_hashes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E8: phishing window                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type phishing_result = {
+  pr_accepted_before_revocation : int;
+  pr_accepted_in_window : int;
+  pr_accepted_after_refresh : int;
+  pr_window_ms : int;
+}
+
+let phishing ?(seed = 42) ~crl_refresh_ms ~revoke_at_ms ~duration_ms
+    ~attempt_period_ms () =
+  let world = make_world ~seed () in
+  let group_id = 1 in
+  ignore (Deployment.add_group world.deployment ~group_id ~size:4);
+  (* router 1 will be compromised; router 2 stays honest *)
+  let compromised = Deployment.add_router world.deployment ~router_id:1 in
+  let _honest = Deployment.add_router world.deployment ~router_id:2 in
+  let victim =
+    match
+      Deployment.add_user world.deployment
+        (Identity.make ~uid:"victim" ~name:"V" ~national_id:"v"
+           [ { Identity.group_id; description = "resident" } ])
+    with
+    | Ok u -> u
+    | Error reason -> failwith ("phishing: " ^ reason)
+  in
+  let no = Deployment.operator world.deployment in
+  (* freeze the compromised router's view: after revocation the adversary
+     keeps replaying the last lists it obtained *)
+  let revoked = ref false in
+  let accepted_before = ref 0 in
+  let accepted_window = ref 0 in
+  let accepted_after_refresh = ref 0 in
+  let last_refresh = ref 0 in
+  let first_rejection_after_revoke = ref None in
+  let revoke_time = 1_000_000 + revoke_at_ms in
+  (* the operator re-issues lists periodically; the compromised router only
+     receives them while not revoked *)
+  Engine.schedule_every world.engine
+    ~period:(world.config.Config.crl_period_ms / 3)
+    ~until:(Engine.now world.engine + duration_ms)
+    (fun () ->
+      Network_operator.refresh_lists no;
+      if not !revoked then
+        Mesh_router.update_lists compromised
+          (Network_operator.current_crl no)
+          (Network_operator.current_url no));
+  Engine.schedule_at world.engine ~time:revoke_time (fun () ->
+      Network_operator.revoke_router no ~router_id:1;
+      revoked := true);
+  (* the victim refreshes its CRL view from honest infrastructure *)
+  Engine.schedule_every world.engine ~period:crl_refresh_ms ~until:(Engine.now world.engine + duration_ms)
+    (fun () ->
+      User.learn_lists victim
+        (Network_operator.current_crl no)
+        (Network_operator.current_url no);
+      last_refresh := Engine.now world.engine);
+  (* the victim periodically tries to use the (compromised) router *)
+  Engine.schedule_every world.engine ~period:attempt_period_ms ~until:(Engine.now world.engine + duration_ms)
+    (fun () ->
+      let beacon = Mesh_router.beacon compromised in
+      let now = Engine.now world.engine in
+      match User.process_beacon victim beacon with
+      | Ok _ ->
+        if now < revoke_time then incr accepted_before
+        else if !last_refresh > revoke_time then incr accepted_after_refresh
+        else begin
+          incr accepted_window;
+          Metrics.sample world.metrics "phish_after_revoke_ms"
+            (float_of_int (now - revoke_time))
+        end
+      | Error _ ->
+        if now >= revoke_time && !first_rejection_after_revoke = None then
+          first_rejection_after_revoke := Some now);
+  Engine.run ~until:(1_000_000 + duration_ms) world.engine;
+  let window =
+    match Metrics.samples world.metrics "phish_after_revoke_ms" with
+    | [] -> 0
+    | xs -> int_of_float (List.fold_left Float.max 0.0 xs)
+  in
+  {
+    pr_accepted_before_revocation = !accepted_before;
+    pr_accepted_in_window = !accepted_window;
+    pr_accepted_after_refresh = !accepted_after_refresh;
+    pr_window_ms = window;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E8: attack matrix                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type attack_matrix = {
+  am_outsider_accepted : int;
+  am_outsider_attempts : int;
+  am_revoked_accepted : int;
+  am_revoked_attempts : int;
+  am_replay_accepted : int;
+  am_replay_attempts : int;
+  am_rogue_beacons_accepted : int;
+  am_rogue_beacon_attempts : int;
+  am_legit_accepted : int;
+  am_legit_attempts : int;
+}
+
+let attack_matrix ?(seed = 42) ~attempts_per_class () =
+  let world = make_world ~seed () in
+  let config = world.config in
+  let d = world.deployment in
+  let n = attempts_per_class in
+  ignore (Deployment.add_group d ~group_id:1 ~size:8);
+  let router = Deployment.add_router d ~router_id:0 in
+  let add_user uid =
+    match
+      Deployment.add_user d
+        (Identity.make ~uid ~name:uid ~national_id:uid
+           [ { Identity.group_id = 1; description = "resident" } ])
+    with
+    | Ok u -> u
+    | Error reason -> failwith ("attack_matrix: " ^ reason)
+  in
+  let legit = add_user "legit" in
+  let mallory = add_user "mallory" in
+  (* revoke mallory *)
+  (match Deployment.revoke_user d ~uid:"mallory" ~group_id:1 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let attacker_rng = Sim_rand.bytes_fn (Sim_rand.create ~seed:(seed + 13)) in
+  let foreign_issuer = Group_sig.setup config.Config.pairing attacker_rng in
+  let foreign_key = Group_sig.issue foreign_issuer ~grp:Bigint.one attacker_rng in
+  let gpk = Deployment.gpk d in
+  let count_accept f =
+    let accepted = ref 0 in
+    for _ = 1 to n do
+      if f () then incr accepted
+    done;
+    !accepted
+  in
+  (* 1. outsider bogus injection *)
+  let outsider_accepted =
+    count_accept (fun () ->
+        let beacon = Mesh_router.beacon router in
+        let params = config.Config.pairing in
+        let r_j = Bigint.random_range attacker_rng Bigint.one params.Params.q in
+        let g_rj = G1.mul params r_j beacon.Messages.g in
+        let ts2 = Engine.now world.engine in
+        let transcript =
+          Messages.auth_transcript config g_rj beacon.Messages.g_rr ts2
+        in
+        let gsig =
+          Group_sig.sign foreign_issuer.Group_sig.gpk foreign_key
+            ~rng:attacker_rng ~msg:transcript
+        in
+        let request =
+          { Messages.g_rj; ar_g_rr = beacon.Messages.g_rr; ts2; gsig; puzzle_solution = None }
+        in
+        Result.is_ok (Mesh_router.handle_access_request router request))
+  in
+  (* 2. revoked user *)
+  let revoked_accepted =
+    count_accept (fun () ->
+        Result.is_ok (Deployment.authenticate d ~user:mallory ~router ()))
+  in
+  (* 3. replay: capture a legit M.2 and resend it *)
+  let replay_accepted =
+    count_accept (fun () ->
+        let beacon = Mesh_router.beacon router in
+        match User.process_beacon legit beacon with
+        | Error _ -> false
+        | Ok (request, pending) -> begin
+          match Mesh_router.handle_access_request router request with
+          | Error _ -> false
+          | Ok (confirm, _) ->
+            ignore (User.process_confirm legit pending confirm);
+            (* the adversary replays the captured (M.2) *)
+            Result.is_ok (Mesh_router.handle_access_request router request)
+        end)
+  in
+  (* 4. rogue beacons (self-signed certificate) *)
+  let rogue_rng = Sim_rand.bytes_fn (Sim_rand.create ~seed:(seed + 99)) in
+  let rogue =
+    Mesh_router.create config ~router_id:77 ~gpk
+      ~operator_public:(Network_operator.public_key (Deployment.operator d))
+      ~rng:rogue_rng
+  in
+  let self_key = Peace_ec.Ecdsa.generate config.Config.curve rogue_rng in
+  Mesh_router.install_cert rogue
+    (Cert.issue config ~operator_key:self_key ~router_id:77
+       ~public_key:(Mesh_router.public_key rogue)
+       ~now:(Engine.now world.engine));
+  Mesh_router.update_lists rogue
+    (Network_operator.current_crl (Deployment.operator d))
+    (Network_operator.current_url (Deployment.operator d));
+  let rogue_accepted =
+    count_accept (fun () ->
+        let beacon = Mesh_router.beacon rogue in
+        Result.is_ok (User.process_beacon legit beacon))
+  in
+  (* 5. sanity: legitimate traffic *)
+  let legit_accepted =
+    count_accept (fun () ->
+        Result.is_ok (Deployment.authenticate d ~user:legit ~router ()))
+  in
+  {
+    am_outsider_accepted = outsider_accepted;
+    am_outsider_attempts = n;
+    am_revoked_accepted = revoked_accepted;
+    am_revoked_attempts = n;
+    am_replay_accepted = replay_accepted;
+    am_replay_attempts = n;
+    am_rogue_beacons_accepted = rogue_accepted;
+    am_rogue_beacon_attempts = n;
+    am_legit_accepted = legit_accepted;
+    am_legit_attempts = n;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Multi-hop uplink relaying                                           *)
+(* ------------------------------------------------------------------ *)
+
+type multihop_result = {
+  mh_near_successes : int;
+  mh_near_attempts : int;
+  mh_far_successes : int;
+  mh_far_attempts : int;
+  mh_peer_handshakes : int;
+  mh_frames_out_of_range : int;
+}
+
+let tag_peer_hello = 4
+let tag_peer_response = 5
+let tag_peer_confirm = 6
+let tag_relay_forward = 7
+let tag_relay_reply = 8
+
+let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
+  let world = make_world ~seed () in
+  let config = world.config in
+  let group_id = 1 in
+  ignore (Deployment.add_group world.deployment ~group_id ~size:(n_near + n_far));
+  let router = Deployment.add_router world.deployment ~router_id:0 in
+  let gpk = Deployment.gpk world.deployment in
+  let peer_handshakes = ref 0 in
+  (* router: full-cell downlink, and it accepts requests relayed by anyone *)
+  Net.register world.net 0 ~pos:(0.0, 0.0) ~tx_range:2000.0 (fun payload ->
+      match parse_envelope payload with
+      | Some (tag, sender, body) when tag = tag_access_request -> begin
+        match Messages.access_request_of_bytes config gpk body with
+        | Some request -> begin
+          match Mesh_router.handle_access_request router request with
+          | Ok (confirm, _session) ->
+            Net.send world.net ~src:0 ~dst:sender
+              (envelope ~tag:tag_access_confirm ~sender:0
+                 (Messages.access_confirm_to_bytes config confirm))
+          | Error e ->
+            Metrics.incr world.metrics
+              ("router.rejected." ^ Protocol_error.to_string e)
+        end
+        | None -> ()
+      end
+      | _ -> ());
+  let user_tx = 350.0 in
+  let make_user uid =
+    match
+      Deployment.add_user world.deployment
+        (Identity.make ~uid ~name:uid ~national_id:uid
+           [ { Identity.group_id; description = "resident" } ])
+    with
+    | Ok u -> u
+    | Error reason -> failwith ("multihop_auth: " ^ reason)
+  in
+  (* near users: within direct uplink range; they also act as relays *)
+  let near_nodes =
+    List.init n_near (fun i ->
+        let user = make_user (Printf.sprintf "near-%d" i) in
+        let addr = 1000 + i in
+        let angle = 6.28 *. float_of_int i /. float_of_int (Stdlib.max 1 n_near) in
+        let pos = (250.0 *. cos angle, 250.0 *. sin angle) in
+        (* relay state: the peer session and who to reply to *)
+        let responder_state = ref None in
+        let relay_return = ref None in
+        let pending = ref None in
+        let want = ref true in
+        Net.register world.net addr ~pos ~tx_range:user_tx (fun payload ->
+            match parse_envelope payload with
+            | Some (tag, sender, body) when tag = tag_beacon -> begin
+              if !want && !pending = None then begin
+                match Messages.beacon_of_bytes config body with
+                | None -> ()
+                | Some beacon -> begin
+                  match User.process_beacon user beacon with
+                  | Ok (request, p) ->
+                    pending := Some p;
+                    Metrics.incr world.metrics "near.attempt";
+                    Net.send world.net ~src:addr ~dst:sender
+                      (envelope ~tag:tag_access_request ~sender:addr
+                         (Messages.access_request_to_bytes config gpk request))
+                  | Error _ -> ()
+                end
+              end
+            end
+            | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+              match (!pending, Messages.access_confirm_of_bytes config body) with
+              | Some p, Some confirm -> begin
+                match User.process_confirm user p confirm with
+                | Ok _ ->
+                  pending := None;
+                  want := false;
+                  Metrics.incr world.metrics "near.success"
+                | Error _ -> pending := None
+              end
+              | _ -> begin
+                (* not ours: a relayed confirm travelling back to a peer *)
+                match !relay_return with
+                | Some (peer_addr, session) ->
+                  Net.send world.net ~src:addr ~dst:peer_addr
+                    (envelope ~tag:tag_relay_reply ~sender:addr
+                       (Relay.wrap_reply session body))
+                | None -> ()
+              end
+            end
+            | Some (tag, sender, body) when tag = tag_peer_hello -> begin
+              (* §IV-C responder side *)
+              match Messages.peer_hello_of_bytes config gpk body with
+              | None -> ()
+              | Some hello -> begin
+                match User.process_peer_hello user hello with
+                | Ok (response, pr) ->
+                  responder_state := Some (sender, pr);
+                  Net.send world.net ~src:addr ~dst:sender
+                    (envelope ~tag:tag_peer_response ~sender:addr
+                       (Messages.peer_response_to_bytes config gpk response))
+                | Error e ->
+                  Metrics.incr world.metrics
+                    ("relay.hello_rejected." ^ Protocol_error.to_string e)
+              end
+            end
+            | Some (tag, sender, body) when tag = tag_peer_confirm -> begin
+              match !responder_state with
+              | Some (peer_addr, pr) when peer_addr = sender -> begin
+                match Messages.peer_confirm_of_bytes config body with
+                | None -> ()
+                | Some confirm -> begin
+                  match User.process_peer_confirm user pr confirm with
+                  | Ok session ->
+                    incr peer_handshakes;
+                    relay_return := Some (sender, session)
+                  | Error e ->
+                    Metrics.incr world.metrics
+                      ("relay.confirm_rejected." ^ Protocol_error.to_string e)
+                end
+              end
+              | _ -> ()
+            end
+            | Some (tag, sender, body) when tag = tag_relay_forward -> begin
+              (* forward the inner payload to the requested destination *)
+              match !relay_return with
+              | Some (peer_addr, session) when peer_addr = sender -> begin
+                match Relay.unwrap session body with
+                | Some (_dst, inner) ->
+                  Net.send world.net ~src:addr ~dst:0 inner
+                | None -> Metrics.incr world.metrics "relay.bad_forward"
+              end
+              | _ -> ()
+            end
+            | _ -> ());
+        (user, addr, pos))
+  in
+  (* far users: hear beacons, cannot reach the router; relay via a near peer *)
+  ignore
+    (List.init n_far (fun i ->
+         let user = make_user (Printf.sprintf "far-%d" i) in
+         let addr = 2000 + i in
+         (* placed just outside their nearest near-user's orbit *)
+         let _, _, (nx, ny) = List.nth near_nodes (i mod List.length near_nodes) in
+         let scale = 1.0 +. (200.0 /. Float.max 1.0 (sqrt ((nx *. nx) +. (ny *. ny)))) in
+         let pos = (nx *. scale, ny *. scale) in
+         let peer_pending = ref None in
+         let peer_session = ref None in
+         let router_pending = ref None in
+         let want = ref true in
+         let latest_beacon = ref None in
+         let try_relay_auth () =
+           match (!peer_session, !latest_beacon) with
+           | Some (relay_addr, session), Some beacon when !want && !router_pending = None
+             -> begin
+             match User.process_beacon user beacon with
+             | Ok (request, p) ->
+               router_pending := Some p;
+               Metrics.incr world.metrics "far.attempt";
+               let m2 =
+                 envelope ~tag:tag_access_request ~sender:addr
+                   (Messages.access_request_to_bytes config gpk request)
+               in
+               Net.send world.net ~src:addr ~dst:relay_addr
+                 (envelope ~tag:tag_relay_forward ~sender:addr
+                    (Relay.wrap session ~dst:"router-0" m2))
+             | Error _ -> ()
+           end
+           | _ -> ()
+         in
+         Net.register world.net addr ~pos ~tx_range:user_tx (fun payload ->
+             match parse_envelope payload with
+             | Some (tag, _sender, body) when tag = tag_beacon -> begin
+               match Messages.beacon_of_bytes config body with
+               | None -> ()
+               | Some beacon ->
+                 latest_beacon := Some beacon;
+                 if !peer_session = None && !peer_pending = None && !want then begin
+                   (* start the §IV-C handshake with whoever hears us *)
+                   match User.peer_hello user ~g:beacon.Messages.g () with
+                   | Ok (hello, pi) ->
+                     peer_pending := Some pi;
+                     Net.broadcast world.net ~src:addr ~range:user_tx
+                       (envelope ~tag:tag_peer_hello ~sender:addr
+                          (Messages.peer_hello_to_bytes config gpk hello))
+                   | Error _ -> ()
+                 end
+                 else try_relay_auth ()
+             end
+             | Some (tag, sender, body) when tag = tag_peer_response -> begin
+               match (!peer_pending, Messages.peer_response_of_bytes config gpk body) with
+               | Some pi, Some response -> begin
+                 match User.process_peer_response user pi response with
+                 | Ok (confirm, session) ->
+                   peer_pending := None;
+                   peer_session := Some (sender, session);
+                   Net.send world.net ~src:addr ~dst:sender
+                     (envelope ~tag:tag_peer_confirm ~sender:addr
+                        (Messages.peer_confirm_to_bytes config confirm));
+                   try_relay_auth ()
+                 | Error _ -> peer_pending := None
+               end
+               | _ -> ()
+             end
+             | Some (tag, sender, body) when tag = tag_relay_reply -> begin
+               match (!peer_session, !router_pending) with
+               | Some (relay_addr, session), Some p when relay_addr = sender -> begin
+                 match Relay.unwrap_reply session body with
+                 | None -> ()
+                 | Some inner -> begin
+                   match Messages.access_confirm_of_bytes config inner with
+                   | None -> ()
+                   | Some confirm -> begin
+                     match User.process_confirm user p confirm with
+                     | Ok _ ->
+                       router_pending := None;
+                       want := false;
+                       Metrics.incr world.metrics "far.success"
+                     | Error e ->
+                       router_pending := None;
+                       Metrics.incr world.metrics
+                         ("far.confirm_rejected." ^ Protocol_error.to_string e)
+                   end
+                 end
+               end
+               | _ -> ()
+             end
+             | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+               (* downlink is one hop (§III-A): the router's (M.3) reaches
+                  the far user directly even though the uplink was relayed *)
+               match (!router_pending, Messages.access_confirm_of_bytes config body) with
+               | Some p, Some confirm -> begin
+                 match User.process_confirm user p confirm with
+                 | Ok _ ->
+                   router_pending := None;
+                   want := false;
+                   Metrics.incr world.metrics "far.success"
+                 | Error e ->
+                   router_pending := None;
+                   Metrics.incr world.metrics
+                     ("far.confirm_rejected." ^ Protocol_error.to_string e)
+               end
+               | _ -> ()
+             end
+             | _ -> ());
+         ()));
+  (* periodic beacons and list refresh *)
+  Engine.schedule_every world.engine ~period:500
+    ~until:(Engine.now world.engine + duration_ms) (fun () ->
+      let beacon = Mesh_router.beacon router in
+      Net.broadcast world.net ~src:0 ~range:2000.0
+        (envelope ~tag:tag_beacon ~sender:0
+           (Messages.beacon_to_bytes config beacon)));
+  Engine.schedule_every world.engine
+    ~period:(config.Config.crl_period_ms / 2)
+    ~until:(Engine.now world.engine + duration_ms)
+    (fun () -> Deployment.refresh_routers world.deployment);
+  Engine.run ~until:(Engine.now world.engine + duration_ms) world.engine;
+  {
+    mh_near_successes = Metrics.count world.metrics "near.success";
+    mh_near_attempts = Metrics.count world.metrics "near.attempt";
+    mh_far_successes = Metrics.count world.metrics "far.success";
+    mh_far_attempts = Metrics.count world.metrics "far.attempt";
+    mh_peer_handshakes = !peer_handshakes;
+    mh_frames_out_of_range = Net.frames_out_of_range world.net;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Roaming / handoff                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type roaming_result = {
+  ro_handoffs : int;
+  ro_handoff_failures : int;
+  ro_handoff_mean_ms : float;
+  ro_moves : int;
+  ro_sessions_per_user : float;
+}
+
+let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
+    ~duration_ms ~move_period_ms () =
+  let world = make_world ~seed () in
+  let config = world.config in
+  let group_id = 1 in
+  ignore (Deployment.add_group world.deployment ~group_id ~size:n_users);
+  let area = 2000.0 and range = 560.0 in
+  let grid = int_of_float (ceil (sqrt (float_of_int n_routers))) in
+  let cell = area /. float_of_int grid in
+  let routers =
+    List.init n_routers (fun i ->
+        let router = Deployment.add_router world.deployment ~router_id:i in
+        let x = (float_of_int (i mod grid) +. 0.5) *. cell in
+        let y = (float_of_int (i / grid) +. 0.5) *. cell in
+        let node =
+          {
+            rn = router;
+            rn_addr = i;
+            rn_busy_until = 0;
+            rn_busy_total = 0.0;
+            rn_queue = 0;
+            rn_queue_limit = 64;
+          }
+        in
+        Net.register world.net node.rn_addr ~pos:(x, y) (fun payload ->
+            match parse_envelope payload with
+            | Some (tag, sender, body) when tag = tag_access_request -> begin
+              match
+                Messages.access_request_of_bytes config
+                  (Deployment.gpk world.deployment)
+                  body
+              with
+              | Some request ->
+                router_service world cost node ~url_size:0 ~sender
+                  ~under_attack:false request
+              | None -> ()
+            end
+            | _ -> ());
+        node)
+  in
+  let moves = ref 0 in
+  let users =
+    List.init n_users (fun i ->
+        let identity =
+          Identity.make
+            ~uid:(Printf.sprintf "roamer-%d" i)
+            ~name:"R" ~national_id:(string_of_int i)
+            [ { Identity.group_id; description = "resident" } ]
+        in
+        match Deployment.add_user world.deployment identity with
+        | Error reason -> failwith ("roaming: " ^ reason)
+        | Ok user ->
+          let node =
+            {
+              un = user;
+              un_addr = 10_000 + i;
+              un_want_auth = true;
+              un_attempt_started = Engine.now world.engine;
+              un_m2_sent = 0;
+              un_pending = None;
+              un_busy = false;
+            }
+          in
+          (* track the serving router to detect cell changes *)
+          let serving = ref (-1) in
+          let random_pos () =
+            (Sim_rand.float world.rand area, Sim_rand.float world.rand area)
+          in
+          Net.register world.net node.un_addr ~pos:(random_pos ()) (fun payload ->
+              match parse_envelope payload with
+              | Some (tag, sender, body) when tag = tag_beacon -> begin
+                (* hand off only when unserved (after a move); beacons from
+                   other overlapping cells do not cause ping-pong *)
+                if !serving = -1 && node.un_pending = None && not node.un_busy
+                then begin
+                  match Messages.beacon_of_bytes config body with
+                  | None -> ()
+                  | Some beacon ->
+                    node.un_busy <- true;
+                    node.un_attempt_started <- Engine.now world.engine;
+                    Metrics.incr world.metrics "roam.handoff_started";
+                    let delay = ms (cost.beacon_validate_ms +. cost.sign_ms) in
+                    Engine.schedule world.engine ~delay (fun () ->
+                        node.un_busy <- false;
+                        match User.process_beacon node.un beacon with
+                        | Ok (request, pending) ->
+                          node.un_pending <- Some pending;
+                          node.un_m2_sent <- Engine.now world.engine;
+                          Net.send world.net ~src:node.un_addr ~dst:sender
+                            (envelope ~tag:tag_access_request
+                               ~sender:node.un_addr
+                               (Messages.access_request_to_bytes config
+                                  (Deployment.gpk world.deployment)
+                                  request))
+                        | Error _ ->
+                          Metrics.incr world.metrics "roam.handoff_failed")
+                end
+              end
+              | Some (tag, sender, body) when tag = tag_access_confirm -> begin
+                match (node.un_pending, Messages.access_confirm_of_bytes config body) with
+                | Some pending, Some confirm -> begin
+                  match User.process_confirm node.un pending confirm with
+                  | Ok _ ->
+                    node.un_pending <- None;
+                    serving := sender;
+                    Metrics.incr world.metrics "roam.handoff_done";
+                    Metrics.sample world.metrics "roam.handoff_ms"
+                      (float_of_int
+                         (Engine.now world.engine - node.un_attempt_started))
+                  | Error _ ->
+                    node.un_pending <- None;
+                    Metrics.incr world.metrics "roam.handoff_failed"
+                end
+                | _ -> ()
+              end
+              | _ -> ());
+          (* random-waypoint teleports *)
+          let rec move () =
+            Engine.schedule world.engine
+              ~delay:(move_period_ms + Sim_rand.int world.rand 1000)
+              (fun () ->
+                if Engine.now world.engine <= 1_000_000 + duration_ms then begin
+                  Net.move world.net node.un_addr (random_pos ());
+                  incr moves;
+                  serving := -1 (* next beacon in the new cell triggers handoff *);
+                  move ()
+                end)
+          in
+          move ();
+          node)
+  in
+  ignore users;
+  List.iter
+    (fun node ->
+      Engine.schedule_every world.engine ~period:400
+        ~until:(Engine.now world.engine + duration_ms) (fun () ->
+          let beacon = Mesh_router.beacon node.rn in
+          Net.broadcast world.net ~src:node.rn_addr ~range
+            (envelope ~tag:tag_beacon ~sender:node.rn_addr
+               (Messages.beacon_to_bytes config beacon))))
+    routers;
+  Engine.schedule_every world.engine
+    ~period:(config.Config.crl_period_ms / 2)
+    ~until:(Engine.now world.engine + duration_ms)
+    (fun () -> Deployment.refresh_routers world.deployment);
+  Engine.run ~until:(Engine.now world.engine + duration_ms) world.engine;
+  let handoffs = Metrics.count world.metrics "roam.handoff_done" in
+  {
+    ro_handoffs = handoffs;
+    ro_handoff_failures = Metrics.count world.metrics "roam.handoff_failed";
+    ro_handoff_mean_ms =
+      Option.value ~default:0.0 (Metrics.mean world.metrics "roam.handoff_ms");
+    ro_moves = !moves;
+    ro_sessions_per_user = float_of_int handoffs /. float_of_int n_users;
+  }

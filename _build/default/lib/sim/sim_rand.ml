@@ -1,0 +1,26 @@
+(* splitmix64 reduced to OCaml's 63-bit int; adequate statistical quality
+   for event timing and placement. *)
+
+type t = { mutable state : int }
+
+let create ~seed = { state = seed lxor 0x1234567890abcdf }
+
+let next t =
+  t.state <- t.state + 0x61c8864680b583eb;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x2b97f4a1b5d371b5 in
+  let z = (z lxor (z lsr 27)) * 0x11e6c7d1f4305b93 in
+  (z lxor (z lsr 31)) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Sim_rand.int";
+  next t mod bound
+
+let float t bound = Float.of_int (next t) /. Float.of_int max_int *. bound
+let bool t ~p = float t 1.0 < p
+
+let exponential t ~mean =
+  let u = Float.max 1e-12 (float t 1.0) in
+  -.mean *. log u
+
+let bytes_fn t n = String.init n (fun _ -> Char.chr (next t land 0xff))

@@ -1,0 +1,23 @@
+(** Deterministic randomness for the simulator (splitmix64-based).
+
+    Separate from the cryptographic DRBG: simulation randomness (latencies,
+    losses, arrival processes, placement) must not perturb the protocol
+    entities' key material, and vice versa. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, bound)]. *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential inter-arrival times for Poisson processes. *)
+
+val bytes_fn : t -> int -> string
+(** A byte source usable where entities expect an [int -> string] rng. *)

@@ -1,0 +1,13 @@
+  $ peace setup --params tiny 2>/dev/null
+  $ peace issue --issuer issuer.peace --grp 42 -o member.key 2>issue.log
+  $ grep -c 'revocation token' issue.log
+  $ SIG=$(peace sign --key member.key -m "hello mesh")
+  $ peace verify -m "hello mesh" -s "$SIG"
+  $ peace verify -m "tampered" -s "$SIG"
+  $ sed -n 's/revocation token: //p' issue.log > url.txt
+  $ peace verify -m "hello mesh" -s "$SIG" --url url.txt
+  $ echo "$(cat url.txt) company-x/key-0" > grt.txt
+  $ peace audit -m "hello mesh" -s "$SIG" --grt grt.txt
+  $ peace validate-params --params tiny
+  $ peace verify -m x -s "zz"
+  $ peace sign --key /nonexistent -m x 2>/dev/null

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Bytes Char List Modular Mont Peace_bigint Peace_hash Prime Printf QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_cipher.ml: Aead Aes Alcotest Bytes Chacha20 Char List Peace_cipher Peace_hash QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_ec.ml: Alcotest Bigint Bytes Char Curve Curves Ecdsa Lazy List Modular Peace_bigint Peace_ec QCheck QCheck_alcotest String

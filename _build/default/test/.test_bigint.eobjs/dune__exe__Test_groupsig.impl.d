@@ -1,0 +1,1 @@
+test/test_groupsig.ml: Alcotest Bbs04 Bigint Bytes Char G1 Group_sig Lazy List Modular Pairing Params Peace_bigint Peace_groupsig Peace_pairing QCheck QCheck_alcotest Result Stdlib String

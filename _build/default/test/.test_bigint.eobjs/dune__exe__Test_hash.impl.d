@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Char Drbg Hmac List Peace_hash QCheck QCheck_alcotest Sha256 Sha512 String

@@ -1,0 +1,1 @@
+test/test_pairing.ml: Alcotest Bigint Bytes Char Counters Fq2 G1 Lazy List Modular Pairing Params Peace_bigint Peace_pairing QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rsa.ml: Alcotest Bigint Bytes Char List Modular Peace_bigint Peace_rsa Prime QCheck QCheck_alcotest Rsa String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Event_queue List Metrics Net Peace_sim Scenario Sim_rand

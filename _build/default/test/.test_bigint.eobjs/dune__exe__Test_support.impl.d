@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Astring Bigint Blinding Cert Char Clock Config Curve Ecdsa Format Identity List Peace_bigint Peace_core Peace_ec Peace_hash Peace_pairing Printf String Url

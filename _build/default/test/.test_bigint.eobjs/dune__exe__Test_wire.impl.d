@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Config List Messages Peace_core QCheck QCheck_alcotest String Wire

@@ -1,0 +1,40 @@
+The full sign/verify/revoke/audit workflow through the `peace` CLI.
+
+Group setup and key issue (tiny parameters; diagnostics silenced):
+
+  $ peace setup --params tiny 2>/dev/null
+  $ peace issue --issuer issuer.peace --grp 42 -o member.key 2>issue.log
+  $ grep -c 'revocation token' issue.log
+  1
+
+Sign anonymously and verify:
+
+  $ SIG=$(peace sign --key member.key -m "hello mesh")
+  $ peace verify -m "hello mesh" -s "$SIG"
+  valid
+  $ peace verify -m "tampered" -s "$SIG"
+  invalid-proof
+  [1]
+
+Verifier-local revocation via a URL file:
+
+  $ sed -n 's/revocation token: //p' issue.log > url.txt
+  $ peace verify -m "hello mesh" -s "$SIG" --url url.txt
+  revoked
+  [1]
+
+The operator's audit attributes the signature to its label:
+
+  $ echo "$(cat url.txt) company-x/key-0" > grt.txt
+  $ peace audit -m "hello mesh" -s "$SIG" --grt grt.txt
+  signer: company-x/key-0
+
+Parameter validation and malformed input handling:
+
+  $ peace validate-params --params tiny
+  tiny-a80: ok (q 80 bits, p 88 bits, cofactor 9 bits)
+  $ peace verify -m x -s "zz"
+  error: bad hex
+  [1]
+  $ peace sign --key /nonexistent -m x 2>/dev/null
+  [1]

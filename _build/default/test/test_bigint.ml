@@ -1,0 +1,421 @@
+(* Unit and property tests for the bigint substrate. *)
+
+open Peace_bigint
+
+let big = Alcotest.testable Bigint.pp Bigint.equal
+
+(* reference vectors generated with CPython integers *)
+let vec_a =
+  Bigint.of_string
+    "0xd8972a846916419f828b9d2434e465e150bd9c66b3ad3c2d6d1a3d1fa7bc8960a923b8c1e9392456de3eb13b9046685257bdd640fb06671ad11c80317fa3b1799d"
+
+let vec_b =
+  Bigint.of_string
+    "0x386ec6b65a6a48b8148f6b38a088ca65ed389b74d0fb132e706298fadc1a606cb0fb39a1de644815ef6d13b8faa1837f8a88b17fc695a07a0ca6e0822e8f3"
+
+let vec_m =
+  Bigint.of_string
+    "0xf50bea63371ecd7b27cd813047229389571aa8766c307511b2b9437a28df6ec4ce4a2bbdc241330b01a9e71fde8a774bcf36d58b4737819096da1dac72ff5d2b"
+
+let check_hex name expected value =
+  Alcotest.(check string) name expected (Bigint.to_hex value)
+
+let test_known_vectors () =
+  check_hex "a+b"
+    "d8972e0b5581a74627171e6d2b97efe9dd63fb3a3d64893d1e4d2425d14c37224f2a83d19cd3423d22c010326181f7fc6ff5cee9861e63842b2420fbedabd46290"
+    (Bigint.add vec_a vec_b);
+  check_hex "a-b"
+    "d89726fd7caadbf8de001bdb3e30dbd8c4173d9329f5ef1dbbe756197e2cdb9f031cedb2359f067099bd5244bf0ad8a83f85dd986fee6ab17714df67119b8e90aa"
+    (Bigint.sub vec_a vec_b);
+  check_hex "a*b"
+    "2fbeca606ebbba656d72f2397626df0f7a4ae147b677f2dbf84f2fbb651ea4240b7ef681bfd3e0eb7e8a7a453f15af35463040ffec701cb364cda7e957221e602c8748d270f24bb27ee4a0b8c76e4dae8caae6ac5300e3c098b4b6ccd132df37a634730fef840f9f9a73a382d4a2d3f1bb9fc50990c0c5877f415564686b807"
+    (Bigint.mul vec_a vec_b);
+  check_hex "a/b" "3d6892" (Bigint.div vec_a vec_b);
+  check_hex "a%b"
+    "1eeb9d5607f30137486ae62b038eaedc7225517b01ca3c0137d2e1035ded407bd1dbf50385b9d126846ce699a238aa468e8c3b332a10f34581b1f4f3ee707"
+    (Bigint.rem vec_a vec_b);
+  check_hex "powm"
+    "ecc0f316e11cd3c51b1c5ab9ec8f291a6e2c5e22d9238997a84f3297e32316a803048f157fb7ccac7eff08a82d2e1e34ccba6214adebdfc1b5b91ab66a8e3454"
+    (Modular.powm vec_a vec_b vec_m);
+  check_hex "invert"
+    "df4cab395456ac90ed52d6544d82908dcde14e4421941e30f9620fe81c687777d0f1f552c37098541937ebe3736358832ccfe4cd10c4c59469fdc5d394868147"
+    (Modular.invert vec_a vec_m);
+  Alcotest.(check string)
+    "decimal"
+    "2904003723044805790862381663070934428184522455171085489933007050088210895656080405347399000995126729366577269744272316915396487989783988846775628220467345821"
+    (Bigint.to_string vec_a)
+
+let test_small_arithmetic () =
+  let check name expected got = Alcotest.(check big) name expected got in
+  check "0+0" Bigint.zero (Bigint.add Bigint.zero Bigint.zero);
+  check "1+(-1)" Bigint.zero (Bigint.add Bigint.one Bigint.minus_one);
+  check "neg neg" (Bigint.of_int 5) (Bigint.neg (Bigint.of_int (-5)));
+  check "(-7)/2" (Bigint.of_int (-3)) (Bigint.div (Bigint.of_int (-7)) Bigint.two);
+  check "(-7) mod 2" (Bigint.of_int (-1))
+    (Bigint.rem (Bigint.of_int (-7)) Bigint.two);
+  check "(-7) erem 2" Bigint.one (Bigint.erem (Bigint.of_int (-7)) Bigint.two);
+  check "min_int round-trip"
+    (Bigint.of_string (string_of_int Stdlib.min_int))
+    (Bigint.of_int Stdlib.min_int);
+  Alcotest.(check int) "to_int min_int" Stdlib.min_int
+    (Bigint.to_int (Bigint.of_int Stdlib.min_int));
+  Alcotest.(check int) "to_int max_int" Stdlib.max_int
+    (Bigint.to_int (Bigint.of_int Stdlib.max_int));
+  check "pow 2^100"
+    (Bigint.shift_left Bigint.one 100)
+    (Bigint.pow Bigint.two 100);
+  check "gcd 12 18" (Bigint.of_int 6)
+    (Bigint.gcd (Bigint.of_int 12) (Bigint.of_int 18));
+  check "gcd 0 5" (Bigint.of_int 5) (Bigint.gcd Bigint.zero (Bigint.of_int 5))
+
+let test_bytes_round_trip () =
+  let x = Bigint.of_string "0x1a2b3c4d5e6f708192a3b4c5d6e7f8" in
+  let s = Bigint.to_bytes_be x in
+  Alcotest.(check big) "bytes round trip" x (Bigint.of_bytes_be s);
+  let padded = Bigint.to_bytes_be ~width:32 x in
+  Alcotest.(check int) "padded width" 32 (String.length padded);
+  Alcotest.(check big) "padded round trip" x (Bigint.of_bytes_be padded);
+  Alcotest.(check string) "zero bytes" "\000" (Bigint.to_bytes_be Bigint.zero)
+
+let test_shift_and_bits () =
+  let x = Bigint.of_string "0xdeadbeefcafebabe0123456789" in
+  Alcotest.(check big) "shl/shr inverse" x
+    (Bigint.shift_right (Bigint.shift_left x 67) 67);
+  Alcotest.(check int) "num_bits 1" 1 (Bigint.num_bits Bigint.one);
+  Alcotest.(check int) "num_bits 2^64" 65
+    (Bigint.num_bits (Bigint.shift_left Bigint.one 64));
+  Alcotest.(check bool) "testbit" true
+    (Bigint.testbit (Bigint.shift_left Bigint.one 64) 64);
+  Alcotest.(check bool) "testbit off" false
+    (Bigint.testbit (Bigint.shift_left Bigint.one 64) 63)
+
+let test_division_edges () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod Bigint.one Bigint.zero));
+  (* divisor requiring the Knuth-D add-back path: crafted high limbs *)
+  let u = Bigint.of_string "0x7fffffff800000010000000000000000" in
+  let v = Bigint.of_string "0x800000008000000200000005" in
+  let q, r = Bigint.divmod u v in
+  Alcotest.(check big) "knuth reconstruct" u
+    (Bigint.add (Bigint.mul q v) r);
+  Alcotest.(check bool) "knuth r < v" true (Bigint.compare r v < 0)
+
+let test_modular_edges () =
+  Alcotest.check_raises "invert non-coprime" Division_by_zero (fun () ->
+      ignore (Modular.invert (Bigint.of_int 6) (Bigint.of_int 9)));
+  Alcotest.(check big) "powm mod 1" Bigint.zero
+    (Modular.powm (Bigint.of_int 5) (Bigint.of_int 3) Bigint.one);
+  Alcotest.(check big) "powm e=0" Bigint.one
+    (Modular.powm (Bigint.of_int 5) Bigint.zero (Bigint.of_int 7));
+  (* even modulus falls back to the generic path *)
+  Alcotest.(check big) "powm even modulus"
+    (Bigint.of_int 1)
+    (Modular.powm (Bigint.of_int 3) (Bigint.of_int 4) (Bigint.of_int 16));
+  Alcotest.(check int) "jacobi (2/15)" 1 (Modular.jacobi Bigint.two (Bigint.of_int 15));
+  Alcotest.(check int) "jacobi (7/15)" (-1)
+    (Modular.jacobi (Bigint.of_int 7) (Bigint.of_int 15));
+  Alcotest.(check int) "jacobi (5/15)" 0
+    (Modular.jacobi (Bigint.of_int 5) (Bigint.of_int 15))
+
+let test_sqrt () =
+  let p = Bigint.of_string "0xfffffffffffffffffffffffffffffffeffffffffffffffff" in
+  (* p = 2^192 - 2^64 - 1 (NIST P-192 prime), p mod 4 = 3 *)
+  let x = Bigint.of_string "0x123456789abcdef0fedcba987654321" in
+  let sq = Modular.mul x x p in
+  (match Modular.sqrt sq p with
+  | None -> Alcotest.fail "sqrt: no root found"
+  | Some r ->
+    Alcotest.(check bool) "root squares back" true
+      (Bigint.equal (Modular.mul r r p) sq));
+  (* a prime with p mod 4 = 1 exercises Tonelli-Shanks *)
+  let p1 = Bigint.of_int 1000033 in
+  let sq1 = Modular.mul (Bigint.of_int 54321) (Bigint.of_int 54321) p1 in
+  (match Modular.sqrt sq1 p1 with
+  | None -> Alcotest.fail "tonelli: no root found"
+  | Some r ->
+    Alcotest.(check big) "tonelli root squares back" sq1 (Modular.mul r r p1));
+  (* non-residue *)
+  let nr =
+    (* find a non-residue mod p1 = 5 *)
+    Modular.sqrt (Bigint.of_int 5) p1
+  in
+  if Modular.jacobi (Bigint.of_int 5) p1 = -1 then
+    Alcotest.(check bool) "non-residue rejected" true (nr = None)
+
+let test_primes () =
+  let check_prime n expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "prime? %s" (Bigint.to_string n))
+      expected
+      (Prime.is_probable_prime n)
+  in
+  check_prime (Bigint.of_int 2) true;
+  check_prime (Bigint.of_int 3) true;
+  check_prime (Bigint.of_int 4) false;
+  check_prime Bigint.one false;
+  check_prime Bigint.zero false;
+  check_prime (Bigint.of_int 997) true;
+  check_prime (Bigint.of_int 1001) false;
+  (* 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite *)
+  check_prime (Bigint.pred (Bigint.shift_left Bigint.one 127)) true;
+  check_prime (Bigint.succ (Bigint.shift_left Bigint.one 128)) false;
+  (* a strong pseudoprime to base 2: 3215031751 = 151*751*28351 *)
+  check_prime (Bigint.of_string "3215031751") false;
+  Alcotest.(check big) "next_prime 24" (Bigint.of_int 29)
+    (Prime.next_prime (Bigint.of_int 24));
+  Alcotest.(check big) "next_prime 29" (Bigint.of_int 31)
+    (Prime.next_prime (Bigint.of_int 29))
+
+let kar_a =
+  Bigint.of_string
+    "0x57a5da05f73dba1c1b5b32097ce80c2d0fd6d9a90965f580d16aaff1a41fe52d78dc4bfb9e8ddaecc2c55e986d484271143591cab5f7c4bf5cb443292af8f3b713b4c7ebb7344df3d2273a37403227210f4d0c5b86c0ef0d2329d9fa09ca46767389669b02a56d32b55d35e67646f184c69290764b501814b062ae88c88ad1eee1f220fd5475125ccedc773429e79c6cda4ccb01f35efe8ed5f03644f758cd0aeb34f96712489050fe32817812f170167a34d0c643e653ad689cf88759f153b7785728f2655b19153d3a3f56bc09cb91215785d99773382dd301c8a91afa5c7623c4dd26fb984f366c5acdaeafb905dc8ac0bb635b4c41d283eb3a5fbd238ec9cf158de6e96d45cae8c077377925b396a1da2c9cfbba43b8e3c71f6bf08d62331057ca7d411fab9fb932d4f039772216ff82e389e3995ab35331ceaf2ed9dd87e355b26210b784baa1c6f1404b6eaf162a01dec28753f8221c4e003f9931ee3af27f802dc5fd3d9974d75b333824fe61790134676b1b69"
+
+let kar_b =
+  Bigint.of_string
+    "0x33cff79c40d286a6a75635823a662b78f5608162c33760e399566223050c349a2ad5223ad895eff22502daa0b349a7a4bf8050cbb812881d4eada6af532f9a8bcb5c988a90d2856dcbdb9d1cca1e01b04f41f1fc30d89bacfa3be14460cc4779447fc73719c543e39651b0f6188f9b7341e163e7ce3523eb0dec9409ff25403cfd68ed8a232d7a2d12fdba24d02c941da54bc4f0a024c70f481e64176618b3205e1fd6833568865042f0f404719ba8272c26833ccabf49e557c768beaf9983d819b7e6ace5dd2a7afebd11e14f21846d9e0e4a1175ec15426979e48824b1eb72c8f0fc795a5a9331f620588857c3881083d33bf8206770fa788ba3fb8041f089dc7166a9f536209dbca3f3760f0e2eb028f94cf6b0c986fa9fe66471833367433467c3b9fe85fdadc422c4d84f5467115b618d3f430173745f9e0d54254f4f81b02495da1716055583a1cbb7236ce8571befca6c3a14c6e95e6b451936d1d5c42faf11c1e779462a34"
+
+let test_karatsuba () =
+  (* operands well past the Karatsuba threshold; product checked against a
+     CPython-computed digest of its hex rendering *)
+  let product = Bigint.mul kar_a kar_b in
+  Alcotest.(check string) "3000-bit product"
+    "7357372c453d09c1d60330863b4dc32768febc1d0089ea5d7b5c7aebfc6a1bb3"
+    (Peace_hash.Sha256.to_hex (Peace_hash.Sha256.digest (Bigint.to_hex product)));
+  (* identities stressing the splitting logic with skewed operand sizes *)
+  let small = Bigint.of_string "0xdeadbeef" in
+  Alcotest.(check big) "skewed commutes" (Bigint.mul kar_a small)
+    (Bigint.mul small kar_a);
+  Alcotest.(check big) "divmod recovers factor" kar_b
+    (Bigint.div product kar_b |> fun q -> Bigint.div product q |> fun _ ->
+     Bigint.div product kar_a);
+  Alcotest.(check big) "square of sum"
+    (Bigint.mul (Bigint.add kar_a kar_b) (Bigint.add kar_a kar_b))
+    (Bigint.add
+       (Bigint.add (Bigint.mul kar_a kar_a) (Bigint.mul kar_b kar_b))
+       (Bigint.mul_int (Bigint.mul kar_a kar_b) 2))
+
+(* Deterministic pseudo-random byte source for tests *)
+let test_rng seed =
+  let state = ref seed in
+  fun n ->
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      state := (!state * 2685821657736338717) + 1442695040888963407;
+      Bytes.set b i (Char.chr ((!state lsr 32) land 0xff))
+    done;
+    Bytes.unsafe_to_string b
+
+let test_random () =
+  let rng = test_rng 7 in
+  let bound = Bigint.of_string "0x123456789abcdef" in
+  for _ = 1 to 50 do
+    let x = Bigint.random_below rng bound in
+    Alcotest.(check bool) "below bound" true (Bigint.compare x bound < 0);
+    Alcotest.(check bool) "non-negative" true (Bigint.sign x >= 0)
+  done;
+  let lo = Bigint.of_int 100 and hi = Bigint.of_int 200 in
+  for _ = 1 to 50 do
+    let x = Bigint.random_range rng lo hi in
+    Alcotest.(check bool) "in range" true
+      (Bigint.compare lo x <= 0 && Bigint.compare x hi < 0)
+  done;
+  let p = Prime.random_prime rng ~bits:64 in
+  Alcotest.(check int) "prime has exact bit size" 64 (Bigint.num_bits p);
+  Alcotest.(check bool) "generated prime is prime" true
+    (Prime.is_probable_prime p)
+
+let test_mont () =
+  let m = vec_m in
+  let ctx = Mont.create m in
+  let a = Mont.of_bigint ctx vec_a and b = Mont.of_bigint ctx vec_b in
+  Alcotest.(check big) "mont mul"
+    (Modular.mul vec_a vec_b m)
+    (Mont.to_bigint ctx (Mont.mul ctx a b));
+  Alcotest.(check big) "mont add"
+    (Modular.add vec_a vec_b m)
+    (Mont.to_bigint ctx (Mont.add ctx a b));
+  Alcotest.(check big) "mont sub"
+    (Modular.sub vec_a vec_b m)
+    (Mont.to_bigint ctx (Mont.sub ctx a b));
+  Alcotest.(check big) "mont pow"
+    (Modular.powm vec_a vec_b m)
+    (Mont.to_bigint ctx (Mont.pow ctx a vec_b));
+  Alcotest.(check big) "mont inv"
+    (Modular.invert vec_a m)
+    (Mont.to_bigint ctx (Mont.inv ctx a));
+  Alcotest.(check big) "mont neg + add = 0" Bigint.zero
+    (Mont.to_bigint ctx (Mont.add ctx a (Mont.neg ctx a)));
+  Alcotest.(check bool) "mont one" true
+    (Bigint.is_one (Mont.to_bigint ctx (Mont.one ctx)))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let arbitrary_bigint =
+  (* mixes small ints and large random magnitudes *)
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (2, map Bigint.of_int int);
+          ( 3,
+            map2
+              (fun bits seed ->
+                let rng = test_rng seed in
+                Bigint.random_bits rng (1 + abs bits mod 400))
+              int int );
+          ( 1,
+            (* large enough to exercise the Karatsuba path *)
+            map2
+              (fun bits seed ->
+                let rng = test_rng seed in
+                Bigint.random_bits rng (800 + abs bits mod 2200))
+              int int );
+          ( 1,
+            map2
+              (fun bits seed ->
+                let rng = test_rng seed in
+                Bigint.neg (Bigint.random_bits rng (1 + abs bits mod 400)))
+              int int );
+        ])
+  in
+  QCheck.make ~print:Bigint.to_string gen
+
+let prop name count law = QCheck.Test.make ~name ~count law
+
+let qcheck_tests =
+  [
+    prop "add commutes" 300
+      (QCheck.pair arbitrary_bigint arbitrary_bigint)
+      (fun (a, b) -> Bigint.equal (Bigint.add a b) (Bigint.add b a));
+    prop "add associates" 300
+      (QCheck.triple arbitrary_bigint arbitrary_bigint arbitrary_bigint)
+      (fun (a, b, c) ->
+        Bigint.equal
+          (Bigint.add a (Bigint.add b c))
+          (Bigint.add (Bigint.add a b) c));
+    prop "sub inverts add" 300
+      (QCheck.pair arbitrary_bigint arbitrary_bigint)
+      (fun (a, b) -> Bigint.equal (Bigint.sub (Bigint.add a b) b) a);
+    prop "mul commutes" 300
+      (QCheck.pair arbitrary_bigint arbitrary_bigint)
+      (fun (a, b) -> Bigint.equal (Bigint.mul a b) (Bigint.mul b a));
+    prop "mul distributes" 200
+      (QCheck.triple arbitrary_bigint arbitrary_bigint arbitrary_bigint)
+      (fun (a, b, c) ->
+        Bigint.equal
+          (Bigint.mul a (Bigint.add b c))
+          (Bigint.add (Bigint.mul a b) (Bigint.mul a c)));
+    prop "divmod reconstructs" 300
+      (QCheck.pair arbitrary_bigint arbitrary_bigint)
+      (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero b));
+        let q, r = Bigint.divmod a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+        && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a));
+    prop "ediv_rem non-negative remainder" 300
+      (QCheck.pair arbitrary_bigint arbitrary_bigint)
+      (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero b));
+        let q, r = Bigint.ediv_rem a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.sign r >= 0
+        && Bigint.compare r (Bigint.abs b) < 0);
+    prop "matches int semantics" 500
+      (QCheck.pair QCheck.small_signed_int QCheck.small_signed_int)
+      (fun (a, b) ->
+        let ba = Bigint.of_int a and bb = Bigint.of_int b in
+        Bigint.to_int (Bigint.add ba bb) = a + b
+        && Bigint.to_int (Bigint.mul ba bb) = a * b
+        && Bigint.compare ba bb = Stdlib.compare a b);
+    prop "string round trip" 300 arbitrary_bigint (fun a ->
+        Bigint.equal a (Bigint.of_string (Bigint.to_string a)));
+    prop "hex round trip (non-negative)" 300 arbitrary_bigint (fun a ->
+        let a = Bigint.abs a in
+        Bigint.equal a (Bigint.of_hex (Bigint.to_hex a)));
+    prop "bytes round trip" 300 arbitrary_bigint (fun a ->
+        let a = Bigint.abs a in
+        Bigint.equal a (Bigint.of_bytes_be (Bigint.to_bytes_be a)));
+    prop "shift_left is mul by power of two" 200
+      (QCheck.pair arbitrary_bigint QCheck.small_nat)
+      (fun (a, n) ->
+        let a = Bigint.abs a in
+        Bigint.equal (Bigint.shift_left a n)
+          (Bigint.mul a (Bigint.pow Bigint.two n)));
+    prop "shift_right is div by power of two" 200
+      (QCheck.pair arbitrary_bigint QCheck.small_nat)
+      (fun (a, n) ->
+        let a = Bigint.abs a in
+        Bigint.equal (Bigint.shift_right a n)
+          (Bigint.div a (Bigint.pow Bigint.two n)));
+    prop "gcd divides both" 200
+      (QCheck.pair arbitrary_bigint arbitrary_bigint)
+      (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero a && Bigint.is_zero b));
+        let g = Bigint.gcd a b in
+        Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g));
+    prop "xor is self-inverse" 200
+      (QCheck.pair arbitrary_bigint arbitrary_bigint)
+      (fun (a, b) ->
+        let a = Bigint.abs a and b = Bigint.abs b in
+        Bigint.equal a (Bigint.logxor (Bigint.logxor a b) b));
+    prop "modular inverse really inverts" 100
+      (QCheck.pair arbitrary_bigint QCheck.small_nat)
+      (fun (a, seed) ->
+        let rng = test_rng (seed + 1) in
+        let m = Prime.random_prime rng ~bits:80 in
+        let a = Bigint.erem (Bigint.abs a) m in
+        QCheck.assume (not (Bigint.is_zero a));
+        Bigint.is_one (Modular.mul a (Modular.invert a m) m));
+    prop "fermat little theorem" 60
+      (QCheck.pair arbitrary_bigint QCheck.small_nat)
+      (fun (a, seed) ->
+        let rng = test_rng (seed + 11) in
+        let p = Prime.random_prime rng ~bits:64 in
+        let a = Bigint.erem (Bigint.abs a) p in
+        QCheck.assume (not (Bigint.is_zero a));
+        Bigint.is_one (Modular.powm a (Bigint.pred p) p));
+    prop "mont matches modular" 100
+      (QCheck.triple arbitrary_bigint arbitrary_bigint QCheck.small_nat)
+      (fun (a, b, seed) ->
+        let rng = test_rng (seed + 3) in
+        let m = Prime.random_prime rng ~bits:96 in
+        let ctx = Mont.create m in
+        let ma = Mont.of_bigint ctx a and mb = Mont.of_bigint ctx b in
+        Bigint.equal
+          (Mont.to_bigint ctx (Mont.mul ctx ma mb))
+          (Modular.mul (Bigint.erem a m) (Bigint.erem b m) m));
+    prop "sqrt of square exists" 60
+      (QCheck.pair arbitrary_bigint QCheck.small_nat)
+      (fun (a, seed) ->
+        let rng = test_rng (seed + 17) in
+        let p = Prime.random_prime rng ~bits:72 in
+        let a = Bigint.erem (Bigint.abs a) p in
+        let sq = Modular.mul a a p in
+        match Modular.sqrt sq p with
+        | None -> false
+        | Some r -> Bigint.equal (Modular.mul r r p) sq);
+  ]
+
+let suite =
+  [
+    ( "bigint",
+      [
+        Alcotest.test_case "known vectors" `Quick test_known_vectors;
+        Alcotest.test_case "small arithmetic" `Quick test_small_arithmetic;
+        Alcotest.test_case "bytes round trip" `Quick test_bytes_round_trip;
+        Alcotest.test_case "shifts and bits" `Quick test_shift_and_bits;
+        Alcotest.test_case "division edges" `Quick test_division_edges;
+        Alcotest.test_case "karatsuba" `Quick test_karatsuba;
+        Alcotest.test_case "modular edges" `Quick test_modular_edges;
+        Alcotest.test_case "modular sqrt" `Quick test_sqrt;
+        Alcotest.test_case "primality" `Quick test_primes;
+        Alcotest.test_case "randomness" `Quick test_random;
+        Alcotest.test_case "montgomery" `Quick test_mont;
+      ] );
+    ("bigint-properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
+
+let () = Alcotest.run "peace-bigint" suite

@@ -1,0 +1,711 @@
+(* PEACE framework tests: setup key-split invariants, user-router and
+   user-user handshakes, revocation and eviction, certificates and beacons,
+   puzzles, sessions, audit and tracing, and the full lifecycle. *)
+
+open Peace_bigint
+open Peace_pairing
+open Peace_groupsig
+open Peace_core
+
+let clock () = Clock.manual ~start:1_000_000 ()
+
+let make_deployment ?(seed = "test-seed") ?clock:(c = clock ()) () =
+  let config = Config.tiny_test ~clock:c () in
+  (config, c, Deployment.create ~seed config)
+
+let identity_alice =
+  Identity.make ~uid:"alice" ~name:"Alice Doe" ~national_id:"123-45-6789"
+    [
+      { Identity.group_id = 1; description = "engineer of Company X" };
+      { Identity.group_id = 2; description = "member of Golf Club V" };
+    ]
+
+let identity_bob =
+  Identity.make ~uid:"bob" ~name:"Bob Roe" ~national_id:"987-65-4321"
+    [ { Identity.group_id = 1; description = "engineer of Company X" } ]
+
+let perr = Alcotest.testable Protocol_error.pp Protocol_error.equal
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (Protocol_error.to_string e)
+
+let ok_or_fail_str label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+(* --- setup / key split --- *)
+
+let test_setup_key_split () =
+  let _config, _clock, d = make_deployment () in
+  let _gm1 = Deployment.add_group d ~group_id:1 ~size:4 in
+  let gm2 = Deployment.add_group d ~group_id:2 ~size:2 in
+  Alcotest.(check int) "groups registered" 2
+    (Network_operator.group_count (Deployment.operator d));
+  Alcotest.(check int) "grt has all keys" 6
+    (Network_operator.grt_size (Deployment.operator d));
+  Alcotest.(check int) "ttp holds all blinded shares" 6
+    (Ttp.share_count (Deployment.ttp d));
+  Alcotest.(check int) "gm2 unassigned" 2 (Group_manager.available_keys gm2);
+  let alice = ok_or_fail_str "add alice" (Deployment.add_user d identity_alice) in
+  Alcotest.(check (list int)) "alice enrolled in both groups" [ 1; 2 ]
+    (User.enrolled_groups alice);
+  Alcotest.(check int) "ttp got receipts" 2 (Ttp.receipt_count (Deployment.ttp d));
+  Alcotest.(check int) "gm2 one key left" 1 (Group_manager.available_keys gm2);
+  (* exhaustion *)
+  let id_many =
+    List.init 3 (fun i ->
+        Identity.make
+          ~uid:(Printf.sprintf "u%d" i)
+          ~name:"N" ~national_id:"x"
+          [ { Identity.group_id = 2; description = "golfer" } ])
+  in
+  let results = List.map (Deployment.add_user d) id_many in
+  let failures = List.filter Result.is_error results in
+  Alcotest.(check int) "group 2 exhausts after 1 more" 2 (List.length failures)
+
+let test_blinding_involution () =
+  let x = Bigint.of_string "0x123456789abcdef" in
+  let data = "some group element encoding bytes" in
+  Alcotest.(check string) "unblind inverts blind" data
+    (Blinding.apply ~x (Blinding.apply ~x data));
+  Alcotest.(check bool) "blinding changes data" true
+    (Blinding.apply ~x data <> data);
+  (* different x yields different pad *)
+  Alcotest.(check bool) "pad depends on x" true
+    (Blinding.apply ~x data <> Blinding.apply ~x:(Bigint.succ x) data)
+
+(* --- user-router protocol --- *)
+
+let test_user_router_handshake () =
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "add bob" (Deployment.add_user d identity_bob) in
+  let user_session, router_session =
+    ok_or_fail "authenticate" (Deployment.authenticate d ~user:bob ~router ())
+  in
+  Alcotest.(check bool) "sessions match" true
+    (Session.matches user_session router_session);
+  Alcotest.(check int) "router registered session" 1
+    (Mesh_router.session_count router);
+  (* data flows both ways with replay protection *)
+  let data = Session.seal user_session "uplink packet" in
+  (match Session.open_ router_session data with
+  | Some p -> Alcotest.(check string) "uplink" "uplink packet" p
+  | None -> Alcotest.fail "router could not open");
+  Alcotest.(check bool) "replay rejected" true
+    (Session.open_ router_session data = None);
+  let down = Session.seal router_session "downlink packet" in
+  (match Session.open_ user_session down with
+  | Some p -> Alcotest.(check string) "downlink" "downlink packet" p
+  | None -> Alcotest.fail "user could not open");
+  (* a second handshake gives an unlinkable (different) session id *)
+  let user_session2, _ =
+    ok_or_fail "second auth" (Deployment.authenticate d ~user:bob ~router ())
+  in
+  Alcotest.(check bool) "fresh session id" false
+    (Session.id user_session = Session.id user_session2)
+
+let test_replay_and_staleness () =
+  let _config, c, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "add bob" (Deployment.add_user d identity_bob) in
+  let beacon = Mesh_router.beacon router in
+  let request, _pending =
+    ok_or_fail "process beacon" (User.process_beacon bob beacon)
+  in
+  (* stale request: past the window *)
+  Clock.advance c 60_000;
+  Alcotest.(check (result reject perr)) "stale rejected"
+    (Error Protocol_error.Stale_timestamp)
+    (Result.map (fun _ -> ()) (Mesh_router.handle_access_request router request));
+  (* stale beacon equally rejected by a user *)
+  Alcotest.(check (result reject perr)) "stale beacon rejected"
+    (Error Protocol_error.Stale_timestamp)
+    (Result.map (fun _ -> ()) (User.process_beacon bob beacon))
+
+let test_rogue_router_rejected () =
+  let config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let _router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "add bob" (Deployment.add_user d identity_bob) in
+  (* a rogue router with a self-signed certificate *)
+  let rogue_rng = Peace_hash.Drbg.bytes_fn (Peace_hash.Drbg.create ~seed:"rogue" ()) in
+  let rogue =
+    Mesh_router.create config ~router_id:66 ~gpk:(Deployment.gpk d)
+      ~operator_public:(Network_operator.public_key (Deployment.operator d))
+      ~rng:rogue_rng
+  in
+  let self_key = Peace_ec.Ecdsa.generate config.Config.curve rogue_rng in
+  let fake_cert =
+    Cert.issue config ~operator_key:self_key ~router_id:66
+      ~public_key:(Mesh_router.public_key rogue)
+      ~now:(Clock.now config.Config.clock)
+  in
+  Mesh_router.install_cert rogue fake_cert;
+  Mesh_router.update_lists rogue
+    (Network_operator.current_crl (Deployment.operator d))
+    (Network_operator.current_url (Deployment.operator d));
+  let beacon = Mesh_router.beacon rogue in
+  Alcotest.(check (result reject perr)) "phishing beacon rejected"
+    (Error (Protocol_error.Bad_router_certificate Cert.Bad_signature))
+    (Result.map (fun _ -> ()) (User.process_beacon bob beacon))
+
+let test_revoked_router_rejected () =
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "add bob" (Deployment.add_user d identity_bob) in
+  Deployment.revoke_router d ~router_id:7;
+  let beacon = Mesh_router.beacon router in
+  Alcotest.(check (result reject perr)) "revoked router rejected"
+    (Error Protocol_error.Router_revoked)
+    (Result.map (fun _ -> ()) (User.process_beacon bob beacon))
+
+let test_outsider_rejected () =
+  let config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  (* an outsider with a key from a DIFFERENT group master (own setup) *)
+  let outsider_rng = Peace_hash.Drbg.bytes_fn (Peace_hash.Drbg.create ~seed:"outsider" ()) in
+  let foreign_issuer = Group_sig.setup config.Config.pairing outsider_rng in
+  let foreign_key = Group_sig.issue foreign_issuer ~grp:Bigint.one outsider_rng in
+  let beacon = Mesh_router.beacon router in
+  let params = config.Config.pairing in
+  let q = params.Params.q in
+  let r_j = Bigint.random_range outsider_rng Bigint.one q in
+  let g_rj = G1.mul params r_j beacon.Messages.g in
+  let ts2 = Clock.now config.Config.clock in
+  let transcript = Messages.auth_transcript config g_rj beacon.Messages.g_rr ts2 in
+  (* signature under the WRONG gpk still parses but cannot verify *)
+  let gsig =
+    Group_sig.sign foreign_issuer.Group_sig.gpk foreign_key ~rng:outsider_rng
+      ~msg:transcript
+  in
+  let request =
+    { Messages.g_rj; ar_g_rr = beacon.Messages.g_rr; ts2; gsig; puzzle_solution = None }
+  in
+  Alcotest.(check (result reject perr)) "outsider rejected"
+    (Error Protocol_error.Invalid_group_signature)
+    (Result.map (fun _ -> ()) (Mesh_router.handle_access_request router request))
+
+let test_user_revocation_eviction () =
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let _gm2 = Deployment.add_group d ~group_id:2 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "add bob" (Deployment.add_user d identity_bob) in
+  let alice = ok_or_fail_str "add alice" (Deployment.add_user d identity_alice) in
+  (* bob works before revocation *)
+  ignore (ok_or_fail "pre-revocation" (Deployment.authenticate d ~user:bob ~router ()));
+  ok_or_fail_str "revoke bob" (Deployment.revoke_user d ~uid:"bob" ~group_id:1);
+  Alcotest.(check int) "URL carries one token" 1
+    (Url.size (Network_operator.current_url (Deployment.operator d)));
+  (* bob is now evicted *)
+  Alcotest.(check (result reject perr)) "revoked user evicted"
+    (Error Protocol_error.User_revoked)
+    (Result.map (fun _ -> ()) (Deployment.authenticate d ~user:bob ~router ()));
+  (* alice (same group, different key) is unaffected *)
+  ignore
+    (ok_or_fail "alice unaffected"
+       (Deployment.authenticate d ~user:alice ~router ~group_id:1 ()))
+
+let test_puzzles_under_attack () =
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "add bob" (Deployment.add_user d identity_bob) in
+  Mesh_router.set_under_attack router ~difficulty:4;
+  Alcotest.(check bool) "router flags attack" true (Mesh_router.under_attack router);
+  (* legitimate user still gets through, paying puzzle work *)
+  ignore (ok_or_fail "auth with puzzle" (Deployment.authenticate d ~user:bob ~router ()));
+  Alcotest.(check bool) "user paid puzzle work" true (User.puzzle_work_done bob > 0);
+  (* a request without a solution is dropped cheaply *)
+  let beacon = Mesh_router.beacon router in
+  let request, _ = ok_or_fail "beacon" (User.process_beacon bob beacon) in
+  let stripped = { request with Messages.puzzle_solution = None } in
+  let before = Mesh_router.verifications_performed router in
+  Alcotest.(check (result reject perr)) "missing solution rejected"
+    (Error Protocol_error.Puzzle_required)
+    (Result.map (fun _ -> ()) (Mesh_router.handle_access_request router stripped));
+  let wrong = { request with Messages.puzzle_solution = Some "\x00\x00\x00\x00\x00\x00\x00\x09" } in
+  (match Mesh_router.handle_access_request router wrong with
+  | Error Protocol_error.Bad_puzzle_solution -> ()
+  | Error Protocol_error.Unknown_session -> () (* depends on solution luck *)
+  | Ok _ -> Alcotest.fail "bad solution accepted"
+  | Error e -> Alcotest.failf "unexpected error %s" (Protocol_error.to_string e));
+  Alcotest.(check int) "no expensive verification ran" before
+    (Mesh_router.verifications_performed router);
+  Alcotest.(check bool) "cheap rejections counted" true
+    (Mesh_router.requests_rejected_cheaply router >= 2);
+  Mesh_router.clear_under_attack router;
+  ignore (ok_or_fail "auth after attack" (Deployment.authenticate d ~user:bob ~router ()))
+
+(* --- user-user protocol --- *)
+
+let test_user_user_handshake () =
+  let _config, _clock, d = make_deployment () in
+  let _gm1 = Deployment.add_group d ~group_id:1 ~size:4 in
+  let _gm2 = Deployment.add_group d ~group_id:2 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let alice = ok_or_fail_str "alice" (Deployment.add_user d identity_alice) in
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  let sa, sb =
+    ok_or_fail "peer auth"
+      (Deployment.peer_authenticate d ~initiator:alice ~responder:bob ~router ())
+  in
+  Alcotest.(check bool) "peer sessions match" true (Session.matches sa sb);
+  let packet = Session.seal sa "relay me" in
+  (match Session.open_ sb packet with
+  | Some p -> Alcotest.(check string) "relayed" "relay me" p
+  | None -> Alcotest.fail "peer could not open");
+  (* alice can choose which role (group key) to use *)
+  let sa2, _ =
+    ok_or_fail "peer auth as golfer"
+      (Deployment.peer_authenticate d ~initiator:alice ~responder:bob ~router
+         ~initiator_group:2 ())
+  in
+  Alcotest.(check bool) "role-scoped session works" true
+    (String.length (Session.id sa2) > 0)
+
+let test_peer_revoked_rejected () =
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let _gm2 = Deployment.add_group d ~group_id:2 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let alice = ok_or_fail_str "alice" (Deployment.add_user d identity_alice) in
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  (* both users must hold a current URL: have them authenticate once *)
+  ignore (ok_or_fail "alice auth" (Deployment.authenticate d ~user:alice ~router ~group_id:1 ()));
+  ignore (ok_or_fail "bob auth" (Deployment.authenticate d ~user:bob ~router ()));
+  ok_or_fail_str "revoke bob" (Deployment.revoke_user d ~uid:"bob" ~group_id:1);
+  (* alice refreshes her URL view from a new beacon *)
+  ignore (ok_or_fail "alice re-auth" (Deployment.authenticate d ~user:alice ~router ~group_id:1 ()));
+  Alcotest.(check (result reject perr)) "revoked peer rejected by alice"
+    (Error Protocol_error.User_revoked)
+    (Result.map
+       (fun _ -> ())
+       (Deployment.peer_authenticate d ~initiator:bob ~responder:alice ~router ()))
+
+(* --- audit & tracing --- *)
+
+let test_audit_and_trace () =
+  let _config, _clock, d = make_deployment () in
+  let _gm1 = Deployment.add_group d ~group_id:1 ~size:4 in
+  let _gm2 = Deployment.add_group d ~group_id:2 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let alice = ok_or_fail_str "alice" (Deployment.add_user d identity_alice) in
+  let _bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  (* alice accesses the WMN as a golf-club member *)
+  let user_session, _ =
+    ok_or_fail "auth" (Deployment.authenticate d ~user:alice ~router ~group_id:2 ())
+  in
+  let sid = Session.id user_session in
+  (* the operator's audit reveals the group only *)
+  let entry = List.hd (Mesh_router.access_log router) in
+  Alcotest.(check string) "log entry matches session" sid
+    entry.Mesh_router.le_session_id;
+  (match
+     Law_authority.audit_only (Deployment.operator d)
+       ~msg:entry.Mesh_router.le_transcript entry.Mesh_router.le_gsig
+   with
+  | None -> Alcotest.fail "audit found nothing"
+  | Some finding ->
+    Alcotest.(check int) "audit reveals group 2" 2
+      finding.Law_authority.traced_group_id;
+    Alcotest.(check (option string)) "audit does NOT reveal uid" None
+      finding.Law_authority.traced_uid);
+  (* the full trace (with GM cooperation) reveals alice *)
+  (match Deployment.trace_session d router ~session_id:sid with
+  | None -> Alcotest.fail "trace found nothing"
+  | Some result ->
+    Alcotest.(check int) "trace group" 2 result.Law_authority.traced_group_id;
+    Alcotest.(check (option string)) "trace uid" (Some "alice")
+      result.Law_authority.traced_uid);
+  (* an unknown session does not trace *)
+  Alcotest.(check bool) "unknown session" true
+    (Deployment.trace_session d router ~session_id:"nope" = None)
+
+let test_audit_role_separation () =
+  (* the same user audited under different roles yields different groups —
+     the "sophisticated privacy" property *)
+  let _config, _clock, d = make_deployment () in
+  let _gm1 = Deployment.add_group d ~group_id:1 ~size:4 in
+  let _gm2 = Deployment.add_group d ~group_id:2 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let alice = ok_or_fail_str "alice" (Deployment.add_user d identity_alice) in
+  let s1, _ = ok_or_fail "as engineer" (Deployment.authenticate d ~user:alice ~router ~group_id:1 ()) in
+  let s2, _ = ok_or_fail "as golfer" (Deployment.authenticate d ~user:alice ~router ~group_id:2 ()) in
+  let find sid =
+    match Deployment.trace_session d router ~session_id:sid with
+    | Some r -> r.Law_authority.traced_group_id
+    | None -> Alcotest.fail "trace failed"
+  in
+  Alcotest.(check int) "session 1 -> company" 1 (find (Session.id s1));
+  Alcotest.(check int) "session 2 -> club" 2 (find (Session.id s2))
+
+(* --- wire formats --- *)
+
+let test_message_round_trips () =
+  let config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  let beacon = Mesh_router.beacon router in
+  (match Messages.beacon_of_bytes config (Messages.beacon_to_bytes config beacon) with
+  | Some b ->
+    Alcotest.(check int) "beacon router id" 7 b.Messages.router_id;
+    (* the reconstructed beacon is still acceptable to a user *)
+    ignore (ok_or_fail "parsed beacon ok" (User.process_beacon bob b))
+  | None -> Alcotest.fail "beacon round trip failed");
+  let request, _ = ok_or_fail "request" (User.process_beacon bob beacon) in
+  let gpk = Deployment.gpk d in
+  (match
+     Messages.access_request_of_bytes config gpk
+       (Messages.access_request_to_bytes config gpk request)
+   with
+  | Some r ->
+    (match Mesh_router.handle_access_request router r with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "parsed request rejected: %s" (Protocol_error.to_string e))
+  | None -> Alcotest.fail "request round trip failed");
+  (* malformed input *)
+  Alcotest.(check bool) "garbage beacon" true
+    (Messages.beacon_of_bytes config "garbage" = None);
+  Alcotest.(check bool) "garbage request" true
+    (Messages.access_request_of_bytes config gpk "garbage" = None);
+  Alcotest.(check bool) "empty confirm" true
+    (Messages.access_confirm_of_bytes config "" = None)
+
+let test_certificate_lifecycle () =
+  let config, c, d = make_deployment () in
+  let _router = Deployment.add_router d ~router_id:3 in
+  let no = Deployment.operator d in
+  let cert = Network_operator.register_router no ~router_id:9 ~router_public:(Peace_ec.Curve.base config.Config.curve) in
+  let npk = Network_operator.public_key no in
+  Alcotest.(check bool) "fresh cert verifies" true
+    (Cert.verify config ~operator_public:npk ~now:(Clock.now c) cert = Ok ());
+  (* expiry *)
+  Clock.advance c (config.Config.cert_lifetime_ms + 1);
+  Alcotest.(check bool) "expired cert rejected" true
+    (Cert.verify config ~operator_public:npk ~now:(Clock.now c) cert
+    = Error Cert.Expired);
+  (* serialisation *)
+  (match Cert.of_bytes config (Cert.to_bytes config cert) with
+  | Some cert' -> Alcotest.(check int) "cert round trip" 9 cert'.Cert.router_id
+  | None -> Alcotest.fail "cert round trip failed");
+  (* CRL staleness drives the paper's phishing-window bound *)
+  let crl = Network_operator.current_crl no in
+  Alcotest.(check bool) "crl now stale" true
+    (Cert.crl_is_stale config crl ~now:(Clock.now c))
+
+let test_session_counters () =
+  let config, _clock, d = make_deployment () in
+  ignore config;
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  let su, sr = ok_or_fail "auth" (Deployment.authenticate d ~user:bob ~router ()) in
+  (* out-of-order delivery within the window is rejected (strict floor) *)
+  let m1 = Session.seal su "one" in
+  let m2 = Session.seal su "two" in
+  Alcotest.(check bool) "m2 opens" true (Session.open_ sr m2 = Some "two");
+  Alcotest.(check bool) "older m1 now rejected" true (Session.open_ sr m1 = None);
+  (* tampered payload rejected *)
+  let m3 = Session.seal su "three" in
+  let tampered = Bytes.of_string m3 in
+  let last = Bytes.length tampered - 1 in
+  Bytes.set tampered last (Char.chr (Char.code (Bytes.get tampered last) lxor 1));
+  Alcotest.(check bool) "tampered rejected" true
+    (Session.open_ sr (Bytes.to_string tampered) = None)
+
+let test_puzzle_module () =
+  let rng = Peace_hash.Drbg.bytes_fn (Peace_hash.Drbg.create ~seed:"puzzle" ()) in
+  let p = Puzzle.make ~rng ~difficulty:8 in
+  (match Puzzle.solve p with
+  | None -> Alcotest.fail "no solution"
+  | Some s ->
+    Alcotest.(check bool) "solution checks" true (Puzzle.check p s);
+    Alcotest.(check bool) "work counted" true (Puzzle.solving_work p s >= 1));
+  Alcotest.(check bool) "wrong solution fails" true
+    (not (Puzzle.check p "12345678") || Puzzle.check p "12345678");
+  (* difficulty 0 is trivially solvable by the first candidate *)
+  let p0 = Puzzle.make ~rng ~difficulty:0 in
+  Alcotest.(check bool) "difficulty 0" true (Puzzle.solve ~max_tries:1 p0 <> None);
+  (* bounded search can fail *)
+  let p_hard = Puzzle.make ~rng ~difficulty:30 in
+  Alcotest.(check bool) "bounded search fails" true
+    (Puzzle.solve ~max_tries:2 p_hard = None);
+  (* round trip *)
+  match Puzzle.of_bytes (Puzzle.to_bytes p) with
+  | Some p' -> Alcotest.(check bool) "puzzle round trip" true (p' = p)
+  | None -> Alcotest.fail "puzzle round trip failed"
+
+let test_session_rekey () =
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  let su, sr = ok_or_fail "auth" (Deployment.authenticate d ~user:bob ~router ()) in
+  let before_rekey = Session.seal su "old epoch" in
+  Alcotest.(check bool) "pre-ratchet traffic flows" true
+    (Session.open_ sr before_rekey = Some "old epoch");
+  (* both ends ratchet in lockstep *)
+  Session.rekey su;
+  Session.rekey sr;
+  Alcotest.(check int) "generation bumped" 1 (Session.generation su);
+  let after = Session.seal su "new epoch" in
+  Alcotest.(check bool) "post-ratchet traffic flows" true
+    (Session.open_ sr after = Some "new epoch");
+  (* a message sealed before the ratchet no longer opens (old key gone) *)
+  let stale = Session.seal su "will be orphaned" in
+  Session.rekey su;
+  Session.rekey sr;
+  Alcotest.(check bool) "pre-ratchet message orphaned" true
+    (Session.open_ sr stale = None);
+  (* desynchronized generations cannot talk *)
+  Session.rekey su;
+  Alcotest.(check bool) "desync rejected" true
+    (Session.open_ sr (Session.seal su "x") = None)
+
+let test_relay_envelope () =
+  let config, _clock, d = make_deployment () in
+  ignore config;
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let _gm2 = Deployment.add_group d ~group_id:2 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let alice = ok_or_fail_str "alice" (Deployment.add_user d identity_alice) in
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  let sa, sb =
+    ok_or_fail "peer auth"
+      (Deployment.peer_authenticate d ~initiator:alice ~responder:bob ~router
+         ~initiator_group:1 ())
+  in
+  let wrapped = Relay.wrap sa ~dst:"router-7" "the inner M.2 bytes" in
+  (match Relay.unwrap sb wrapped with
+  | Some (dst, payload) ->
+    Alcotest.(check string) "dst" "router-7" dst;
+    Alcotest.(check string) "payload" "the inner M.2 bytes" payload
+  | None -> Alcotest.fail "unwrap failed");
+  (* replay of the same wrapped frame is rejected *)
+  Alcotest.(check bool) "relay replay rejected" true (Relay.unwrap sb wrapped = None);
+  (* tampering is rejected *)
+  let wrapped2 = Relay.wrap sa ~dst:"router-7" "x" in
+  let t = Bytes.of_string wrapped2 in
+  Bytes.set t (Bytes.length t - 1)
+    (Char.chr (Char.code (Bytes.get t (Bytes.length t - 1)) lxor 1));
+  Alcotest.(check bool) "tampered relay rejected" true
+    (Relay.unwrap sb (Bytes.to_string t) = None);
+  (* replies travel the other way *)
+  let reply = Relay.wrap_reply sb "the M.3 bytes" in
+  Alcotest.(check (option string)) "reply" (Some "the M.3 bytes")
+    (Relay.unwrap_reply sa reply);
+  (* a third party with a different session cannot unwrap *)
+  let sc, _ =
+    ok_or_fail "second peer auth"
+      (Deployment.peer_authenticate d ~initiator:alice ~responder:bob ~router
+         ~initiator_group:1 ())
+  in
+  Alcotest.(check bool) "foreign session cannot unwrap" true
+    (Relay.unwrap sc (Relay.wrap sa ~dst:"d" "p") = None)
+
+let test_onion_layers () =
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:8 in
+  let _gm2 = Deployment.add_group d ~group_id:2 ~size:8 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let sender = ok_or_fail_str "sender" (Deployment.add_user d identity_alice) in
+  let relay1 = ok_or_fail_str "relay1" (Deployment.add_user d identity_bob) in
+  let relay2 =
+    ok_or_fail_str "relay2"
+      (Deployment.add_user d
+         (Identity.make ~uid:"carl" ~name:"Carl" ~national_id:"c"
+            [ { Identity.group_id = 1; description = "r" } ]))
+  in
+  (* anonymous pairwise sessions with both relays *)
+  let s1_sender, s1_relay =
+    ok_or_fail "peer 1"
+      (Deployment.peer_authenticate d ~initiator:sender ~responder:relay1
+         ~router ~initiator_group:1 ())
+  in
+  let s2_sender, s2_relay =
+    ok_or_fail "peer 2"
+      (Deployment.peer_authenticate d ~initiator:sender ~responder:relay2
+         ~router ~initiator_group:1 ())
+  in
+  let onion =
+    Onion.wrap [ (s1_sender, "relay1"); (s2_sender, "relay2") ] "secret uplink"
+  in
+  (* hop 1 peels one layer: learns only the next hop, not the payload *)
+  (match Onion.peel s1_relay onion with
+  | Some (Onion.Forward ("relay2", inner)) -> begin
+    Alcotest.(check bool) "payload still hidden from hop 1" true
+      (inner <> "secret uplink");
+    (* hop 2 delivers *)
+    match Onion.peel s2_relay inner with
+    | Some (Onion.Deliver payload) ->
+      Alcotest.(check string) "delivered" "secret uplink" payload
+    | _ -> Alcotest.fail "hop 2 failed"
+  end
+  | _ -> Alcotest.fail "hop 1 failed");
+  (* a single-hop onion degenerates to direct delivery *)
+  let single = Onion.wrap [ (s1_sender, "relay1") ] "short path" in
+  (match Onion.peel s1_relay single with
+  | Some (Onion.Deliver p) -> Alcotest.(check string) "single hop" "short path" p
+  | _ -> Alcotest.fail "single hop failed");
+  (* the wrong relay cannot peel a layer meant for another *)
+  let onion2 =
+    Onion.wrap [ (s1_sender, "relay1"); (s2_sender, "relay2") ] "x"
+  in
+  Alcotest.(check bool) "wrong relay rejected" true
+    (Onion.peel s2_relay onion2 = None);
+  Alcotest.check_raises "empty path" (Invalid_argument "Onion.wrap: empty path")
+    (fun () -> ignore (Onion.wrap [] "x"))
+
+let test_router_redundancy () =
+  (* §III-A deployment assumption: "revocation of individual mesh routers
+     will not affect network connection" — overlapping coverage keeps
+     users connected when one router is evicted *)
+  let _config, _c, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router1 = Deployment.add_router d ~router_id:1 in
+  let router2 = Deployment.add_router d ~router_id:2 in
+  let user = ok_or_fail_str "user" (Deployment.add_user d identity_bob) in
+  ignore (ok_or_fail "via router 1" (Deployment.authenticate d ~user ~router:router1 ()));
+  Deployment.revoke_router d ~router_id:1;
+  (* the revoked router's beacons are now refused... *)
+  (match User.process_beacon user (Mesh_router.beacon router1) with
+  | Error Protocol_error.Router_revoked -> ()
+  | Ok _ -> Alcotest.fail "revoked router still accepted"
+  | Error e -> Alcotest.failf "unexpected: %s" (Protocol_error.to_string e));
+  (* ...but service continues through the redundant router *)
+  ignore (ok_or_fail "via router 2" (Deployment.authenticate d ~user ~router:router2 ()))
+
+let test_full_security_handshake () =
+  (* the entire stack at the paper's security level (512-bit field,
+     160-bit group): setup, enrollment, handshake, audit *)
+  let c = clock () in
+  let config =
+    Config.default ~clock:c (Lazy.force Peace_pairing.Params.light)
+  in
+  let d = Deployment.create ~seed:"light-e2e" config in
+  ignore (Deployment.add_group d ~group_id:1 ~size:1);
+  let router = Deployment.add_router d ~router_id:1 in
+  let user =
+    ok_or_fail_str "user"
+      (Deployment.add_user d
+         (Identity.make ~uid:"u" ~name:"U" ~national_id:"u"
+            [ { Identity.group_id = 1; description = "resident" } ]))
+  in
+  let su, sr = ok_or_fail "light auth" (Deployment.authenticate d ~user ~router ()) in
+  Alcotest.(check bool) "sessions match at light params" true
+    (Session.matches su sr);
+  match Deployment.trace_session d router ~session_id:(Session.id su) with
+  | Some r ->
+    Alcotest.(check (option string)) "traces at light params" (Some "u")
+      r.Law_authority.traced_uid
+  | None -> Alcotest.fail "trace failed at light params"
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let shared_env =
+  lazy
+    (let _config, _clock, d = make_deployment ~seed:"qcheck-env" () in
+     let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+     let router = Deployment.add_router d ~router_id:1 in
+     let user = ok_or_fail_str "user" (Deployment.add_user d identity_bob) in
+     (d, router, user))
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"session carries arbitrary payload streams" ~count:30
+      QCheck.(small_list string)
+      (fun payloads ->
+        let d, router, user = Lazy.force shared_env in
+        match Deployment.authenticate d ~user ~router () with
+        | Error _ -> false
+        | Ok (su, sr) ->
+          List.for_all
+            (fun payload -> Session.open_ sr (Session.seal su payload) = Some payload)
+            payloads);
+    QCheck.Test.make ~name:"puzzles solve and verify at any small difficulty"
+      ~count:30
+      QCheck.(pair (int_bound 10) small_string)
+      (fun (difficulty, seed) ->
+        let rng =
+          Peace_hash.Drbg.bytes_fn
+            (Peace_hash.Drbg.create ~seed:("pz" ^ seed) ())
+        in
+        let puzzle = Puzzle.make ~rng ~difficulty in
+        match Puzzle.solve puzzle with
+        | Some solution -> Puzzle.check puzzle solution
+        | None -> false);
+    QCheck.Test.make ~name:"relay envelopes bind their destination" ~count:20
+      QCheck.(pair small_string small_string)
+      (fun (dst, payload) ->
+        let d, router, user = Lazy.force shared_env in
+        ignore router;
+        ignore user;
+        let alice = Option.get (Deployment.user d ~uid:"bob") in
+        let router = Option.get (Deployment.router d ~router_id:1) in
+        match
+          Deployment.peer_authenticate d ~initiator:alice ~responder:alice
+            ~router ()
+        with
+        | Error _ ->
+          (* self-peer is not meaningful; fall back to a session pair *)
+          true
+        | Ok (sa, sb) -> begin
+          match Relay.unwrap sb (Relay.wrap sa ~dst payload) with
+          | Some (dst', payload') -> dst' = dst && payload' = payload
+          | None -> false
+        end);
+  ]
+
+let suite =
+  [
+    ( "setup",
+      [
+        Alcotest.test_case "three-way key split" `Quick test_setup_key_split;
+        Alcotest.test_case "blinding involution" `Quick test_blinding_involution;
+      ] );
+    ( "user-router",
+      [
+        Alcotest.test_case "handshake" `Quick test_user_router_handshake;
+        Alcotest.test_case "replay/staleness" `Quick test_replay_and_staleness;
+        Alcotest.test_case "rogue router" `Quick test_rogue_router_rejected;
+        Alcotest.test_case "revoked router" `Quick test_revoked_router_rejected;
+        Alcotest.test_case "outsider" `Quick test_outsider_rejected;
+        Alcotest.test_case "revocation eviction" `Quick test_user_revocation_eviction;
+        Alcotest.test_case "client puzzles" `Quick test_puzzles_under_attack;
+      ] );
+    ( "user-user",
+      [
+        Alcotest.test_case "handshake" `Quick test_user_user_handshake;
+        Alcotest.test_case "revoked peer" `Quick test_peer_revoked_rejected;
+      ] );
+    ( "audit",
+      [
+        Alcotest.test_case "audit and trace" `Quick test_audit_and_trace;
+        Alcotest.test_case "role separation" `Quick test_audit_role_separation;
+      ] );
+    ( "infrastructure",
+      [
+        Alcotest.test_case "message round trips" `Quick test_message_round_trips;
+        Alcotest.test_case "certificate lifecycle" `Quick test_certificate_lifecycle;
+        Alcotest.test_case "session counters" `Quick test_session_counters;
+        Alcotest.test_case "relay envelope" `Quick test_relay_envelope;
+        Alcotest.test_case "session rekey" `Quick test_session_rekey;
+        Alcotest.test_case "onion layers" `Quick test_onion_layers;
+        Alcotest.test_case "router redundancy" `Quick test_router_redundancy;
+        Alcotest.test_case "full-security end-to-end" `Slow test_full_security_handshake;
+        Alcotest.test_case "puzzle module" `Quick test_puzzle_module;
+      ] );
+    ("core-properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
+
+let () = Alcotest.run "peace-core" suite

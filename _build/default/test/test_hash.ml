@@ -1,0 +1,133 @@
+(* FIPS / RFC vectors for the hash library, plus streaming and DRBG tests. *)
+
+open Peace_hash
+
+let check_hex name expected got =
+  Alcotest.(check string) name expected (Sha256.to_hex got)
+
+let test_sha256_vectors () =
+  check_hex "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "");
+  check_hex "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc");
+  check_hex "two-block"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (String.make 1_000_000 'a'))
+
+let test_sha256_streaming () =
+  (* arbitrary chunking must agree with one-shot *)
+  let message = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let expected = Sha256.digest message in
+  let chunkings = [ [ 1000 ]; [ 1; 999 ]; [ 63; 1; 936 ]; [ 64; 64; 872 ]; [ 10; 20; 970 ] ] in
+  List.iter
+    (fun chunks ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun len ->
+          Sha256.update ctx (String.sub message !pos len);
+          pos := !pos + len)
+        chunks;
+      Alcotest.(check string) "chunked = one-shot" (Sha256.to_hex expected)
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    chunkings
+
+let test_sha512_vectors () =
+  check_hex "sha512 empty"
+    "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+    (Sha512.digest "");
+  check_hex "sha512 abc"
+    "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+    (Sha512.digest "abc")
+
+let test_hmac_vectors () =
+  let fox = "The quick brown fox jumps over the lazy dog" in
+  check_hex "hmac-sha256"
+    "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+    (Hmac.sha256 ~key:"key" fox);
+  check_hex "hmac-sha512"
+    "b42af09057bac1e2d41708e48a902e09b5ff7f12ab428a4fe86653c73dd248fb82f948a549f7b791a5b41915ee4d1ec3935357e4e2317250d0372afa2ebeeb3a"
+    (Hmac.sha512 ~key:"key" fox);
+  (* keys longer than the block size are hashed first *)
+  check_hex "hmac long key"
+    "e2adadca233bc31c6e6126c865132c3e945f9dedd44797a1e5acc3c037bc21fc"
+    (Hmac.sha256 ~key:(String.make 200 'k') "msg")
+
+let test_hkdf_rfc5869 () =
+  let ikm = String.make 22 '\x0b' in
+  let salt = String.init 13 Char.chr in
+  let info = String.init 10 (fun i -> Char.chr (0xf0 + i)) in
+  check_hex "hkdf prk"
+    "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    (Hmac.hkdf_extract ~salt ikm);
+  check_hex "hkdf okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Hmac.hkdf ~salt ~info ikm 42)
+
+let test_constant_time_equal () =
+  Alcotest.(check bool) "equal" true (Hmac.equal_constant_time "abcd" "abcd");
+  Alcotest.(check bool) "differs" false (Hmac.equal_constant_time "abcd" "abce");
+  Alcotest.(check bool) "length differs" false (Hmac.equal_constant_time "ab" "abc");
+  Alcotest.(check bool) "empty" true (Hmac.equal_constant_time "" "")
+
+let test_drbg () =
+  let d1 = Drbg.create ~seed:"seed material" () in
+  let d2 = Drbg.create ~seed:"seed material" () in
+  let a = Drbg.generate d1 48 and b = Drbg.generate d2 48 in
+  Alcotest.(check string) "deterministic" (Sha256.to_hex a) (Sha256.to_hex b);
+  let c = Drbg.generate d1 48 in
+  Alcotest.(check bool) "advances" true (a <> c);
+  let d3 = Drbg.create ~seed:"other seed" () in
+  Alcotest.(check bool) "seed-sensitive" true (Drbg.generate d3 48 <> a);
+  let d4 = Drbg.create ~seed:"seed material" ~personalization:"p" () in
+  Alcotest.(check bool) "personalization-sensitive" true
+    (Drbg.generate d4 48 <> a);
+  Drbg.reseed d2 "fresh entropy";
+  Alcotest.(check bool) "reseed diverges" true (Drbg.generate d2 48 <> c);
+  Alcotest.(check int) "requested length" 100 (String.length (Drbg.generate d1 100));
+  Alcotest.(check string) "zero length" "" (Drbg.generate d1 0)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"sha256 is 32 bytes" ~count:100 QCheck.string
+      (fun s -> String.length (Sha256.digest s) = 32);
+    QCheck.Test.make ~name:"sha512 is 64 bytes" ~count:100 QCheck.string
+      (fun s -> String.length (Sha512.digest s) = 64);
+    QCheck.Test.make ~name:"split update = one-shot" ~count:100
+      (QCheck.pair QCheck.string QCheck.string)
+      (fun (a, b) ->
+        let ctx = Sha256.init () in
+        Sha256.update ctx a;
+        Sha256.update ctx b;
+        Sha256.finalize ctx = Sha256.digest (a ^ b));
+    QCheck.Test.make ~name:"hmac key separation" ~count:100
+      (QCheck.pair QCheck.string QCheck.string)
+      (fun (k, m) ->
+        Hmac.sha256 ~key:k m = Hmac.sha256 ~key:k m
+        && Hmac.sha256 ~key:(k ^ "x") m <> Hmac.sha256 ~key:k m);
+    QCheck.Test.make ~name:"constant-time equal agrees with (=)" ~count:200
+      (QCheck.pair QCheck.string QCheck.string)
+      (fun (a, b) -> Hmac.equal_constant_time a b = (a = b));
+  ]
+
+let suite =
+  [
+    ( "hash",
+      [
+        Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "sha256 streaming" `Quick test_sha256_streaming;
+        Alcotest.test_case "sha512 vectors" `Quick test_sha512_vectors;
+        Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
+        Alcotest.test_case "hkdf rfc5869" `Quick test_hkdf_rfc5869;
+        Alcotest.test_case "constant-time equal" `Quick test_constant_time_equal;
+        Alcotest.test_case "hmac-drbg" `Quick test_drbg;
+      ] );
+    ("hash-properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
+
+let () = Alcotest.run "peace-hash" suite

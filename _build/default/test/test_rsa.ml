@@ -1,0 +1,83 @@
+(* RSA baseline tests: keygen, sign/verify round trips, tampering. *)
+
+open Peace_bigint
+open Peace_rsa
+
+let test_rng seed =
+  let state = ref seed in
+  fun n ->
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      state := (!state * 2685821657736338717) + 1442695040888963407;
+      Bytes.set b i (Char.chr ((!state lsr 32) land 0xff))
+    done;
+    Bytes.unsafe_to_string b
+
+(* 512-bit keys keep tests fast; the bench uses RSA-1024 *)
+let key = Rsa.generate (test_rng 5) ~bits:512
+
+let test_keygen () =
+  Alcotest.(check int) "modulus bits" 512 (Bigint.num_bits key.public.n);
+  Alcotest.(check bool) "n = p*q" true
+    (Bigint.equal key.public.n (Bigint.mul key.p key.q));
+  Alcotest.(check bool) "p prime" true (Prime.is_probable_prime key.p);
+  Alcotest.(check bool) "q prime" true (Prime.is_probable_prime key.q);
+  (* e*d = 1 mod lambda(n) *)
+  let p1 = Bigint.pred key.p and q1 = Bigint.pred key.q in
+  let lambda = Bigint.div (Bigint.mul p1 q1) (Bigint.gcd p1 q1) in
+  Alcotest.(check bool) "e*d = 1 (mod lambda)" true
+    (Bigint.is_one (Modular.mul key.public.e key.d lambda));
+  Alcotest.(check int) "signature size" 64 (Rsa.signature_size key.public)
+
+let test_sign_verify () =
+  let msg = "metered access receipt #8812" in
+  let signature = Rsa.sign key msg in
+  Alcotest.(check int) "signature length" 64 (String.length signature);
+  Alcotest.(check bool) "verifies" true (Rsa.verify key.public msg signature);
+  Alcotest.(check bool) "wrong message" false
+    (Rsa.verify key.public "other" signature);
+  let tampered = Bytes.of_string signature in
+  Bytes.set tampered 10 (Char.chr (Char.code (Bytes.get tampered 10) lxor 1));
+  Alcotest.(check bool) "tampered" false
+    (Rsa.verify key.public msg (Bytes.to_string tampered));
+  Alcotest.(check bool) "short signature" false (Rsa.verify key.public msg "short");
+  Alcotest.(check bool) "oversize value" false
+    (Rsa.verify key.public msg (String.make 64 '\xff'));
+  (* a different key must not verify *)
+  let key2 = Rsa.generate (test_rng 6) ~bits:512 in
+  Alcotest.(check bool) "wrong key" false (Rsa.verify key2.public msg signature)
+
+let test_crt_consistency () =
+  (* CRT signing must agree with the plain private exponent *)
+  let msg = "crt check" in
+  let em_len = Rsa.signature_size key.public in
+  let signature = Bigint.of_bytes_be (Rsa.sign key msg) in
+  let recovered = Modular.powm signature key.public.e key.public.n in
+  let direct = Modular.powm recovered key.d key.public.n in
+  Alcotest.(check bool) "s = em^d" true (Bigint.equal direct signature);
+  Alcotest.(check int) "em width" em_len
+    (String.length (Bigint.to_bytes_be ~width:em_len recovered))
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"sign/verify round trip" ~count:20 QCheck.string
+      (fun msg -> Rsa.verify key.public msg (Rsa.sign key msg));
+    QCheck.Test.make ~name:"signatures bind the message" ~count:20
+      (QCheck.pair QCheck.string QCheck.string)
+      (fun (m1, m2) ->
+        QCheck.assume (m1 <> m2);
+        not (Rsa.verify key.public m2 (Rsa.sign key m1)));
+  ]
+
+let suite =
+  [
+    ( "rsa",
+      [
+        Alcotest.test_case "keygen" `Quick test_keygen;
+        Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+        Alcotest.test_case "crt consistency" `Quick test_crt_consistency;
+      ] );
+    ("rsa-properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
+
+let () = Alcotest.run "peace-rsa" suite

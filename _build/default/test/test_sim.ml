@@ -1,0 +1,224 @@
+(* Simulator tests: event queue/engine determinism, radio model, and smoke
+   runs of every scenario checking the security-critical outcomes. *)
+
+open Peace_sim
+
+let test_event_queue () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Event_queue.push q ~time:30 "c";
+  Event_queue.push q ~time:10 "a";
+  Event_queue.push q ~time:20 "b";
+  Event_queue.push q ~time:10 "a2";
+  Alcotest.(check int) "size" 4 (Event_queue.size q);
+  Alcotest.(check (option int)) "peek" (Some 10) (Event_queue.peek_time q);
+  let order = List.init 4 (fun _ -> Event_queue.pop q) in
+  Alcotest.(check (list (option (pair int string))))
+    "fifo within equal times"
+    [ Some (10, "a"); Some (10, "a2"); Some (20, "b"); Some (30, "c") ]
+    order;
+  Alcotest.(check (option (pair int string))) "empty pop" None (Event_queue.pop q)
+
+let test_engine () =
+  let engine = Engine.create ~start:0 () in
+  let log = ref [] in
+  Engine.schedule engine ~delay:100 (fun () -> log := "b" :: !log);
+  Engine.schedule engine ~delay:50 (fun () ->
+      log := "a" :: !log;
+      (* events may schedule more events *)
+      Engine.schedule engine ~delay:10 (fun () -> log := "a'" :: !log));
+  Engine.schedule engine ~delay:200 (fun () -> log := "c" :: !log);
+  Engine.run ~until:150 engine;
+  Alcotest.(check (list string)) "order up to horizon" [ "b"; "a'"; "a" ] !log;
+  Alcotest.(check int) "clock landed on horizon" 150 (Engine.now engine);
+  Alcotest.(check int) "c still pending" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check (list string)) "c ran" [ "c"; "b"; "a'"; "a" ] !log;
+  Alcotest.(check int) "clock at last event" 200 (Engine.now engine)
+
+let test_engine_periodic () =
+  let engine = Engine.create ~start:0 () in
+  let ticks = ref 0 in
+  Engine.schedule_every engine ~period:10 ~until:55 (fun () -> incr ticks);
+  Engine.run ~until:100 engine;
+  (* ticks at 10,20,30,40,50 and one final at 60 > 55 stops *)
+  Alcotest.(check bool) "about 5 ticks" true (!ticks >= 5 && !ticks <= 6)
+
+let test_net_delivery () =
+  let engine = Engine.create ~start:0 () in
+  let rand = Sim_rand.create ~seed:1 in
+  let net = Net.create engine rand () in
+  let received = ref [] in
+  Net.register net 1 ~pos:(0.0, 0.0) (fun m -> received := ("n1", m) :: !received);
+  Net.register net 2 ~pos:(100.0, 0.0) (fun m -> received := ("n2", m) :: !received);
+  Net.register net 3 ~pos:(5000.0, 0.0) (fun m -> received := ("n3", m) :: !received);
+  Net.send net ~src:1 ~dst:2 "hello";
+  Engine.run engine;
+  Alcotest.(check (list (pair string string))) "delivered" [ ("n2", "hello") ] !received;
+  Alcotest.(check int) "bytes counted" 5 (Net.bytes_sent net);
+  (* broadcast respects range *)
+  received := [];
+  Net.broadcast net ~src:1 ~range:500.0 "beacon";
+  Engine.run engine;
+  Alcotest.(check (list (pair string string))) "only in-range node" [ ("n2", "beacon") ] !received;
+  (* nearest *)
+  Alcotest.(check (option int)) "nearest" (Some 2) (Net.nearest net ~of_:1 ~among:[ 2; 3 ]);
+  (* lossy network drops some frames *)
+  let lossy = Net.create engine rand ~loss_prob:1.0 () in
+  Net.register lossy 1 ~pos:(0.0, 0.0) (fun _ -> ());
+  Net.register lossy 2 ~pos:(1.0, 0.0) (fun _ -> Alcotest.fail "lost frame delivered");
+  Net.send lossy ~src:1 ~dst:2 "x";
+  Engine.run engine;
+  Alcotest.(check int) "loss counted" 1 (Net.frames_lost lossy)
+
+let test_sim_rand () =
+  let r = Sim_rand.create ~seed:7 in
+  for _ = 1 to 100 do
+    let v = Sim_rand.int r 10 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 10);
+    let f = Sim_rand.float r 1.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0);
+    let e = Sim_rand.exponential r ~mean:5.0 in
+    Alcotest.(check bool) "exponential positive" true (e >= 0.0)
+  done;
+  (* determinism *)
+  let a = Sim_rand.create ~seed:3 and b = Sim_rand.create ~seed:3 in
+  Alcotest.(check (list int)) "deterministic"
+    (List.init 10 (fun _ -> Sim_rand.int a 1000))
+    (List.init 10 (fun _ -> Sim_rand.int b 1000))
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Metrics.incr m "x";
+  Metrics.incr_by m "y" 5;
+  Alcotest.(check int) "count" 2 (Metrics.count m "x");
+  Alcotest.(check int) "count y" 5 (Metrics.count m "y");
+  Alcotest.(check int) "unknown" 0 (Metrics.count m "z");
+  List.iter (fun v -> Metrics.sample m "lat" v) [ 1.0; 2.0; 3.0; 4.0; 100.0 ];
+  (match Metrics.mean m "lat" with
+  | Some mean -> Alcotest.(check (float 0.01)) "mean" 22.0 mean
+  | None -> Alcotest.fail "no mean");
+  match Metrics.percentile m "lat" 50.0 with
+  | Some p -> Alcotest.(check bool) "median sane" true (p >= 2.0 && p <= 4.0)
+  | None -> Alcotest.fail "no percentile"
+
+let test_attack_matrix () =
+  let m = Scenario.attack_matrix ~seed:5 ~attempts_per_class:3 () in
+  Alcotest.(check int) "outsider never accepted" 0 m.Scenario.am_outsider_accepted;
+  Alcotest.(check int) "revoked never accepted" 0 m.Scenario.am_revoked_accepted;
+  Alcotest.(check int) "replay never accepted" 0 m.Scenario.am_replay_accepted;
+  Alcotest.(check int) "rogue beacon never accepted" 0 m.Scenario.am_rogue_beacons_accepted;
+  Alcotest.(check int) "legit always accepted" 3 m.Scenario.am_legit_accepted
+
+let test_city_smoke () =
+  let r =
+    Scenario.city_auth ~seed:11 ~n_routers:2 ~n_users:6 ~duration_ms:30_000
+      ~mean_interarrival_ms:8_000.0 ()
+  in
+  Alcotest.(check bool) "some attempts" true (r.Scenario.cr_attempts > 0);
+  Alcotest.(check bool) "some successes" true (r.Scenario.cr_successes > 0);
+  Alcotest.(check bool) "successes <= attempts" true
+    (r.Scenario.cr_successes <= r.Scenario.cr_attempts);
+  Alcotest.(check bool) "bytes on air" true (r.Scenario.cr_bytes_on_air > 0);
+  Alcotest.(check bool) "handshake latency positive" true
+    (r.Scenario.cr_handshake_mean_ms > 0.0);
+  (* determinism: same seed, same outcome *)
+  let r2 =
+    Scenario.city_auth ~seed:11 ~n_routers:2 ~n_users:6 ~duration_ms:30_000
+      ~mean_interarrival_ms:8_000.0 ()
+  in
+  Alcotest.(check int) "deterministic attempts" r.Scenario.cr_attempts r2.Scenario.cr_attempts;
+  Alcotest.(check int) "deterministic successes" r.Scenario.cr_successes r2.Scenario.cr_successes
+
+let test_dos_smoke () =
+  let without =
+    Scenario.dos_attack ~seed:21 ~puzzles:false ~attack_rate_per_s:40.0
+      ~legit_rate_per_s:1.0 ~duration_ms:20_000 ()
+  in
+  let with_puzzles =
+    (* a modest attacker device: 10k hashes/s, so difficulty 12 caps its
+       request rate at ~2.4/s against the 40/s it attempts *)
+    Scenario.dos_attack ~seed:21 ~puzzles:true ~puzzle_difficulty:12
+      ~attacker_hash_rate_per_ms:10.0 ~attack_rate_per_s:40.0
+      ~legit_rate_per_s:1.0 ~duration_ms:20_000 ()
+  in
+  Alcotest.(check bool) "flood reached the router" true
+    (without.Scenario.dr_bogus_received > 50);
+  (* puzzles slash the expensive verification load *)
+  Alcotest.(check bool) "puzzles reduce verifications" true
+    (with_puzzles.Scenario.dr_expensive_verifications
+    < without.Scenario.dr_expensive_verifications / 2);
+  (* and force the attacker to burn hash work *)
+  Alcotest.(check bool) "attacker pays hashes" true
+    (with_puzzles.Scenario.dr_attacker_hashes > 0);
+  Alcotest.(check int) "no attacker hashes without puzzles" 0
+    without.Scenario.dr_attacker_hashes;
+  (* legitimate users still succeed under puzzles *)
+  Alcotest.(check bool) "legit users pass with puzzles" true
+    (with_puzzles.Scenario.dr_legit_successes > 0)
+
+let test_phishing_smoke () =
+  let r =
+    Scenario.phishing ~seed:31 ~crl_refresh_ms:60_000 ~revoke_at_ms:123_000
+      ~duration_ms:400_000 ~attempt_period_ms:10_000 ()
+  in
+  Alcotest.(check bool) "worked before revocation" true
+    (r.Scenario.pr_accepted_before_revocation > 0);
+  Alcotest.(check int) "never accepted after refresh" 0
+    r.Scenario.pr_accepted_after_refresh;
+  (* phishing DOES succeed inside the stale window... *)
+  Alcotest.(check bool) "window exists" true (r.Scenario.pr_accepted_in_window > 0);
+  (* ...but the exposure window is bounded by the refresh period *)
+  Alcotest.(check bool) "window bounded by refresh" true
+    (r.Scenario.pr_window_ms <= 60_000)
+
+let test_city_with_losses () =
+  (* a 15%-loss radio still converges: interrupted handshakes retry *)
+  let r =
+    Scenario.city_auth ~seed:13 ~n_routers:2 ~n_users:6 ~loss_prob:0.15
+      ~area_m:800.0 ~range_m:600.0 ~duration_ms:40_000
+      ~mean_interarrival_ms:8_000.0 ()
+  in
+  Alcotest.(check bool) "attempts happened" true (r.Scenario.cr_attempts > 0);
+  Alcotest.(check bool) "most attempts still succeed" true
+    (float_of_int r.Scenario.cr_successes
+    >= 0.5 *. float_of_int r.Scenario.cr_attempts)
+
+let test_multihop () =
+  let r =
+    Scenario.multihop_auth ~seed:5 ~n_near:4 ~n_far:4 ~duration_ms:30_000 ()
+  in
+  Alcotest.(check int) "near users authenticate directly" 4
+    r.Scenario.mh_near_successes;
+  Alcotest.(check int) "far users authenticate via relays" 4
+    r.Scenario.mh_far_successes;
+  Alcotest.(check bool) "peer handshakes ran" true
+    (r.Scenario.mh_peer_handshakes >= 4)
+
+let suite =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "event queue" `Quick test_event_queue;
+        Alcotest.test_case "engine" `Quick test_engine;
+        Alcotest.test_case "periodic" `Quick test_engine_periodic;
+      ] );
+    ( "net",
+      [
+        Alcotest.test_case "delivery" `Quick test_net_delivery;
+        Alcotest.test_case "sim rand" `Quick test_sim_rand;
+        Alcotest.test_case "metrics" `Quick test_metrics;
+      ] );
+    ( "scenarios",
+      [
+        Alcotest.test_case "attack matrix" `Quick test_attack_matrix;
+        Alcotest.test_case "city smoke" `Slow test_city_smoke;
+        Alcotest.test_case "dos smoke" `Slow test_dos_smoke;
+        Alcotest.test_case "phishing smoke" `Slow test_phishing_smoke;
+        Alcotest.test_case "multihop relay" `Slow test_multihop;
+        Alcotest.test_case "lossy radio retries" `Slow test_city_with_losses;
+      ] );
+  ]
+
+let () = Alcotest.run "peace-sim" suite

@@ -1,0 +1,135 @@
+(* Tests for the small supporting modules: clocks, identities,
+   configuration, certificates/URL serialisation, and the blinding pad. *)
+
+open Peace_bigint
+open Peace_ec
+open Peace_core
+
+let test_clock () =
+  let c = Clock.manual ~start:100 () in
+  Alcotest.(check int) "start" 100 (Clock.now c);
+  Clock.advance c 50;
+  Alcotest.(check int) "advanced" 150 (Clock.now c);
+  Clock.set c 10;
+  Alcotest.(check int) "set backwards" 10 (Clock.now c);
+  Alcotest.check_raises "negative advance" (Invalid_argument "Clock.advance: negative amount")
+    (fun () -> Clock.advance c (-1));
+  Alcotest.check_raises "system advance" (Invalid_argument "Clock.advance: system clock")
+    (fun () -> Clock.advance Clock.system 1);
+  (* the system clock moves monotonically-ish and looks like epoch ms *)
+  Alcotest.(check bool) "system clock plausible" true
+    (Clock.now Clock.system > 1_500_000_000_000)
+
+let test_identity () =
+  let id =
+    Identity.make ~uid:"u1" ~name:"Jane Roe" ~national_id:"000-11-2222"
+      [
+        { Identity.group_id = 3; description = "engineer of X" };
+        { Identity.group_id = 9; description = "member of Y" };
+      ]
+  in
+  Alcotest.(check bool) "has role 3" true (Identity.has_role id ~group_id:3);
+  Alcotest.(check bool) "no role 4" false (Identity.has_role id ~group_id:4);
+  Alcotest.(check (option string)) "role description"
+    (Some "engineer of X")
+    (Identity.role_description id ~group_id:3);
+  Alcotest.(check (option string)) "missing role" None
+    (Identity.role_description id ~group_id:4);
+  (* the printer never leaks essential attributes *)
+  let printed = Format.asprintf "%a" Identity.pp id in
+  Alcotest.(check bool) "no name in pp" false
+    (Astring.String.is_infix ~affix:"Jane" printed);
+  Alcotest.(check bool) "no ssn in pp" false
+    (Astring.String.is_infix ~affix:"2222" printed);
+  Alcotest.(check bool) "uid in pp" true
+    (Astring.String.is_infix ~affix:"u1" printed)
+
+let test_config_defaults () =
+  let config = Config.tiny_test () in
+  Alcotest.(check string) "ecdsa curve is secp160r1 (the paper's ECDSA-160)"
+    "secp160r1"
+    (Curve.name config.Config.curve);
+  Alcotest.(check bool) "window positive" true (config.Config.ts_window_ms > 0);
+  Alcotest.(check bool) "crl period > window" true
+    (config.Config.crl_period_ms > config.Config.ts_window_ms)
+
+let test_url_serialisation () =
+  let config = Config.tiny_test () in
+  let rng = Peace_hash.Drbg.bytes_fn (Peace_hash.Drbg.create ~seed:"url" ()) in
+  let operator_key = Ecdsa.generate config.Config.curve rng in
+  let tokens =
+    List.init 3 (fun _ -> Peace_pairing.G1.random config.Config.pairing rng)
+  in
+  let url = Url.issue config ~operator_key ~seq:5 ~now:123 ~tokens in
+  Alcotest.(check bool) "verifies" true
+    (Url.verify config ~operator_public:operator_key.Ecdsa.q url);
+  Alcotest.(check int) "size" 3 (Url.size url);
+  (match Url.of_bytes config (Url.to_bytes config url) with
+  | Some url' ->
+    Alcotest.(check int) "round-trip seq" 5 url'.Url.seq;
+    Alcotest.(check int) "round-trip tokens" 3 (Url.size url');
+    Alcotest.(check bool) "round-trip verifies" true
+      (Url.verify config ~operator_public:operator_key.Ecdsa.q url')
+  | None -> Alcotest.fail "url round trip failed");
+  Alcotest.(check bool) "garbage rejected" true (Url.of_bytes config "zz" = None);
+  (* membership is by point equality *)
+  Alcotest.(check bool) "mem" true (Url.mem config url (List.hd tokens));
+  let other = Peace_pairing.G1.random config.Config.pairing rng in
+  Alcotest.(check bool) "not mem" false (Url.mem config url other);
+  (* a forged URL (tampered token list) fails signature verification *)
+  let forged = { url with Url.tokens = other :: Url.tokens url } in
+  Alcotest.(check bool) "forged rejected" false
+    (Url.verify config ~operator_public:operator_key.Ecdsa.q forged)
+
+let test_crl_serialisation () =
+  let config = Config.tiny_test () in
+  let rng = Peace_hash.Drbg.bytes_fn (Peace_hash.Drbg.create ~seed:"crl" ()) in
+  let operator_key = Ecdsa.generate config.Config.curve rng in
+  let crl = Cert.issue_crl config ~operator_key ~seq:2 ~now:1000 ~revoked:[ 7; 3; 7 ] in
+  Alcotest.(check bool) "revoked ids deduplicated" true
+    (crl.Cert.revoked_routers = [ 3; 7 ]);
+  Alcotest.(check bool) "verifies" true
+    (Cert.verify_crl config ~operator_public:operator_key.Ecdsa.q crl = Ok ());
+  (match Cert.crl_of_bytes config (Cert.crl_to_bytes config crl) with
+  | Some crl' ->
+    Alcotest.(check bool) "round trip verifies" true
+      (Cert.verify_crl config ~operator_public:operator_key.Ecdsa.q crl' = Ok ());
+    Alcotest.(check bool) "membership preserved" true
+      (Cert.crl_mem crl' ~router_id:7 && not (Cert.crl_mem crl' ~router_id:8))
+  | None -> Alcotest.fail "crl round trip failed");
+  (* staleness boundary *)
+  Alcotest.(check bool) "fresh" false
+    (Cert.crl_is_stale config crl ~now:(1000 + config.Config.crl_period_ms));
+  Alcotest.(check bool) "stale" true
+    (Cert.crl_is_stale config crl ~now:(1001 + config.Config.crl_period_ms))
+
+let test_blinding_edge_cases () =
+  (* pad width follows the data, not the secret *)
+  let x = Bigint.of_string "0xffffffffffffffffffffffffffffffffffffffff" in
+  List.iter
+    (fun n ->
+      let data = String.init n (fun i -> Char.chr (i mod 256)) in
+      Alcotest.(check string)
+        (Printf.sprintf "involution at %d bytes" n)
+        data
+        (Blinding.apply ~x (Blinding.apply ~x data)))
+    [ 0; 1; 31; 32; 33; 257 ];
+  (* tiny secrets still produce full-width pads *)
+  let short = Blinding.apply ~x:Bigint.one (String.make 64 '\000') in
+  Alcotest.(check bool) "pad covers full width" true
+    (String.exists (fun c -> c <> '\000') (String.sub short 32 32))
+
+let suite =
+  [
+    ( "support",
+      [
+        Alcotest.test_case "clock" `Quick test_clock;
+        Alcotest.test_case "identity" `Quick test_identity;
+        Alcotest.test_case "config defaults" `Quick test_config_defaults;
+        Alcotest.test_case "url serialisation" `Quick test_url_serialisation;
+        Alcotest.test_case "crl serialisation" `Quick test_crl_serialisation;
+        Alcotest.test_case "blinding edges" `Quick test_blinding_edge_cases;
+      ] );
+  ]
+
+let () = Alcotest.run "peace-support" suite

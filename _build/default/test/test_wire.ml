@@ -1,0 +1,132 @@
+(* Wire-format tests: writer/reader round trips, truncation, trailing
+   garbage, limits — the decoder surface every adversary touches first. *)
+
+open Peace_core
+
+let test_round_trip () =
+  let w = Wire.writer () in
+  Wire.u8 w 0xab;
+  Wire.u32 w 123456;
+  Wire.u64 w 9876543210;
+  Wire.bytes w "hello";
+  Wire.bytes w "";
+  Wire.raw w "raw!";
+  let r = Wire.reader (Wire.contents w) in
+  let open Wire in
+  let result =
+    let* a = read_u8 r in
+    let* b = read_u32 r in
+    let* c = read_u64 r in
+    let* d = read_bytes r in
+    let* e = read_bytes r in
+    let* f = read_raw r 4 in
+    let* () = expect_end r in
+    Ok (a, b, c, d, e, f)
+  in
+  match result with
+  | Ok (a, b, c, d, e, f) ->
+    Alcotest.(check int) "u8" 0xab a;
+    Alcotest.(check int) "u32" 123456 b;
+    Alcotest.(check int) "u64" 9876543210 c;
+    Alcotest.(check string) "bytes" "hello" d;
+    Alcotest.(check string) "empty bytes" "" e;
+    Alcotest.(check string) "raw" "raw!" f
+  | Error reason -> Alcotest.failf "decode failed: %s" reason
+
+let test_bounds () =
+  let w = Wire.writer () in
+  Alcotest.check_raises "u8 range" (Invalid_argument "Wire.u8") (fun () ->
+      Wire.u8 w 256);
+  Alcotest.check_raises "u8 negative" (Invalid_argument "Wire.u8") (fun () ->
+      Wire.u8 w (-1));
+  Alcotest.check_raises "u32 range" (Invalid_argument "Wire.u32") (fun () ->
+      Wire.u32 w 0x1_0000_0000);
+  Alcotest.check_raises "u64 negative" (Invalid_argument "Wire.u64") (fun () ->
+      Wire.u64 w (-5));
+  (* boundary values survive *)
+  Wire.u8 w 255;
+  Wire.u32 w 0xFFFFFFFF;
+  Wire.u64 w max_int;
+  let r = Wire.reader (Wire.contents w) in
+  let open Wire in
+  match
+    let* a = read_u8 r in
+    let* b = read_u32 r in
+    let* c = read_u64 r in
+    Ok (a, b, c)
+  with
+  | Ok (255, 0xFFFFFFFF, v) when v = max_int -> ()
+  | Ok _ -> Alcotest.fail "boundary values corrupted"
+  | Error reason -> Alcotest.fail reason
+
+let test_truncation () =
+  let w = Wire.writer () in
+  Wire.bytes w "payload";
+  let full = Wire.contents w in
+  for cut = 0 to String.length full - 1 do
+    let r = Wire.reader (String.sub full 0 cut) in
+    match Wire.read_bytes r with
+    | Ok _ -> Alcotest.failf "truncation at %d accepted" cut
+    | Error _ -> ()
+  done
+
+let test_trailing () =
+  let w = Wire.writer () in
+  Wire.u32 w 7;
+  let r = Wire.reader (Wire.contents w ^ "junk") in
+  let open Wire in
+  match
+    let* _ = read_u32 r in
+    expect_end r
+  with
+  | Ok () -> Alcotest.fail "trailing bytes accepted"
+  | Error _ -> ()
+
+let test_length_prefix_lies () =
+  (* a length prefix larger than the remaining input must fail cleanly *)
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 1000l;
+  let r = Wire.reader (Bytes.to_string b ^ "short") in
+  match Wire.read_bytes r with
+  | Ok _ -> Alcotest.fail "lying length accepted"
+  | Error _ -> ()
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"bytes round trip" ~count:200 QCheck.string (fun s ->
+        let w = Wire.writer () in
+        Wire.bytes w s;
+        let r = Wire.reader (Wire.contents w) in
+        match Wire.read_bytes r with Ok s' -> s' = s | Error _ -> false);
+    QCheck.Test.make ~name:"u64 round trip" ~count:200 QCheck.(map abs int)
+      (fun v ->
+        let w = Wire.writer () in
+        Wire.u64 w v;
+        match Wire.read_u64 (Wire.reader (Wire.contents w)) with
+        | Ok v' -> v' = v
+        | Error _ -> false);
+    QCheck.Test.make ~name:"random garbage never crashes decoders" ~count:200
+      QCheck.string
+      (fun junk ->
+        let r = Wire.reader junk in
+        (match Wire.read_bytes r with Ok _ | Error _ -> true)
+        &&
+        let config = Config.tiny_test () in
+        Messages.beacon_of_bytes config junk = None
+        || String.length junk > 0 (* decoding may only succeed on real data *));
+  ]
+
+let suite =
+  [
+    ( "wire",
+      [
+        Alcotest.test_case "round trip" `Quick test_round_trip;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "truncation" `Quick test_truncation;
+        Alcotest.test_case "trailing bytes" `Quick test_trailing;
+        Alcotest.test_case "lying length prefix" `Quick test_length_prefix_lies;
+      ] );
+    ("wire-properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
+
+let () = Alcotest.run "peace-wire" suite
