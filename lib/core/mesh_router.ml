@@ -164,84 +164,129 @@ let beacon t =
 
 let cheap_reject t err =
   t.cheap_rejections <- t.cheap_rejections + 1;
-  Error err
+  err
 
-let rec handle_access_request t (m : Messages.access_request) =
+(* the pre-verification half of (M.2) processing: cheap checks (freshness,
+   matching beacon, replay cache, puzzle), then replay-cache insertion and
+   the verification counter. [Ready] carries everything the signature
+   check and the finalisation need. *)
+type precheck_outcome =
+  | Rejected of Protocol_error.t
+  | Ready of outstanding_beacon * string (* transcript *)
+
+let precheck t (m : Messages.access_request) =
   let params = t.config.Config.pairing in
   let t_now = now t in
   note_request_arrival t;
   (* cheap checks first: freshness, matching beacon, puzzle *)
   if abs (t_now - m.Messages.ts2) > t.config.Config.ts_window_ms then
-    cheap_reject t Protocol_error.Stale_timestamp
+    Rejected (cheap_reject t Protocol_error.Stale_timestamp)
   else begin
     match Hashtbl.find_opt t.outstanding (G1.encode params m.Messages.ar_g_rr) with
-    | None -> cheap_reject t Protocol_error.Unknown_session
+    | None -> Rejected (cheap_reject t Protocol_error.Unknown_session)
     | Some ob ->
-      (* replay cache: an (M.2) transcript may be processed only once *)
-      let fingerprint =
-        Peace_hash.Sha256.digest
-          (Messages.auth_transcript t.config m.Messages.g_rj
-             m.Messages.ar_g_rr m.Messages.ts2)
+      let transcript =
+        Messages.auth_transcript t.config m.Messages.g_rj m.Messages.ar_g_rr
+          m.Messages.ts2
       in
+      (* replay cache: an (M.2) transcript may be processed only once *)
+      let fingerprint = Peace_hash.Sha256.digest transcript in
       if Hashtbl.mem t.seen_requests fingerprint then
-        cheap_reject t Protocol_error.Stale_timestamp
+        Rejected (cheap_reject t Protocol_error.Stale_timestamp)
       else begin
-      match ob.ob_puzzle with
-      | Some puzzle when t.puzzle_difficulty <> None -> begin
-        match m.Messages.puzzle_solution with
-        | None -> cheap_reject t Protocol_error.Puzzle_required
-        | Some solution ->
-          if not (Puzzle.check puzzle solution) then
-            cheap_reject t Protocol_error.Bad_puzzle_solution
-          else process_verified t m ob
-      end
-      | _ -> process_verified t m ob
+        let pass () =
+          (* only requests that reach verification enter the replay cache,
+             so a cheap rejection (missing puzzle solution, say) can be
+             retried *)
+          Hashtbl.replace t.seen_requests fingerprint m.Messages.ts2;
+          t.verifications <- t.verifications + 1;
+          Ready (ob, transcript)
+        in
+        match ob.ob_puzzle with
+        | Some puzzle when t.puzzle_difficulty <> None -> begin
+          match m.Messages.puzzle_solution with
+          | None -> Rejected (cheap_reject t Protocol_error.Puzzle_required)
+          | Some solution ->
+            if not (Puzzle.check puzzle solution) then
+              Rejected (cheap_reject t Protocol_error.Bad_puzzle_solution)
+            else pass ()
+        end
+        | _ -> pass ()
       end
   end
 
-and process_verified t (m : Messages.access_request) ob =
+let url_tokens t = match t.url with Some u -> Url.tokens u | None -> []
+
+(* the post-verification half: key agreement, audit log, (M.3) *)
+let finalize t (m : Messages.access_request) ob transcript =
   let params = t.config.Config.pairing in
-  let transcript =
-    Messages.auth_transcript t.config m.Messages.g_rj m.Messages.ar_g_rr
-      m.Messages.ts2
+  let session =
+    Session.derive t.config ~role:Session.Responder ~local_secret:ob.ob_r_r
+      ~remote_share:m.Messages.g_rj ~initiator_share:m.Messages.g_rj
+      ~responder_share:ob.ob_g_rr ~now:(now t)
   in
-  (* only requests that reach verification enter the replay cache, so a
-     cheap rejection (missing puzzle solution, say) can be retried *)
-  Hashtbl.replace t.seen_requests (Peace_hash.Sha256.digest transcript)
-    m.Messages.ts2;
-  t.verifications <- t.verifications + 1;
-  let url_tokens = match t.url with Some u -> Url.tokens u | None -> [] in
-  match Group_sig.verify t.gpk ~url:url_tokens ~msg:transcript m.Messages.gsig with
+  Hashtbl.replace t.sessions (Session.id session) session;
+  t.log <-
+    {
+      le_session_id = Session.id session;
+      le_ts = m.Messages.ts2;
+      le_transcript = transcript;
+      le_gsig = m.Messages.gsig;
+    }
+    :: t.log;
+  (* (M.3): E_K(MR_k, g^{r_j}, g^{r_R}) *)
+  let w = Wire.writer () in
+  Wire.u32 w t.router_id;
+  Wire.bytes w (G1.encode params m.Messages.g_rj);
+  Wire.bytes w (G1.encode params ob.ob_g_rr);
+  let payload = Session.seal session (Wire.contents w) in
+  Ok
+    ( {
+        Messages.ac_g_rj = m.Messages.g_rj;
+        ac_g_rr = ob.ob_g_rr;
+        payload;
+      },
+      session )
+
+let conclude t (m : Messages.access_request) ob transcript = function
   | Group_sig.Invalid_proof -> Error Protocol_error.Invalid_group_signature
   | Group_sig.Revoked -> Error Protocol_error.User_revoked
-  | Group_sig.Valid ->
-    let session =
-      Session.derive t.config ~role:Session.Responder ~local_secret:ob.ob_r_r
-        ~remote_share:m.Messages.g_rj ~initiator_share:m.Messages.g_rj
-        ~responder_share:ob.ob_g_rr ~now:(now t)
-    in
-    Hashtbl.replace t.sessions (Session.id session) session;
-    t.log <-
-      {
-        le_session_id = Session.id session;
-        le_ts = m.Messages.ts2;
-        le_transcript = transcript;
-        le_gsig = m.Messages.gsig;
-      }
-      :: t.log;
-    (* (M.3): E_K(MR_k, g^{r_j}, g^{r_R}) *)
-    let w = Wire.writer () in
-    Wire.u32 w t.router_id;
-    Wire.bytes w (G1.encode params m.Messages.g_rj);
-    Wire.bytes w (G1.encode params ob.ob_g_rr);
-    let payload = Session.seal session (Wire.contents w) in
-    Ok
-      ( {
-          Messages.ac_g_rj = m.Messages.g_rj;
-          ac_g_rr = ob.ob_g_rr;
-          payload;
-        },
-        session )
+  | Group_sig.Valid -> finalize t m ob transcript
+
+let handle_access_request t (m : Messages.access_request) =
+  match precheck t m with
+  | Rejected err -> Error err
+  | Ready (ob, transcript) ->
+    Group_sig.verify t.gpk ~url:(url_tokens t) ~msg:transcript m.Messages.gsig
+    |> conclude t m ob transcript
+
+let handle_access_requests_batch ?(domains = 1) t ms =
+  (* prechecks run in arrival order (they mutate the replay cache and the
+     auto-defense window exactly as the sequential path would), then the
+     surviving signatures are verified as one batch over the farm, and the
+     valid ones are finalised back in arrival order *)
+  let prechecked = List.map (fun m -> (m, precheck t m)) ms in
+  let jobs =
+    List.filter_map
+      (function
+        | (m : Messages.access_request), Ready (_, transcript) ->
+          Some { Peace_parallel.Batch_verify.msg = transcript; gsig = m.Messages.gsig }
+        | _, Rejected _ -> None)
+      prechecked
+  in
+  let verdicts =
+    Peace_parallel.Batch_verify.verify_batch ~domains ~url:(url_tokens t) t.gpk
+      jobs
+  in
+  let rec assemble prechecked verdicts =
+    match (prechecked, verdicts) with
+    | [], _ -> []
+    | (_, Rejected err) :: rest, verdicts -> Error err :: assemble rest verdicts
+    | (m, Ready (ob, transcript)) :: rest, verdict :: verdicts ->
+      conclude t m ob transcript verdict :: assemble rest verdicts
+    | (_, Ready _) :: _, [] -> assert false (* one verdict per Ready job *)
+  in
+  assemble prechecked verdicts
 
 let session_count t = Hashtbl.length t.sessions
 let find_session t ~id = Hashtbl.find_opt t.sessions id

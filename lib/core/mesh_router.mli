@@ -49,6 +49,17 @@ val handle_access_request :
 (** Processes (M.2): freshness, puzzle (when under attack), group-signature
     verification with URL revocation scan, then key agreement and (M.3). *)
 
+val handle_access_requests_batch :
+  ?domains:int -> t -> Messages.access_request list ->
+  (Messages.access_confirm * Session.t, Protocol_error.t) result list
+(** Batched verification mode for draining a burst of queued (M.2)s: cheap
+    checks run per request in arrival order, the surviving group
+    signatures are verified as one batch over a
+    {!Peace_parallel.Batch_verify} farm of [domains] workers (default 1 =
+    the sequential path), and results come back in arrival order. For any
+    request list, the results — including all router state updates — are
+    identical to folding {!handle_access_request} over the list. *)
+
 val session_count : t -> int
 val find_session : t -> id:string -> Session.t option
 

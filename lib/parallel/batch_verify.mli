@@ -1,0 +1,67 @@
+(** Parallel batched group-signature verification — the verifier farm.
+
+    A mesh router absorbing a burst of access requests verifies them as a
+    batch: the batch is split into chunks, the chunks are distributed over
+    a {!Domain_pool}, and the results come back in submission order. The
+    revocation state (URL token list or precomputed
+    {!Peace_groupsig.Group_sig.fast_table}) is shared read-only across the
+    whole batch, so it is paid for once, not once per worker.
+
+    [Group_sig.verify] is referentially transparent (its only writes are
+    the benign pairing op-counters), which is what makes fan-out safe.
+
+    At [domains:1] every entry point bypasses the pool entirely and maps
+    [Group_sig.verify] / [verify_fast] over the batch in order — the exact
+    sequential path, bit for bit. *)
+
+open Peace_groupsig
+
+type job = { msg : string; gsig : Group_sig.signature }
+
+val default_chunk : domains:int -> int -> int
+(** [default_chunk ~domains n] is the chunk size used when [?chunk] is
+    omitted: [n] split into roughly [4 * domains] chunks (at least 1 job
+    each), so the pool stays load-balanced without drowning in tiny
+    jobs. *)
+
+val verify_batch :
+  ?chunk:int ->
+  ?url:Group_sig.revocation_token list ->
+  domains:int ->
+  Group_sig.gpk ->
+  job list ->
+  Group_sig.verify_result list
+(** Batched {!Group_sig.verify} (proof check + URL revocation scan).
+    Results are in submission order. Spawns a pool of [domains] workers
+    for the call when [domains > 1]; [chunk] caps the number of jobs per
+    work item.
+    @raise Invalid_argument if [domains < 1] or [chunk < 1]. *)
+
+val verify_batch_fast :
+  ?chunk:int ->
+  domains:int ->
+  Group_sig.gpk ->
+  Group_sig.fast_table ->
+  job list ->
+  Group_sig.verify_result list
+(** Batched {!Group_sig.verify_fast}: one shared [fast_table] across the
+    batch (built once by the caller via {!Group_sig.build_fast_table}).
+    @raise Invalid_argument on a [Per_message] gpk, like [verify_fast]. *)
+
+val verify_batch_in :
+  ?chunk:int ->
+  ?url:Group_sig.revocation_token list ->
+  Domain_pool.t ->
+  Group_sig.gpk ->
+  job list ->
+  Group_sig.verify_result list
+(** Like {!verify_batch} but on a caller-managed pool, for amortising the
+    spawn cost across many batches (a long-lived router farm). *)
+
+val verify_batch_fast_in :
+  ?chunk:int ->
+  Domain_pool.t ->
+  Group_sig.gpk ->
+  Group_sig.fast_table ->
+  job list ->
+  Group_sig.verify_result list

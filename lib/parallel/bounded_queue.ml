@@ -1,0 +1,78 @@
+exception Closed
+
+type 'a t = {
+  items : 'a Queue.t;
+  cap : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  {
+    items = Queue.create ();
+    cap = capacity;
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false;
+  }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t x =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.items >= t.cap do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.closed then raise Closed;
+      Queue.add x t.items;
+      Condition.signal t.not_empty)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then raise Closed;
+      if Queue.length t.items >= t.cap then false
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.not_empty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.not_empty t.mutex
+      done;
+      match Queue.take_opt t.items with
+      | Some _ as item ->
+        Condition.signal t.not_full;
+        item
+      | None -> None (* closed and drained *))
+
+let try_pop t =
+  with_lock t (fun () ->
+      match Queue.take_opt t.items with
+      | Some _ as item ->
+        Condition.signal t.not_full;
+        item
+      | None -> None)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (* wake everyone: blocked producers must raise, blocked consumers
+           must observe the close and drain *)
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full
+      end)
+
+let is_closed t = with_lock t (fun () -> t.closed)
+let length t = with_lock t (fun () -> Queue.length t.items)

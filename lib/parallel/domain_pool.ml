@@ -1,0 +1,96 @@
+type worker_stats = { jobs : int; busy_ns : int64 }
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable st : 'a state;
+}
+
+type t = {
+  queue : (unit -> unit) Bounded_queue.t;
+  workers : unit Domain.t array;
+  stats : worker_stats array;  (* slot i written only by worker i *)
+  lock : Mutex.t;
+  mutable stopped : bool;
+}
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* jobs are wrapped so they cannot raise (the wrapper catches into the
+   future), but be defensive: a worker must survive anything *)
+let rec worker_loop queue stats i =
+  match Bounded_queue.pop queue with
+  | None -> ()
+  | Some job ->
+    let t0 = now_ns () in
+    (try job () with _ -> ());
+    let dt = Int64.sub (now_ns ()) t0 in
+    let s = stats.(i) in
+    stats.(i) <- { jobs = s.jobs + 1; busy_ns = Int64.add s.busy_ns dt };
+    worker_loop queue stats i
+
+let create ?queue_capacity ~domains () =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains must be >= 1";
+  let capacity =
+    match queue_capacity with Some c -> c | None -> 4 * domains
+  in
+  let queue = Bounded_queue.create ~capacity in
+  let stats = Array.make domains { jobs = 0; busy_ns = 0L } in
+  let workers =
+    Array.init domains (fun i -> Domain.spawn (fun () -> worker_loop queue stats i))
+  in
+  { queue; workers; stats; lock = Mutex.create (); stopped = false }
+
+let size t = Array.length t.workers
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); st = Pending } in
+  let job () =
+    let result =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.fm;
+    fut.st <- result;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  (try Bounded_queue.push t.queue job
+   with Bounded_queue.Closed ->
+     invalid_arg "Domain_pool.submit: pool is shut down");
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.st with
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      wait ()
+    | Done v ->
+      Mutex.unlock fut.fm;
+      v
+    | Failed (e, bt) ->
+      Mutex.unlock fut.fm;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.lock;
+  if first then begin
+    Bounded_queue.close t.queue;
+    Array.iter Domain.join t.workers
+  end
+
+let stats t = Array.copy t.stats
+
+let run ?queue_capacity ~domains f =
+  let pool = create ?queue_capacity ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

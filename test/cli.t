@@ -29,6 +29,17 @@ The operator's audit attributes the signature to its label:
   $ peace audit -m "hello mesh" -s "$SIG" --grt grt.txt
   signer: company-x/key-0
 
+The multicore verifier farm, end to end (timing lines carry host-dependent
+numbers, so only the deterministic lines are kept):
+
+  $ peace bench-verify --domains 2 --batch 6 --url-size 2 | grep -v 'sig/s'
+  bench-verify: params=tiny-a80 batch=6 |URL|=2 domains=2
+  results: valid=4 invalid-proof=1 revoked=1
+  agreement: parallel results identical to sequential
+  $ peace bench-verify --domains 0 --batch 4 --url-size 0
+  error: --domains must be >= 1
+  [2]
+
 Parameter validation and malformed input handling:
 
   $ peace validate-params --params tiny

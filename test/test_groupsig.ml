@@ -163,6 +163,28 @@ let test_fast_revocation () =
     (Invalid_argument "Group_sig.build_fast_table: gpk must use Fixed_bases")
     (fun () -> ignore (Group_sig.build_fast_table gpk []))
 
+let test_fast_revocation_empty_table () =
+  (* an empty URL table: nobody is revoked, but proof checking still runs *)
+  let rng = test_rng 15 in
+  let fast_issuer = Group_sig.setup ~base_mode:Group_sig.Fixed_bases tiny (test_rng 16) in
+  let fgpk = fast_issuer.Group_sig.gpk in
+  let member = Group_sig.issue fast_issuer ~grp:grp_a rng in
+  let msg = "empty table" in
+  let s = Group_sig.sign fgpk member ~rng ~msg in
+  let empty = Group_sig.build_fast_table fgpk [] in
+  Alcotest.(check int) "table size 0" 0 (Group_sig.fast_table_size empty);
+  Alcotest.check vres "valid passes an empty table" Group_sig.Valid
+    (Group_sig.verify_fast fgpk empty ~msg s);
+  Alcotest.check vres "wrong message still rejected" Group_sig.Invalid_proof
+    (Group_sig.verify_fast fgpk empty ~msg:"other" s);
+  let forged =
+    { s with Group_sig.c = Modular.add s.Group_sig.c Bigint.one tiny.Params.q }
+  in
+  Alcotest.check vres "forged proof still rejected" Group_sig.Invalid_proof
+    (Group_sig.verify_fast fgpk empty ~msg forged);
+  Alcotest.check vres "agrees with the empty-URL scan" Group_sig.Valid
+    (Group_sig.verify fgpk ~url:[] ~msg s)
+
 let test_serialisation () =
   let rng = test_rng 13 in
   let msg = "wire format" in
@@ -405,6 +427,8 @@ let suite =
         Alcotest.test_case "opening" `Quick test_open;
         Alcotest.test_case "unlinkability shape" `Quick test_unlinkability_shape;
         Alcotest.test_case "fast revocation" `Quick test_fast_revocation;
+        Alcotest.test_case "fast revocation, empty table" `Quick
+          test_fast_revocation_empty_table;
         Alcotest.test_case "serialisation" `Quick test_serialisation;
         Alcotest.test_case "vanilla bs04" `Quick test_vanilla_bs04;
         Alcotest.test_case "issue edge cases" `Quick test_issue_edge_cases;

@@ -1,0 +1,351 @@
+(* Verifier-farm tests: bounded-queue semantics under contention, domain
+   pool lifecycle (futures, exceptions, stats, clean shutdown), batch
+   verification order/equality against the sequential path on mixed
+   valid/forged/revoked batches, and the router's batched drain mode. *)
+
+open Peace_bigint
+open Peace_pairing
+open Peace_groupsig
+open Peace_parallel
+open Peace_core
+
+let tiny = Lazy.force Params.tiny
+
+let test_rng seed =
+  let state = ref seed in
+  fun n ->
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      state := (!state * 2685821657736338717) + 1442695040888963407;
+      Bytes.set b i (Char.chr ((!state lsr 32) land 0xff))
+    done;
+    Bytes.unsafe_to_string b
+
+let vres = Alcotest.testable Group_sig.pp_verify_result Group_sig.equal_verify_result
+
+(* --- Bounded_queue --- *)
+
+let test_queue_fifo () =
+  let q = Bounded_queue.create ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Bounded_queue.capacity q);
+  List.iter (Bounded_queue.push q) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Bounded_queue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "try_pop 3" (Some 3) (Bounded_queue.try_pop q);
+  Alcotest.(check (option int)) "empty try_pop" None (Bounded_queue.try_pop q);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Bounded_queue.create: capacity must be >= 1") (fun () ->
+      ignore (Bounded_queue.create ~capacity:0))
+
+let test_queue_capacity_and_close () =
+  let q = Bounded_queue.create ~capacity:2 in
+  Alcotest.(check bool) "try_push ok" true (Bounded_queue.try_push q 1);
+  Alcotest.(check bool) "try_push ok" true (Bounded_queue.try_push q 2);
+  Alcotest.(check bool) "try_push full" false (Bounded_queue.try_push q 3);
+  Alcotest.(check bool) "not closed" false (Bounded_queue.is_closed q);
+  Bounded_queue.close q;
+  Bounded_queue.close q (* idempotent *);
+  Alcotest.(check bool) "closed" true (Bounded_queue.is_closed q);
+  Alcotest.check_raises "push after close" Bounded_queue.Closed (fun () ->
+      Bounded_queue.push q 4);
+  Alcotest.check_raises "try_push after close" Bounded_queue.Closed (fun () ->
+      ignore (Bounded_queue.try_push q 4));
+  (* queued items remain poppable after close, then None *)
+  Alcotest.(check (option int)) "drain 1" (Some 1) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "drain 2" (Some 2) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "drained" None (Bounded_queue.pop q)
+
+let test_queue_backpressure () =
+  (* a producer domain pushes far more items than the queue holds; the
+     consumer observes every item in order and the queue never exceeds its
+     capacity — so the producer must have blocked rather than grown it *)
+  let capacity = 3 and total = 200 in
+  let q = Bounded_queue.create ~capacity in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to total do
+          Bounded_queue.push q i
+        done;
+        Bounded_queue.close q)
+  in
+  let seen = ref 0 and in_order = ref true and max_len = ref 0 in
+  let rec drain () =
+    match Bounded_queue.pop q with
+    | None -> ()
+    | Some i ->
+      incr seen;
+      if i <> !seen then in_order := false;
+      max_len := Stdlib.max !max_len (Bounded_queue.length q);
+      drain ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check int) "all items" total !seen;
+  Alcotest.(check bool) "in order" true !in_order;
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded (max observed %d <= %d)" !max_len capacity)
+    true (!max_len <= capacity)
+
+let test_queue_mpmc () =
+  (* several producers and consumers hammer one queue; every pushed value
+     is popped exactly once *)
+  let q = Bounded_queue.create ~capacity:4 in
+  let per_producer = 50 and producers = 2 and consumers = 2 in
+  let produce base () =
+    for i = 0 to per_producer - 1 do
+      Bounded_queue.push q (base + i)
+    done
+  in
+  let consume () =
+    let rec go acc = match Bounded_queue.pop q with
+      | None -> acc
+      | Some v -> go (v :: acc)
+    in
+    go []
+  in
+  let prods = List.init producers (fun p -> Domain.spawn (produce (1000 * p))) in
+  let cons = List.init consumers (fun _ -> Domain.spawn consume) in
+  List.iter Domain.join prods;
+  Bounded_queue.close q;
+  let got = List.concat_map Domain.join cons in
+  let expected =
+    List.concat
+      (List.init producers (fun p -> List.init per_producer (fun i -> (1000 * p) + i)))
+  in
+  Alcotest.(check (list int)) "every item exactly once"
+    (List.sort compare expected) (List.sort compare got)
+
+(* --- Domain_pool --- *)
+
+let test_pool_submit_await () =
+  let pool = Domain_pool.create ~domains:3 () in
+  Alcotest.(check int) "size" 3 (Domain_pool.size pool);
+  let futures = List.init 20 (fun i -> Domain_pool.submit pool (fun () -> i * i)) in
+  let results = List.map Domain_pool.await futures in
+  Alcotest.(check (list int)) "results in submission order"
+    (List.init 20 (fun i -> i * i))
+    results;
+  Domain_pool.shutdown pool;
+  let stats = Domain_pool.stats pool in
+  let total = Array.fold_left (fun acc s -> acc + s.Domain_pool.jobs) 0 stats in
+  Alcotest.(check int) "stats account for every job" 20 total;
+  Alcotest.(check int) "one stats slot per worker" 3 (Array.length stats)
+
+let test_pool_exceptions () =
+  Domain_pool.run ~domains:2 (fun pool ->
+      let ok = Domain_pool.submit pool (fun () -> "fine") in
+      let bad = Domain_pool.submit pool (fun () -> failwith "job blew up") in
+      Alcotest.(check string) "good job unaffected" "fine" (Domain_pool.await ok);
+      Alcotest.check_raises "exception re-raised by await"
+        (Failure "job blew up") (fun () -> ignore (Domain_pool.await bad));
+      (* the worker that ran the failing job is still alive *)
+      let after = Domain_pool.submit pool (fun () -> 7) in
+      Alcotest.(check int) "pool still serves" 7 (Domain_pool.await after))
+
+let test_pool_shutdown () =
+  let pool = Domain_pool.create ~domains:2 ~queue_capacity:2 () in
+  (* queued-but-unstarted jobs are drained before the workers exit *)
+  let futures = List.init 10 (fun i -> Domain_pool.submit pool (fun () -> i)) in
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool (* idempotent *);
+  Alcotest.(check (list int)) "queued jobs completed before exit"
+    (List.init 10 Fun.id)
+    (List.map Domain_pool.await futures);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Domain_pool.submit: pool is shut down") (fun () ->
+      ignore (Domain_pool.submit pool (fun () -> ())));
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Domain_pool.create: domains must be >= 1") (fun () ->
+      ignore (Domain_pool.create ~domains:0 ()))
+
+(* --- Batch_verify --- *)
+
+let issuer = Group_sig.setup tiny (test_rng 1)
+let gpk = issuer.Group_sig.gpk
+let alice = Group_sig.issue issuer ~grp:(Bigint.of_int 1001) (test_rng 2)
+let mallory = Group_sig.issue issuer ~grp:(Bigint.of_int 1001) (test_rng 3)
+let url = [ Group_sig.token_of_gsk mallory ]
+
+(* a mixed batch: valid, revoked and forged signatures interleaved *)
+let mixed_jobs =
+  let rng = test_rng 4 in
+  List.init 9 (fun i ->
+      let msg = Printf.sprintf "transcript %d" i in
+      let gsig =
+        match i mod 3 with
+        | 0 -> Group_sig.sign gpk alice ~rng ~msg
+        | 1 -> Group_sig.sign gpk mallory ~rng ~msg (* revoked *)
+        | _ ->
+          let s = Group_sig.sign gpk alice ~rng ~msg in
+          { s with Group_sig.c = Modular.add s.Group_sig.c Bigint.one tiny.Params.q }
+      in
+      { Batch_verify.msg; gsig })
+
+let sequential_expected =
+  List.map
+    (fun j -> Group_sig.verify gpk ~url ~msg:j.Batch_verify.msg j.Batch_verify.gsig)
+    mixed_jobs
+
+let test_batch_matches_sequential () =
+  (* the mix exercises every verdict *)
+  Alcotest.check vres "has valid" Group_sig.Valid (List.nth sequential_expected 0);
+  Alcotest.check vres "has revoked" Group_sig.Revoked (List.nth sequential_expected 1);
+  Alcotest.check vres "has forged" Group_sig.Invalid_proof
+    (List.nth sequential_expected 2);
+  (* domains:1 is the sequential path *)
+  Alcotest.(check (list vres)) "domains:1 identical" sequential_expected
+    (Batch_verify.verify_batch ~domains:1 ~url gpk mixed_jobs);
+  (* parallel execution preserves order and verdicts, at any chunking *)
+  List.iter
+    (fun (domains, chunk) ->
+      Alcotest.(check (list vres))
+        (Printf.sprintf "domains:%d chunk:%s identical" domains
+           (match chunk with Some c -> string_of_int c | None -> "auto"))
+        sequential_expected
+        (Batch_verify.verify_batch ?chunk ~domains ~url gpk mixed_jobs))
+    [ (2, None); (3, Some 1); (3, Some 4); (2, Some 100) ];
+  Alcotest.(check (list vres)) "empty batch"
+    []
+    (Batch_verify.verify_batch ~domains:2 ~url gpk []);
+  Alcotest.check_raises "domains:0 rejected"
+    (Invalid_argument "Batch_verify: domains must be >= 1") (fun () ->
+      ignore (Batch_verify.verify_batch ~domains:0 ~url gpk mixed_jobs))
+
+let test_batch_fast_table () =
+  let rng = test_rng 5 in
+  let fast_issuer = Group_sig.setup ~base_mode:Group_sig.Fixed_bases tiny (test_rng 6) in
+  let fgpk = fast_issuer.Group_sig.gpk in
+  let dave = Group_sig.issue fast_issuer ~grp:(Bigint.of_int 1) rng in
+  let erin = Group_sig.issue fast_issuer ~grp:(Bigint.of_int 2) rng in
+  let table = Group_sig.build_fast_table fgpk [ Group_sig.token_of_gsk dave ] in
+  let jobs =
+    List.init 6 (fun i ->
+        let msg = Printf.sprintf "fast %d" i in
+        let key = if i mod 2 = 0 then dave else erin in
+        { Batch_verify.msg; gsig = Group_sig.sign fgpk key ~rng ~msg })
+  in
+  let expected =
+    List.map
+      (fun j -> Group_sig.verify_fast fgpk table ~msg:j.Batch_verify.msg j.Batch_verify.gsig)
+      jobs
+  in
+  Alcotest.(check (list vres)) "fast: domains:1 identical" expected
+    (Batch_verify.verify_batch_fast ~domains:1 fgpk table jobs);
+  Alcotest.(check (list vres)) "fast: one shared table across the farm" expected
+    (Batch_verify.verify_batch_fast ~domains:3 ~chunk:2 fgpk table jobs)
+
+let test_batch_on_external_pool () =
+  (* a long-lived pool serves several batches *)
+  Domain_pool.run ~domains:2 (fun pool ->
+      Alcotest.(check (list vres)) "batch 1" sequential_expected
+        (Batch_verify.verify_batch_in ~url pool gpk mixed_jobs);
+      Alcotest.(check (list vres)) "batch 2 on the same pool" sequential_expected
+        (Batch_verify.verify_batch_in ~url pool gpk mixed_jobs))
+
+(* --- Mesh_router batched drain mode --- *)
+
+let router_fixture seed =
+  let config = Config.tiny_test ~clock:(Clock.manual ~start:1_000_000 ()) () in
+  let d = Deployment.create ~seed config in
+  ignore (Deployment.add_group d ~group_id:1 ~size:4);
+  let router = Deployment.add_router d ~router_id:1 in
+  let user u =
+    match
+      Deployment.add_user d
+        (Identity.make ~uid:u ~name:u ~national_id:u
+           [ { Identity.group_id = 1; description = "role" } ])
+    with
+    | Ok x -> x
+    | Error e -> failwith e
+  in
+  let users = List.map user [ "alice"; "bob"; "carol" ] in
+  let beacon = Mesh_router.beacon router in
+  let requests =
+    List.map
+      (fun u ->
+        match User.process_beacon u beacon with
+        | Ok (request, _) -> request
+        | Error _ -> failwith "process_beacon")
+      users
+  in
+  (* append a forged request: a real one with a tampered signature *)
+  let forged =
+    let r = List.nth requests 0 in
+    let s = r.Messages.gsig in
+    { r with
+      Messages.gsig =
+        { s with Group_sig.c = Modular.add s.Group_sig.c Bigint.one tiny.Params.q }
+    }
+  in
+  (router, requests @ [ forged ])
+
+let perr = Alcotest.testable Protocol_error.pp Protocol_error.equal
+
+let summarise = function
+  | Ok ((confirm : Messages.access_confirm), session) ->
+    Ok (confirm.Messages.payload, Session.id session)
+  | Error e -> Error e
+
+let test_router_batch_equals_sequential () =
+  (* two identically-seeded deployments: one drains the burst one request
+     at a time, the other as a single parallel batch — every result and
+     every piece of router state must coincide *)
+  let r_seq, ms_seq = router_fixture "farm" in
+  let r_par, ms_par = router_fixture "farm" in
+  let seq = List.map (Mesh_router.handle_access_request r_seq) ms_seq in
+  let par = Mesh_router.handle_access_requests_batch ~domains:2 r_par ms_par in
+  let res_t = Alcotest.(result (pair string string) perr) in
+  Alcotest.(check (list res_t)) "identical results, in arrival order"
+    (List.map summarise seq) (List.map summarise par);
+  Alcotest.(check int) "same session count" (Mesh_router.session_count r_seq)
+    (Mesh_router.session_count r_par);
+  Alcotest.(check int) "three sessions" 3 (Mesh_router.session_count r_par);
+  Alcotest.(check int) "same verification count"
+    (Mesh_router.verifications_performed r_seq)
+    (Mesh_router.verifications_performed r_par);
+  Alcotest.(check int) "same audit log size"
+    (List.length (Mesh_router.access_log r_seq))
+    (List.length (Mesh_router.access_log r_par))
+
+let test_router_batch_replay_within_batch () =
+  (* a duplicated request inside one batch is rejected by the replay
+     cache, exactly as it would be sequentially *)
+  let router, ms = router_fixture "replay" in
+  let first = List.hd ms in
+  let results =
+    Mesh_router.handle_access_requests_batch ~domains:2 router [ first; first ]
+  in
+  match results with
+  | [ Ok _; Error Protocol_error.Stale_timestamp ] -> ()
+  | _ -> Alcotest.fail "expected Ok then replay rejection"
+
+let suite =
+  [
+    ( "bounded-queue",
+      [
+        Alcotest.test_case "fifo" `Quick test_queue_fifo;
+        Alcotest.test_case "capacity and close" `Quick test_queue_capacity_and_close;
+        Alcotest.test_case "producer backpressure" `Quick test_queue_backpressure;
+        Alcotest.test_case "mpmc contention" `Quick test_queue_mpmc;
+      ] );
+    ( "domain-pool",
+      [
+        Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
+        Alcotest.test_case "exception propagation" `Quick test_pool_exceptions;
+        Alcotest.test_case "graceful shutdown" `Quick test_pool_shutdown;
+      ] );
+    ( "batch-verify",
+      [
+        Alcotest.test_case "matches sequential" `Quick test_batch_matches_sequential;
+        Alcotest.test_case "shared fast table" `Quick test_batch_fast_table;
+        Alcotest.test_case "external pool reuse" `Quick test_batch_on_external_pool;
+      ] );
+    ( "router-batch-mode",
+      [
+        Alcotest.test_case "equals sequential" `Quick test_router_batch_equals_sequential;
+        Alcotest.test_case "replay within batch" `Quick test_router_batch_replay_within_batch;
+      ] );
+  ]
+
+let () = Alcotest.run "peace-parallel" suite

@@ -103,6 +103,28 @@ let test_metrics () =
   | Some p -> Alcotest.(check bool) "median sane" true (p >= 2.0 && p <= 4.0)
   | None -> Alcotest.fail "no percentile"
 
+let test_percentile_edges () =
+  let m = Metrics.create () in
+  (* empty series: no percentile at any p *)
+  Alcotest.(check (option (float 0.0))) "empty series" None
+    (Metrics.percentile m "missing" 50.0);
+  Alcotest.(check (option (float 0.0))) "empty series p=0" None
+    (Metrics.percentile m "missing" 0.0);
+  (* single sample: every percentile is that sample *)
+  Metrics.sample m "one" 7.5;
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "single sample p=%.0f" p)
+        (Some 7.5) (Metrics.percentile m "one" p))
+    [ 0.0; 50.0; 95.0; 100.0 ];
+  (* p=0 is the minimum, p=100 the maximum, never out of range *)
+  List.iter (fun v -> Metrics.sample m "lat" v) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check (option (float 0.0))) "p=0 is the min" (Some 1.0)
+    (Metrics.percentile m "lat" 0.0);
+  Alcotest.(check (option (float 0.0))) "p=100 is the max" (Some 5.0)
+    (Metrics.percentile m "lat" 100.0)
+
 let test_attack_matrix () =
   let m = Scenario.attack_matrix ~seed:5 ~attempts_per_class:3 () in
   Alcotest.(check int) "outsider never accepted" 0 m.Scenario.am_outsider_accepted;
@@ -209,6 +231,7 @@ let suite =
         Alcotest.test_case "delivery" `Quick test_net_delivery;
         Alcotest.test_case "sim rand" `Quick test_sim_rand;
         Alcotest.test_case "metrics" `Quick test_metrics;
+        Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
       ] );
     ( "scenarios",
       [
