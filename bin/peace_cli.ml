@@ -66,6 +66,18 @@ let load_params = function
   | "light" -> Lazy.force Params.light
   | path -> or_die (Params.of_text (read_file path))
 
+(* --trace FILE: capture the span trace of the whole subcommand *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a span trace (one JSON object per line) to $(docv).")
+
+let with_trace path f =
+  match path with None -> f () | Some path -> Peace_obs.Trace.with_file path f
+
 (* --- gen-params --- *)
 
 let gen_params qbits pbits name output =
@@ -130,7 +142,8 @@ let issue_cmd =
 
 (* --- sign --- *)
 
-let sign gpk_path key_path message =
+let sign trace gpk_path key_path message =
+  with_trace trace @@ fun () ->
   let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
   let gsk = or_die (Group_sig.gsk_of_text gpk (read_file key_path)) in
   let signature = Group_sig.sign gpk gsk ~rng:(fresh_rng ()) ~msg:message in
@@ -145,11 +158,12 @@ let sign_cmd =
   let key = Arg.(value & opt string "member.key" & info [ "key" ] ~doc:"Member key file.") in
   Cmd.v
     (Cmd.info "sign" ~doc:"Produce an anonymous group signature (hex on stdout)")
-    Term.(const sign $ gpk_arg $ key $ message_arg)
+    Term.(const sign $ trace_arg $ gpk_arg $ key $ message_arg)
 
 (* --- verify --- *)
 
-let verify gpk_path message sig_hex url_path =
+let verify trace gpk_path message sig_hex url_path =
+  with_trace trace @@ fun () ->
   let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
   let sig_bytes = or_die (hex_decode sig_hex) in
   match Group_sig.signature_of_bytes gpk sig_bytes with
@@ -174,7 +188,7 @@ let verify_cmd =
   let url = Arg.(value & opt (some string) None & info [ "url" ] ~doc:"Revocation list file (one token per line).") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a group signature against an optional URL")
-    Term.(const verify $ gpk_arg $ message_arg $ sig_hex $ url)
+    Term.(const verify $ trace_arg $ gpk_arg $ message_arg $ sig_hex $ url)
 
 (* --- audit --- *)
 
@@ -211,7 +225,8 @@ let audit_cmd =
 
 (* --- simulate --- *)
 
-let simulate scenario seed =
+let simulate trace scenario seed =
+  with_trace trace @@ fun () ->
   let open Peace_sim in
   match scenario with
   | "attacks" ->
@@ -280,11 +295,12 @@ let simulate_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a WMN simulation scenario")
-    Term.(const simulate $ scenario $ seed)
+    Term.(const simulate $ trace_arg $ scenario $ seed)
 
 (* --- bench-verify --- *)
 
-let bench_verify params_src domains batch url_size chunk =
+let bench_verify trace params_src domains batch url_size chunk =
+  with_trace trace @@ fun () ->
   if domains < 1 then begin
     prerr_endline "error: --domains must be >= 1";
     exit 2
@@ -341,9 +357,15 @@ let bench_verify params_src domains batch url_size chunk =
               j.Peace_parallel.Batch_verify.gsig)
           jobs)
   in
+  let farm_stats = ref [||] in
   let parallel, par_ms =
     time (fun () ->
-        Peace_parallel.Batch_verify.verify_batch ?chunk ~url ~domains gpk jobs)
+        let results, stats =
+          Peace_parallel.Batch_verify.verify_batch_with_stats ?chunk ~url
+            ~domains gpk jobs
+        in
+        farm_stats := stats;
+        results)
   in
   let rate ms = float_of_int batch /. ms *. 1000.0 in
   Printf.printf "bench-verify: params=%s batch=%d |URL|=%d domains=%d\n"
@@ -351,6 +373,15 @@ let bench_verify params_src domains batch url_size chunk =
   Printf.printf "sequential: %d sigs %8.1f ms %8.0f sig/s\n" batch seq_ms (rate seq_ms);
   Printf.printf "parallel:   %d sigs %8.1f ms %8.0f sig/s (speedup %.2fx)\n" batch
     par_ms (rate par_ms) (seq_ms /. par_ms);
+  (if Array.length !farm_stats > 0 then begin
+     let tot = Peace_parallel.Domain_pool.total !farm_stats in
+     let busy_ms = Int64.to_float tot.Peace_parallel.Domain_pool.busy_ns /. 1e6 in
+     Printf.printf
+       "farm: %d jobs over %d workers, busy %.1f ms, utilisation %.0f%%\n"
+       tot.Peace_parallel.Domain_pool.jobs
+       (Array.length !farm_stats) busy_ms
+       (100.0 *. busy_ms /. (float_of_int domains *. par_ms))
+   end);
   let tally r =
     List.length (List.filter (Group_sig.equal_verify_result r) sequential)
   in
@@ -371,7 +402,102 @@ let bench_verify_cmd =
   Cmd.v
     (Cmd.info "bench-verify"
        ~doc:"Benchmark batched group-signature verification across domains")
-    Term.(const bench_verify $ params_arg $ domains $ batch $ url_size $ chunk)
+    Term.(
+      const bench_verify $ trace_arg $ params_arg $ domains $ batch $ url_size
+      $ chunk)
+
+(* --- stats --- *)
+
+(* The paper's Section V-C cost analysis, checked on the real code path:
+   each row performs one operation on a deterministic fixture, reads the
+   pairing-layer op counters, and compares them to the paper's formula.
+   Any mismatch prints MISMATCH and the command exits 1. *)
+
+let expect ~pairings ~g1_mul ~gt_exp ~hash_to_g1 =
+  { Counters.pairings; g1_mul; gt_exp; hash_to_g1 }
+
+let stats trace params_src url_size =
+  with_trace trace @@ fun () ->
+  if url_size < 1 then begin
+    prerr_endline "error: --url-size must be >= 1";
+    exit 2
+  end;
+  let params = load_params params_src in
+  let rng = Peace_hash.Drbg.bytes_fn (Peace_hash.Drbg.create ~seed:"peace-stats" ()) in
+  let issuer = Group_sig.setup params rng in
+  let gpk = issuer.Group_sig.gpk in
+  let member = Group_sig.issue issuer ~grp:(Bigint.of_int 3) rng in
+  let url =
+    List.init url_size (fun _ ->
+        Group_sig.token_of_gsk (Group_sig.issue issuer ~grp:(Bigint.of_int 5) rng))
+  in
+  let msg = "stats transcript" in
+  let s = Group_sig.sign gpk member ~rng ~msg in
+  (* fixed-bases twin of the group for the fast revocation check *)
+  let issuer_f = Group_sig.setup ~base_mode:Group_sig.Fixed_bases params rng in
+  let gpk_f = issuer_f.Group_sig.gpk in
+  let member_f = Group_sig.issue issuer_f ~grp:(Bigint.of_int 3) rng in
+  let tokens_f n =
+    List.init n (fun _ ->
+        Group_sig.token_of_gsk (Group_sig.issue issuer_f ~grp:(Bigint.of_int 5) rng))
+  in
+  let table_small = Group_sig.build_fast_table gpk_f (tokens_f url_size) in
+  let table_large = Group_sig.build_fast_table gpk_f (tokens_f (url_size + 20)) in
+  let s_f = Group_sig.sign gpk_f member_f ~rng ~msg in
+  Printf.printf "crypto op counts per operation (params=%s, |URL|=%d):\n"
+    params.Params.name url_size;
+  let failures = ref 0 in
+  let row name expected f =
+    Counters.reset ();
+    f ();
+    let got = Counters.snapshot () in
+    if got <> expected then incr failures;
+    Printf.printf "  %-24s pairings=%-4d exp_g1=%-4d exp_gt=%-4d hash_g1=%-4d %s\n"
+      name got.Counters.pairings got.Counters.g1_mul got.Counters.gt_exp
+      got.Counters.hash_to_g1
+      (if got = expected then "ok"
+       else
+         Printf.sprintf
+           "MISMATCH (paper: pairings=%d exp_g1=%d exp_gt=%d hash_g1=%d)"
+           expected.Counters.pairings expected.Counters.g1_mul
+           expected.Counters.gt_exp expected.Counters.hash_to_g1)
+  in
+  let valid r = if r <> Group_sig.Valid then failwith "fixture not Valid" in
+  row "sign" (expect ~pairings:2 ~g1_mul:5 ~gt_exp:4 ~hash_to_g1:2) (fun () ->
+      ignore (Group_sig.sign gpk member ~rng ~msg));
+  row "verify |URL|=0" (expect ~pairings:2 ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:2)
+    (fun () -> valid (Group_sig.verify gpk ~msg s));
+  row
+    (Printf.sprintf "verify |URL|=%d" url_size)
+    (expect ~pairings:(3 + url_size) ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:4)
+    (fun () -> valid (Group_sig.verify gpk ~url ~msg s));
+  row
+    (Printf.sprintf "verify_fast table=%d" (Group_sig.fast_table_size table_small))
+    (expect ~pairings:4 ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:0)
+    (fun () -> valid (Group_sig.verify_fast gpk_f table_small ~msg s_f));
+  row
+    (Printf.sprintf "verify_fast table=%d" (Group_sig.fast_table_size table_large))
+    (expect ~pairings:4 ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:0)
+    (fun () -> valid (Group_sig.verify_fast gpk_f table_large ~msg s_f));
+  print_newline ();
+  print_endline "registry:";
+  Peace_obs.Export.summary Format.std_formatter;
+  if !failures > 0 then begin
+    Printf.eprintf "error: %d row(s) diverge from the paper's formulas\n" !failures;
+    exit 1
+  end
+
+let stats_cmd =
+  let url_size =
+    Arg.(
+      value & opt int 4
+      & info [ "url-size" ]
+          ~doc:"Revocation tokens in the URL / fast-table fixture (>= 1).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Measure per-operation crypto op counts against the paper's formulas")
+    Term.(const stats $ trace_arg $ params_arg $ url_size)
 
 (* --- validate-params --- *)
 
@@ -408,4 +534,5 @@ let () =
             audit_cmd;
             simulate_cmd;
             bench_verify_cmd;
+            stats_cmd;
           ]))

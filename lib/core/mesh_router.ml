@@ -2,6 +2,15 @@ open Peace_bigint
 open Peace_ec
 open Peace_pairing
 open Peace_groupsig
+module Obs = Peace_obs.Registry
+
+(* per-request observability: phase latencies of (M.2) handling and the
+   length of the revocation scan each verification pays for *)
+let c_requests = Obs.counter "router.requests_total"
+let h_precheck = Obs.histogram "router.precheck_ns"
+let h_verify = Obs.histogram "router.verify_ns"
+let h_finalize = Obs.histogram "router.finalize_ns"
+let h_url_scan = Obs.histogram "router.url_scan_len"
 
 type log_entry = {
   le_session_id : string;
@@ -254,11 +263,16 @@ let conclude t (m : Messages.access_request) ob transcript = function
   | Group_sig.Valid -> finalize t m ob transcript
 
 let handle_access_request t (m : Messages.access_request) =
-  match precheck t m with
+  Obs.Counter.incr c_requests;
+  match Obs.Histogram.time h_precheck (fun () -> precheck t m) with
   | Rejected err -> Error err
   | Ready (ob, transcript) ->
-    Group_sig.verify t.gpk ~url:(url_tokens t) ~msg:transcript m.Messages.gsig
-    |> conclude t m ob transcript
+    let url = url_tokens t in
+    Obs.Histogram.observe h_url_scan (List.length url);
+    Obs.Histogram.time h_verify (fun () ->
+        Group_sig.verify t.gpk ~url ~msg:transcript m.Messages.gsig)
+    |> fun verdict ->
+    Obs.Histogram.time h_finalize (fun () -> conclude t m ob transcript verdict)
 
 let handle_access_requests_batch ?(domains = 1) t ms =
   (* prechecks run in arrival order (they mutate the replay cache and the
@@ -266,6 +280,7 @@ let handle_access_requests_batch ?(domains = 1) t ms =
      surviving signatures are verified as one batch over the farm, and the
      valid ones are finalised back in arrival order *)
   let prechecked = List.map (fun m -> (m, precheck t m)) ms in
+  Obs.Counter.add c_requests (List.length ms);
   let jobs =
     List.filter_map
       (function
@@ -274,9 +289,13 @@ let handle_access_requests_batch ?(domains = 1) t ms =
         | _, Rejected _ -> None)
       prechecked
   in
+  let url = url_tokens t in
+  List.iter
+    (fun (_ : Peace_parallel.Batch_verify.job) ->
+      Obs.Histogram.observe h_url_scan (List.length url))
+    jobs;
   let verdicts =
-    Peace_parallel.Batch_verify.verify_batch ~domains ~url:(url_tokens t) t.gpk
-      jobs
+    Peace_parallel.Batch_verify.verify_batch ~domains ~url t.gpk jobs
   in
   let rec assemble prechecked verdicts =
     match (prechecked, verdicts) with

@@ -142,7 +142,10 @@ let on_curve c p =
     | Some (x, y) ->
       on_curve_raw c.fp c.a c.b (Mont.of_bigint c.fp x) (Mont.of_bigint c.fp y)
 
+let c_scalar_mul = Peace_obs.Registry.counter "ec.scalar_mul"
+
 let mul c k p =
+  Peace_obs.Registry.Counter.incr c_scalar_mul;
   let k = Bigint.erem k c.n in
   if Bigint.is_zero k || p.inf then infinity c
   else begin

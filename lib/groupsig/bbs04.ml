@@ -108,6 +108,7 @@ let issue issuer rng =
   draw ()
 
 let sign gpk gsk ~rng ~msg =
+  Peace_obs.Trace.with_span "bbs04.sign" @@ fun () ->
   let params = gpk.params in
   let q = params.Params.q in
   let rand () = Bigint.random_below rng q in
@@ -160,6 +161,7 @@ let sign gpk gsk ~rng ~msg =
   }
 
 let verify gpk ~msg s =
+  Peace_obs.Trace.with_span "bbs04.verify" @@ fun () ->
   let params = gpk.params in
   let q = params.Params.q in
   let in_range v = Bigint.sign v >= 0 && Bigint.compare v q < 0 in

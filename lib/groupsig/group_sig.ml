@@ -1,6 +1,7 @@
 open Peace_bigint
 open Peace_hash
 open Peace_pairing
+module Trace = Peace_obs.Trace
 
 type base_mode = Per_message | Fixed_bases
 
@@ -157,6 +158,7 @@ let key_is_valid gpk gsk =
   Pairing.Gt.equal params (Pairing.tate params gsk.a rhs_arg) gpk.e_g1_g2
 
 let sign gpk gsk ~rng ~msg =
+  Trace.with_span "groupsig.sign" @@ fun () ->
   let params = gpk.params in
   let q = params.Params.q in
   let r_nonce = rng (scalar_width params) in
@@ -196,6 +198,7 @@ let sign gpk gsk ~rng ~msg =
   }
 
 let proof_ok gpk ~msg signature =
+  Trace.with_span "groupsig.proof_check" @@ fun () ->
   let params = gpk.params in
   let q = params.Params.q in
   let { r_nonce; t1; t2; c; s_alpha; s_x; s_delta } = signature in
@@ -242,6 +245,9 @@ let is_signer gpk ~msg signature token =
   revocation_matches gpk ~u ~v ~e_t1_v signature token
 
 let verify gpk ?(url = []) ~msg signature =
+  Trace.with_span "groupsig.verify"
+    ~attrs:[ ("url", string_of_int (List.length url)) ]
+  @@ fun () ->
   if not (proof_ok gpk ~msg signature) then Invalid_proof
   else if url = [] then Valid
   else begin
@@ -271,6 +277,7 @@ let fast_table_size = Hashtbl.length
 let verify_fast gpk table ~msg signature =
   if gpk.base_mode <> Fixed_bases then
     invalid_arg "Group_sig.verify_fast: gpk must use Fixed_bases";
+  Trace.with_span "groupsig.verify_fast" @@ fun () ->
   if not (proof_ok gpk ~msg signature) then Invalid_proof
   else begin
     let params = gpk.params in
@@ -284,6 +291,7 @@ let verify_fast gpk table ~msg signature =
   end
 
 let open_signature gpk ~grt ~msg signature =
+  Trace.with_span "groupsig.open" @@ fun () ->
   if not (proof_ok gpk ~msg signature) then None
   else begin
     let u, v = bases gpk ~msg ~r_nonce:signature.r_nonce in

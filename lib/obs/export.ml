@@ -1,0 +1,72 @@
+(* Exporters over the registry: a human summary table, JSONL, and a flat
+   (name, value) dump for feeding Peace_sim.Metrics. *)
+
+let is_ns name =
+  let n = String.length name in
+  n >= 3 && String.sub name (n - 3) 3 = "_ns"
+
+let ms ns = float_of_int ns /. 1e6
+
+let summary fmt =
+  let counters = Registry.counters () in
+  let gauges = Registry.gauges () in
+  let histograms = Registry.histograms () in
+  if counters <> [] then begin
+    Format.fprintf fmt "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-32s %d@." name v)
+      counters
+  end;
+  if gauges <> [] then begin
+    Format.fprintf fmt "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-32s %d@." name v)
+      gauges
+  end;
+  let live = List.filter (fun (_, h) -> Registry.Histogram.count h > 0) histograms in
+  if live <> [] then begin
+    Format.fprintf fmt "histograms:@.";
+    List.iter
+      (fun (name, h) ->
+        let n = Registry.Histogram.count h in
+        let mean = Option.value ~default:0.0 (Registry.Histogram.mean h) in
+        let p50 = Option.value ~default:0.0 (Registry.Histogram.quantile h 50.0) in
+        let p95 = Option.value ~default:0.0 (Registry.Histogram.quantile h 95.0) in
+        if is_ns name then
+          Format.fprintf fmt
+            "  %-32s n=%-6d mean=%.3fms p50~%.3fms p95~%.3fms@." name n
+            (ms (int_of_float mean)) (ms (int_of_float p50))
+            (ms (int_of_float p95))
+        else
+          Format.fprintf fmt "  %-32s n=%-6d mean=%.2f p50~%.1f p95~%.1f@."
+            name n mean p50 p95)
+      live
+  end;
+  if counters = [] && gauges = [] && live = [] then
+    Format.fprintf fmt "(no metrics recorded)@."
+
+let jsonl write =
+  List.iter
+    (fun (name, v) ->
+      write
+        (Printf.sprintf "{\"kind\":\"counter\",\"name\":%s,\"value\":%d}"
+           (Obs_json.str name) v))
+    (Registry.counters ());
+  List.iter
+    (fun (name, v) ->
+      write
+        (Printf.sprintf "{\"kind\":\"gauge\",\"name\":%s,\"value\":%d}"
+           (Obs_json.str name) v))
+    (Registry.gauges ());
+  List.iter
+    (fun (name, h) ->
+      let n = Registry.Histogram.count h in
+      if n > 0 then
+        write
+          (Printf.sprintf
+             "{\"kind\":\"histogram\",\"name\":%s,\"count\":%d,\"sum\":%d}"
+             (Obs_json.str name) n
+             (Registry.Histogram.sum h)))
+    (Registry.histograms ())
+
+let to_metrics () = Registry.counters () @ Registry.gauges ()

@@ -1,0 +1,13 @@
+(** Exporters over the {!Registry}. *)
+
+val summary : Format.formatter -> unit
+(** Human-readable dump: counters, gauges, then non-empty histograms.
+    Histogram names ending in [_ns] are rendered in milliseconds. *)
+
+val jsonl : (string -> unit) -> unit
+(** Emit one JSON object per metric (no trailing newline) to [write].
+    Empty histograms are skipped. *)
+
+val to_metrics : unit -> (string * int) list
+(** Flat (name, value) list of all counters and gauges — the shape
+    [Peace_sim.Metrics.absorb] consumes. *)

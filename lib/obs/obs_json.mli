@@ -1,0 +1,7 @@
+(** Minimal JSON string quoting shared by the JSONL exporters. *)
+
+val escape : string -> string
+(** Backslash-escape quotes, backslashes, and control characters. *)
+
+val str : string -> string
+(** [str s] is [s] escaped and wrapped in double quotes. *)

@@ -1,0 +1,176 @@
+(* The global metric registry.
+
+   Every record path (counter bump, gauge move, histogram observation) is a
+   handful of [Atomic] operations and never takes a lock, so Domain_pool
+   workers can hammer the same metric concurrently without contention beyond
+   the cache line itself. The registry mutex guards only metric creation and
+   enumeration, which happen at module-init time or in exporters.
+
+   A single process-wide [enabled] switch turns every record path into a
+   no-op, so the instrumentation overhead can itself be measured (bench
+   E12). *)
+
+let enabled = Atomic.make true
+let set_enabled v = Atomic.set enabled v
+let is_enabled () = Atomic.get enabled
+
+(* wall-clock nanoseconds as an int; 63-bit ints hold epoch-nanoseconds
+   until the year 2262, and all consumers only ever look at differences *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+module Counter = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let make name = { name; v = Atomic.make 0 }
+  let name c = c.name
+  let incr c = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.v 1)
+  let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.v n)
+  let value c = Atomic.get c.v
+  let reset c = Atomic.set c.v 0
+end
+
+module Gauge = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let make name = { name; v = Atomic.make 0 }
+  let name g = g.name
+  let set g n = if Atomic.get enabled then Atomic.set g.v n
+  let add g n = if Atomic.get enabled then ignore (Atomic.fetch_and_add g.v n)
+  let incr g = add g 1
+  let decr g = add g (-1)
+  let value g = Atomic.get g.v
+  let reset g = Atomic.set g.v 0
+end
+
+module Histogram = struct
+  (* log-bucketed: bucket [i] holds the observations whose value has
+     bit-length [i], i.e. v in [2^(i-1), 2^i); bucket 0 holds v <= 0. *)
+  let nbuckets = 63
+
+  type t = {
+    name : string;
+    buckets : int Atomic.t array;
+    count : int Atomic.t;
+    sum : int Atomic.t;
+  }
+
+  let make name =
+    {
+      name;
+      buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+      count = Atomic.make 0;
+      sum = Atomic.make 0;
+    }
+
+  let name h = h.name
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let b = ref 0 and x = ref v in
+      while !x > 0 do
+        incr b;
+        x := !x lsr 1
+      done;
+      Stdlib.min !b (nbuckets - 1)
+    end
+
+  let lower_bound i = if i = 0 then 0 else 1 lsl (i - 1)
+  let upper_bound i = if i >= 62 then max_int else (1 lsl i) - 1
+
+  let observe h v =
+    if Atomic.get enabled then begin
+      ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add h.count 1);
+      ignore (Atomic.fetch_and_add h.sum v)
+    end
+
+  let time h f =
+    if Atomic.get enabled then begin
+      let t0 = now_ns () in
+      Fun.protect ~finally:(fun () -> observe h (now_ns () - t0)) f
+    end
+    else f ()
+
+  let count h = Atomic.get h.count
+  let sum h = Atomic.get h.sum
+
+  let mean h =
+    let n = count h in
+    if n = 0 then None else Some (float_of_int (sum h) /. float_of_int n)
+
+  let quantile h p =
+    let n = count h in
+    if n = 0 then None
+    else begin
+      let p = Stdlib.max 0.0 (Stdlib.min 100.0 p) in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      (* walk the cumulative distribution; interpolate linearly inside the
+         bucket the rank falls into *)
+      let rec find i cum =
+        if i >= nbuckets then Some (float_of_int (upper_bound (nbuckets - 1)))
+        else begin
+          let c = Atomic.get h.buckets.(i) in
+          if c > 0 && rank < float_of_int (cum + c) then begin
+            let lo = float_of_int (lower_bound i)
+            and hi = float_of_int (upper_bound i) in
+            let frac = (rank -. float_of_int cum) /. float_of_int c in
+            Some (lo +. (frac *. (hi -. lo)))
+          end
+          else find (i + 1) (cum + c)
+        end
+      in
+      find 0 0
+    end
+
+  let reset h =
+    Array.iter (fun b -> Atomic.set b 0) h.buckets;
+    Atomic.set h.count 0;
+    Atomic.set h.sum 0
+end
+
+(* --- the registry proper --- *)
+
+let lock = Mutex.create ()
+let counters_tbl : (string, Counter.t) Hashtbl.t = Hashtbl.create 32
+let gauges_tbl : (string, Gauge.t) Hashtbl.t = Hashtbl.create 16
+let histograms_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let get_or_create tbl make name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some m -> m
+      | None ->
+        let m = make name in
+        Hashtbl.replace tbl name m;
+        m)
+
+let counter name = get_or_create counters_tbl Counter.make name
+let gauge name = get_or_create gauges_tbl Gauge.make name
+let histogram name = get_or_create histograms_tbl Histogram.make name
+
+let dump tbl value =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, value m) :: acc) tbl [])
+  |> List.sort compare
+
+let counters () = dump counters_tbl Counter.value
+let gauges () = dump gauges_tbl Gauge.value
+let histograms () = dump histograms_tbl (fun h -> h)
+
+let reset_all () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Counter.reset c) counters_tbl;
+      Hashtbl.iter (fun _ g -> Gauge.reset g) gauges_tbl;
+      Hashtbl.iter (fun _ h -> Histogram.reset h) histograms_tbl)
+
+let delta ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let b = Option.value ~default:0 (List.assoc_opt name before) in
+      if v = b then None else Some (name, v - b))
+    after

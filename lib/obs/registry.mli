@@ -1,0 +1,92 @@
+(** Global registry of named counters, gauges, and latency histograms.
+
+    The paper's whole evaluation (Section V) is framed as operation counts
+    — pairings and exponentiations per sign/verify, revocation cost linear
+    in |URL| — so the registry's job is to make those counts (and the
+    latencies behind them) observable on the real code paths.
+
+    Record paths are lock-free ([Atomic] only), so {!Peace_parallel}
+    workers on separate domains can update the same metric concurrently;
+    the registry mutex guards only creation and enumeration. Metrics are
+    process-global and keyed by name: [counter "x"] twice returns the same
+    counter. *)
+
+val set_enabled : bool -> unit
+(** Turns every record path into a no-op (reads stay live). Default: on.
+    Used to measure the instrumentation's own overhead (bench E12). *)
+
+val is_enabled : unit -> bool
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds as an int (differences are what matter). *)
+
+module Counter : sig
+  type t
+
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val name : t -> string
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val incr : t -> unit
+  val decr : t -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  (** Log-bucketed: an observation of value [v > 0] lands in the bucket of
+      its bit-length, so the histogram covers the full int range in 63
+      buckets with <2x relative quantile error. *)
+
+  type t
+
+  val name : t -> string
+
+  val observe : t -> int -> unit
+  (** Record one observation (nanoseconds for latency histograms, but any
+      non-negative integer unit works — e.g. revocation-scan lengths). *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** [time h f] runs [f] and observes its wall-clock duration in
+      nanoseconds. When the registry is disabled the clock is not read. *)
+
+  val count : t -> int
+  val sum : t -> int
+  val mean : t -> float option
+
+  val quantile : t -> float -> float option
+  (** [quantile h p] for [p] in [0..100], [None] on an empty histogram;
+      linear interpolation inside the target bucket. *)
+
+  val reset : t -> unit
+end
+
+val counter : string -> Counter.t
+(** Get-or-create by name. *)
+
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+
+val counters : unit -> (string * int) list
+(** Current values, sorted by name. *)
+
+val gauges : unit -> (string * int) list
+val histograms : unit -> (string * Histogram.t) list
+
+val reset_all : unit -> unit
+(** Zero every registered metric (registrations survive). *)
+
+val delta :
+  before:(string * int) list -> after:(string * int) list ->
+  (string * int) list
+(** [delta ~before ~after] is the per-name difference, dropping zeros —
+    the shape of a per-run report ({!Peace_sim.Engine} uses it). *)

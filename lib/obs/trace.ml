@@ -1,0 +1,88 @@
+(* Span tracing with parent linkage.
+
+   Each domain keeps its own span stack in domain-local storage, so spans
+   opened by Domain_pool workers nest correctly within their own domain and
+   never see another domain's parents. Span ids are process-global.
+
+   Every span records its duration into the registry histogram
+   "span.<name>.dur_ns"; when a sink is installed each span additionally
+   emits a begin and an end event as one JSON object per line (JSONL). *)
+
+let next_id = Atomic.make 1
+
+let sink_lock = Mutex.create ()
+let sink : (string -> unit) option ref = ref None
+
+let set_sink s =
+  Mutex.lock sink_lock;
+  sink := s;
+  Mutex.unlock sink_lock
+
+let sink_active () = !sink <> None
+
+(* [make_line] is a thunk so no string is built when tracing is off; the
+   lock serialises writers from concurrent domains *)
+let emit make_line =
+  if sink_active () then begin
+    Mutex.lock sink_lock;
+    (match !sink with
+    | None -> ()
+    | Some write -> ( try write (make_line ()) with _ -> ()));
+    Mutex.unlock sink_lock
+  end
+
+let stack_key = Domain.DLS.new_key (fun () -> ([] : int list))
+
+let current_span () =
+  match Domain.DLS.get stack_key with [] -> None | id :: _ -> Some id
+
+let attrs_json = function
+  | [] -> ""
+  | attrs ->
+    let fields =
+      List.map (fun (k, v) -> Obs_json.str k ^ ":" ^ Obs_json.str v) attrs
+    in
+    ",\"attrs\":{" ^ String.concat "," fields ^ "}"
+
+let begin_line ~name ~id ~parent ~attrs ~ts =
+  Printf.sprintf "{\"ev\":\"B\",\"name\":%s,\"id\":%d,\"parent\":%s,\"ts_ns\":%d%s}"
+    (Obs_json.str name) id
+    (match parent with None -> "null" | Some p -> string_of_int p)
+    ts (attrs_json attrs)
+
+let end_line ~name ~id ~ts ~dur =
+  Printf.sprintf "{\"ev\":\"E\",\"name\":%s,\"id\":%d,\"ts_ns\":%d,\"dur_ns\":%d}"
+    (Obs_json.str name) id ts dur
+
+let with_span ?(attrs = []) name f =
+  if (not (Registry.is_enabled ())) && not (sink_active ()) then f ()
+  else begin
+    let h = Registry.histogram ("span." ^ name ^ ".dur_ns") in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match stack with [] -> None | p :: _ -> Some p in
+    Domain.DLS.set stack_key (id :: stack);
+    let t0 = Registry.now_ns () in
+    emit (fun () -> begin_line ~name ~id ~parent ~attrs ~ts:t0);
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Registry.now_ns () in
+        Registry.Histogram.observe h (t1 - t0);
+        emit (fun () -> end_line ~name ~id ~ts:t1 ~dur:(t1 - t0));
+        Domain.DLS.set stack_key stack)
+      f
+  end
+
+let with_file path f =
+  let oc = open_out path in
+  set_sink
+    (Some
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n';
+         flush oc));
+  Fun.protect
+    ~finally:(fun () ->
+      set_sink None;
+      close_out oc)
+    f

@@ -1,0 +1,33 @@
+(** Span tracing: nested, cross-domain-safe, with an optional JSONL sink.
+
+    [with_span "groupsig.verify" (fun () -> ...)] times the thunk into the
+    registry histogram ["span.groupsig.verify.dur_ns"] and — when a sink is
+    installed — emits a begin event and an end event, each one JSON object
+    per line:
+
+    {v
+    {"ev":"B","name":"groupsig.verify","id":5,"parent":2,"ts_ns":...}
+    {"ev":"E","name":"groupsig.verify","id":5,"ts_ns":...,"dur_ns":...}
+    v}
+
+    [parent] is the id of the enclosing span on the same domain ([null] at
+    top level), so a trace file reconstructs the call tree. Span stacks are
+    domain-local; ids are process-global. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a span. Exceptions propagate; the end event and
+    the histogram observation still happen. When the registry is disabled
+    and no sink is set, this is a direct call with no overhead. *)
+
+val current_span : unit -> int option
+(** The innermost open span id on the calling domain, if any. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Install (or remove) the event sink. The sink receives one JSON line
+    per event, without the trailing newline, serialised under a lock. *)
+
+val sink_active : unit -> bool
+
+val with_file : string -> (unit -> 'a) -> 'a
+(** [with_file path f] writes events to [path] (one line each, flushed)
+    while [f] runs, then removes the sink and closes the file. *)

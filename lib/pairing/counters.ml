@@ -1,3 +1,15 @@
+(* Backed by the global Peace_obs registry, so the same counts the E2
+   benchmark reads also show up in `peace stats`, traces, and sim reports.
+   The snapshot/diff API is kept: callers that bracket an operation with
+   [snapshot] still get exact per-operation counts. *)
+
+module R = Peace_obs.Registry
+
+let c_pairings = R.counter "pairing.ops"
+let c_g1_mul = R.counter "pairing.exp_g1"
+let c_gt_exp = R.counter "pairing.exp_gt"
+let c_hash_to_g1 = R.counter "pairing.hash_to_g1"
+
 type snapshot = {
   pairings : int;
   g1_mul : int;
@@ -5,23 +17,18 @@ type snapshot = {
   hash_to_g1 : int;
 }
 
-let pairings = ref 0
-let g1_mul = ref 0
-let gt_exp = ref 0
-let hash_to_g1 = ref 0
-
 let reset () =
-  pairings := 0;
-  g1_mul := 0;
-  gt_exp := 0;
-  hash_to_g1 := 0
+  R.Counter.reset c_pairings;
+  R.Counter.reset c_g1_mul;
+  R.Counter.reset c_gt_exp;
+  R.Counter.reset c_hash_to_g1
 
 let snapshot () =
   {
-    pairings = !pairings;
-    g1_mul = !g1_mul;
-    gt_exp = !gt_exp;
-    hash_to_g1 = !hash_to_g1;
+    pairings = R.Counter.value c_pairings;
+    g1_mul = R.Counter.value c_g1_mul;
+    gt_exp = R.Counter.value c_gt_exp;
+    hash_to_g1 = R.Counter.value c_hash_to_g1;
   }
 
 let diff later earlier =
@@ -38,7 +45,7 @@ let pp fmt s =
   Format.fprintf fmt "pairings=%d g1_mul=%d gt_exp=%d hash_to_g1=%d" s.pairings
     s.g1_mul s.gt_exp s.hash_to_g1
 
-let count_pairing () = incr pairings
-let count_g1_mul () = incr g1_mul
-let count_gt_exp () = incr gt_exp
-let count_hash_to_g1 () = incr hash_to_g1
+let count_pairing () = R.Counter.incr c_pairings
+let count_g1_mul () = R.Counter.incr c_g1_mul
+let count_gt_exp () = R.Counter.incr c_gt_exp
+let count_hash_to_g1 () = R.Counter.incr c_hash_to_g1

@@ -57,6 +57,22 @@ let verify_batch ?chunk ?(url = []) ~domains gpk jobs =
   if domains = 1 then verify_seq (one_scan gpk url) jobs
   else with_pool ~domains (fun pool -> verify_batch_in ?chunk ~url pool gpk jobs)
 
+let verify_batch_with_stats ?chunk ?(url = []) ~domains gpk jobs =
+  ignore (check_chunk chunk);
+  if domains = 1 then (verify_seq (one_scan gpk url) jobs, [||])
+  else begin
+    if domains < 1 then invalid_arg "Batch_verify: domains must be >= 1";
+    let pool = Domain_pool.create ~domains () in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Domain_pool.shutdown pool)
+        (fun () -> verify_batch_in ?chunk ~url pool gpk jobs)
+    in
+    (* stats are only exact after shutdown, which Fun.protect guarantees
+       has happened by now *)
+    (results, Domain_pool.stats pool)
+  end
+
 let verify_batch_fast ?chunk ~domains gpk table jobs =
   ignore (check_chunk chunk);
   if domains = 1 then verify_seq (one_fast gpk table) jobs

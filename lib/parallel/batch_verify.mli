@@ -37,6 +37,17 @@ val verify_batch :
     work item.
     @raise Invalid_argument if [domains < 1] or [chunk < 1]. *)
 
+val verify_batch_with_stats :
+  ?chunk:int ->
+  ?url:Group_sig.revocation_token list ->
+  domains:int ->
+  Group_sig.gpk ->
+  job list ->
+  Group_sig.verify_result list * Domain_pool.worker_stats array
+(** Like {!verify_batch}, but also returns the pool's per-worker stats
+    (read after shutdown, so they are exact). At [domains:1] the stats
+    array is empty — there is no pool on the sequential path. *)
+
 val verify_batch_fast :
   ?chunk:int ->
   domains:int ->

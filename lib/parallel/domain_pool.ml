@@ -1,5 +1,12 @@
 type worker_stats = { jobs : int; busy_ns : int64 }
 
+(* live farm health, visible through Peace_obs (e.g. `peace stats`): depth
+   of the shared job queue, workers currently inside a job, jobs completed
+   process-wide *)
+let g_queue_depth = Peace_obs.Registry.gauge "pool.queue_depth"
+let g_workers_busy = Peace_obs.Registry.gauge "pool.workers_busy"
+let c_jobs_total = Peace_obs.Registry.counter "pool.jobs_total"
+
 type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
 
 type 'a future = {
@@ -24,11 +31,15 @@ let rec worker_loop queue stats i =
   match Bounded_queue.pop queue with
   | None -> ()
   | Some job ->
+    Peace_obs.Registry.Gauge.decr g_queue_depth;
+    Peace_obs.Registry.Gauge.incr g_workers_busy;
     let t0 = now_ns () in
     (try job () with _ -> ());
     let dt = Int64.sub (now_ns ()) t0 in
     let s = stats.(i) in
     stats.(i) <- { jobs = s.jobs + 1; busy_ns = Int64.add s.busy_ns dt };
+    Peace_obs.Registry.Gauge.decr g_workers_busy;
+    Peace_obs.Registry.Counter.incr c_jobs_total;
     worker_loop queue stats i
 
 let create ?queue_capacity ~domains () =
@@ -58,7 +69,9 @@ let submit t f =
     Condition.broadcast fut.fc;
     Mutex.unlock fut.fm
   in
-  (try Bounded_queue.push t.queue job
+  (try
+     Bounded_queue.push t.queue job;
+     Peace_obs.Registry.Gauge.incr g_queue_depth
    with Bounded_queue.Closed ->
      invalid_arg "Domain_pool.submit: pool is shut down");
   fut
@@ -90,6 +103,12 @@ let shutdown t =
   end
 
 let stats t = Array.copy t.stats
+
+let total stats =
+  Array.fold_left
+    (fun acc s ->
+      { jobs = acc.jobs + s.jobs; busy_ns = Int64.add acc.busy_ns s.busy_ns })
+    { jobs = 0; busy_ns = 0L } stats
 
 let run ?queue_capacity ~domains f =
   let pool = create ?queue_capacity ~domains () in

@@ -40,6 +40,13 @@ val stats : t -> worker_stats array
 (** One entry per worker, index-stable across calls. Only exact once the
     pool is shut down (workers update their own slot as they run). *)
 
+val total : worker_stats array -> worker_stats
+(** Aggregate over all workers: summed jobs and busy time.
+
+    Live farm health is also published through {!Peace_obs.Registry}: the
+    ["pool.queue_depth"] and ["pool.workers_busy"] gauges and the
+    ["pool.jobs_total"] counter. *)
+
 val run : ?queue_capacity:int -> domains:int -> (t -> 'a) -> 'a
 (** [run ~domains f] brackets [f] between {!create} and {!shutdown}; the
     pool is shut down even if [f] raises. *)

@@ -26,3 +26,9 @@ val run : ?until:int -> t -> unit
     horizon is crossed (events beyond [until] stay queued). *)
 
 val pending : t -> int
+
+val last_run_obs : t -> (string * int) list
+(** Per-name delta of the {!Peace_obs.Registry} counters across the most
+    recent {!run} — the crypto-op and router-traffic bill of that run.
+    Empty before the first run. Feed it to {!Metrics.absorb} to fold the
+    observability counters into a simulation report. *)

@@ -37,15 +37,24 @@ let mean t name =
   | [] -> None
   | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
 
+(* linear interpolation between closest ranks (numpy's default, R-7):
+   rank = p/100·(n−1); a rank between two samples blends them *)
 let percentile t name p =
   match samples t name with
   | [] -> None
   | xs ->
-    let sorted = List.sort compare xs in
-    let n = List.length sorted in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
-    let rank = Stdlib.max 0 (Stdlib.min (n - 1) rank) in
-    Some (List.nth sorted rank)
+    let sorted = Array.of_list (List.sort compare xs) in
+    let n = Array.length sorted in
+    let p = Stdlib.max 0.0 (Stdlib.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    if lo >= n - 1 then Some sorted.(n - 1)
+    else begin
+      let frac = rank -. float_of_int lo in
+      Some (sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo))))
+    end
+
+let absorb t pairs = List.iter (fun (name, n) -> incr_by t name n) pairs
 
 let pp_summary fmt t =
   List.iter

@@ -13,6 +13,12 @@ val sample : t -> string -> float -> unit
 val samples : t -> string -> float list
 val mean : t -> string -> float option
 val percentile : t -> string -> float -> float option
-(** [percentile t name 95.0]; [None] when the series is empty. *)
+(** [percentile t name 95.0]; [None] when the series is empty. Linear
+    interpolation between closest ranks (numpy's default method). *)
+
+val absorb : t -> (string * int) list -> unit
+(** Add each [(name, n)] pair into the counters — the shape
+    {!Peace_obs.Export.to_metrics} and {!Peace_obs.Registry.delta}
+    produce. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -29,16 +29,44 @@ The operator's audit attributes the signature to its label:
   $ peace audit -m "hello mesh" -s "$SIG" --grt grt.txt
   signer: company-x/key-0
 
-The multicore verifier farm, end to end (timing lines carry host-dependent
-numbers, so only the deterministic lines are kept):
+The multicore verifier farm, end to end (timing and utilisation lines
+carry host-dependent numbers, so only the deterministic lines are kept):
 
-  $ peace bench-verify --domains 2 --batch 6 --url-size 2 | grep -v 'sig/s'
+  $ peace bench-verify --domains 2 --batch 6 --url-size 2 | grep -v 'sig/s\|farm:'
   bench-verify: params=tiny-a80 batch=6 |URL|=2 domains=2
   results: valid=4 invalid-proof=1 revoked=1
   agreement: parallel results identical to sequential
+  $ peace bench-verify --domains 2 --batch 6 --url-size 2 | grep -c 'farm: 6 jobs over 2 workers'
+  1
   $ peace bench-verify --domains 0 --batch 4 --url-size 0
   error: --domains must be >= 1
   [2]
+
+The live stats surface: each row measures one operation's crypto op
+counts on the real code path and checks them against the paper's §V-C
+formulas (exit 1 on any mismatch). The two verify_fast rows demonstrate
+|URL|-independence:
+
+  $ peace stats --url-size 3 | grep 'pairings='
+    sign                     pairings=2    exp_g1=5    exp_gt=4    hash_g1=2    ok
+    verify |URL|=0           pairings=2    exp_g1=8    exp_gt=1    hash_g1=2    ok
+    verify |URL|=3           pairings=6    exp_g1=8    exp_gt=1    hash_g1=4    ok
+    verify_fast table=3      pairings=4    exp_g1=8    exp_gt=1    hash_g1=0    ok
+    verify_fast table=23     pairings=4    exp_g1=8    exp_gt=1    hash_g1=0    ok
+
+--trace writes one JSON object per span event; a verify opens the
+groupsig.verify span with the proof check nested inside it:
+
+  $ peace verify -m "hello mesh" -s "$SIG" --trace verify-trace.jsonl
+  valid
+  $ grep -c '"name":"groupsig.verify"' verify-trace.jsonl
+  2
+  $ grep -c '"name":"groupsig.proof_check"' verify-trace.jsonl
+  2
+  $ grep -cv '^{.*}$' verify-trace.jsonl
+  0
+  [1]
+  $ test $(grep -c '"ev":"B"' verify-trace.jsonl) -eq $(grep -c '"ev":"E"' verify-trace.jsonl)
 
 Parameter validation and malformed input handling:
 

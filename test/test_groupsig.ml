@@ -416,6 +416,66 @@ let qcheck_tests =
         Group_sig.open_signature gpk ~grt ~msg s = Some expected);
   ]
 
+(* E12: the paper's §V-C operation counts hold on the real code path.
+   verify = 2 pairings for the proof plus (1 + |URL|) for the revocation
+   scan; verify_fast is independent of the table size. *)
+let test_op_counts () =
+  let count f =
+    Counters.reset ();
+    let before = Counters.snapshot () in
+    f ();
+    Counters.diff (Counters.snapshot ()) before
+  in
+  let check name got ~pairings ~g1_mul ~gt_exp ~hash_to_g1 =
+    let snap = Alcotest.testable Counters.pp ( = ) in
+    Alcotest.check snap name { Counters.pairings; g1_mul; gt_exp; hash_to_g1 } got
+  in
+  let rng = test_rng 90 in
+  let msg = "op-count transcript" in
+  let s = Group_sig.sign gpk alice ~rng ~msg in
+  check "sign"
+    (count (fun () -> ignore (Group_sig.sign gpk alice ~rng ~msg)))
+    ~pairings:2 ~g1_mul:5 ~gt_exp:4 ~hash_to_g1:2;
+  check "verify |URL|=0"
+    (count (fun () ->
+         Alcotest.check vres "valid" Group_sig.Valid (Group_sig.verify gpk ~msg s)))
+    ~pairings:2 ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:2;
+  List.iter
+    (fun n ->
+      (* non-matching tokens: the scan runs to the end of the URL *)
+      let url =
+        List.init n (fun i ->
+            Group_sig.token_of_gsk
+              (Group_sig.issue issuer ~grp:(Bigint.of_int (3000 + i)) rng))
+      in
+      check
+        (Printf.sprintf "verify |URL|=%d" n)
+        (count (fun () ->
+             Alcotest.check vres "valid" Group_sig.Valid
+               (Group_sig.verify gpk ~url ~msg s)))
+        ~pairings:(3 + n) ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:4)
+    [ 1; 6 ];
+  (* verify_fast: |URL|-independent — identical counts for 4 and 24 tokens *)
+  let fi = Group_sig.setup ~base_mode:Group_sig.Fixed_bases tiny (test_rng 91) in
+  let fgpk = fi.Group_sig.gpk in
+  let dave = Group_sig.issue fi ~grp:(Bigint.of_int 1) rng in
+  let s_f = Group_sig.sign fgpk dave ~rng ~msg in
+  List.iter
+    (fun n ->
+      let table =
+        Group_sig.build_fast_table fgpk
+          (List.init n (fun i ->
+               Group_sig.token_of_gsk
+                 (Group_sig.issue fi ~grp:(Bigint.of_int (4000 + i)) rng)))
+      in
+      check
+        (Printf.sprintf "verify_fast table=%d" n)
+        (count (fun () ->
+             Alcotest.check vres "valid" Group_sig.Valid
+               (Group_sig.verify_fast fgpk table ~msg s_f)))
+        ~pairings:4 ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:0)
+    [ 4; 24 ]
+
 let suite =
   [
     ( "group-sig",
@@ -436,6 +496,7 @@ let suite =
         Alcotest.test_case "key storage round trips" `Quick test_key_storage_round_trips;
         Alcotest.test_case "bit flips never verify" `Quick test_bitflip_never_verifies;
         Alcotest.test_case "fixed-bases linkability cost" `Quick test_fixed_bases_linkability;
+        Alcotest.test_case "op counts match paper" `Quick test_op_counts;
       ] );
     ( "bbs04-baseline",
       [

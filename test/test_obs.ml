@@ -1,0 +1,285 @@
+(* Peace_obs tests: lock-free metric semantics (including exactness under
+   concurrent domains), the enabled switch, span nesting and JSONL trace
+   well-formedness, registry enumeration/delta, and the exporters. *)
+
+module R = Peace_obs.Registry
+module Trace = Peace_obs.Trace
+module Export = Peace_obs.Export
+
+(* --- tiny fixed-field JSONL scanner (the trace emitter writes fields in
+   a fixed order, so substring scanning is enough for tests) --- *)
+
+let after line pat =
+  let n = String.length pat in
+  let rec find i =
+    if i + n > String.length line then None
+    else if String.sub line i n = pat then Some (i + n)
+    else find (i + 1)
+  in
+  find 0
+
+let int_field line key =
+  match after line ("\"" ^ key ^ "\":") with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while
+      !j < String.length line
+      && (match line.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j = i then None else Some (int_of_string (String.sub line i (!j - i)))
+
+let str_field line key =
+  match after line ("\"" ^ key ^ "\":\"") with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt line i '"' with
+    | None -> None
+    | Some j -> Some (String.sub line i (j - i)))
+
+(* --- counters, gauges, histograms --- *)
+
+let test_counter_basics () =
+  let c = R.counter "test.obs.counter" in
+  R.Counter.reset c;
+  Alcotest.(check string) "name" "test.obs.counter" (R.Counter.name c);
+  R.Counter.incr c;
+  R.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (R.Counter.value c);
+  Alcotest.(check bool) "get-or-create returns the same counter" true
+    (R.counter "test.obs.counter" == c);
+  R.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (R.Counter.value c)
+
+let test_counter_concurrent () =
+  (* exactness, not just absence of crashes: with plain int refs this test
+     loses increments; Atomic must account for every single one *)
+  let c = R.counter "test.obs.concurrent" in
+  R.Counter.reset c;
+  let domains = 4 and per_domain = 25_000 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              R.Counter.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no lost updates" (domains * per_domain) (R.Counter.value c)
+
+let test_gauge () =
+  let g = R.gauge "test.obs.gauge" in
+  R.Gauge.reset g;
+  R.Gauge.set g 7;
+  R.Gauge.incr g;
+  R.Gauge.decr g;
+  R.Gauge.add g 3;
+  Alcotest.(check int) "set/incr/decr/add" 10 (R.Gauge.value g);
+  R.Gauge.reset g;
+  Alcotest.(check int) "reset" 0 (R.Gauge.value g)
+
+let test_histogram () =
+  let h = R.histogram "test.obs.hist" in
+  R.Histogram.reset h;
+  Alcotest.(check (option (float 0.0))) "empty quantile" None (R.Histogram.quantile h 50.0);
+  Alcotest.(check (option (float 0.0))) "empty mean" None (R.Histogram.mean h);
+  (* value 1 lands in a single-value bucket [1,1]: quantiles are exact *)
+  for _ = 1 to 5 do
+    R.Histogram.observe h 1
+  done;
+  Alcotest.(check int) "count" 5 (R.Histogram.count h);
+  Alcotest.(check int) "sum" 5 (R.Histogram.sum h);
+  Alcotest.(check (option (float 1e-9))) "exact p50 in a unit bucket" (Some 1.0)
+    (R.Histogram.quantile h 50.0);
+  (* log-bucketing: 6 is in bucket [4,7]; any quantile stays in-bucket *)
+  R.Histogram.reset h;
+  for _ = 1 to 10 do
+    R.Histogram.observe h 6
+  done;
+  (match R.Histogram.quantile h 95.0 with
+  | None -> Alcotest.fail "no quantile"
+  | Some q ->
+    Alcotest.(check bool) "p95 within the value's bucket" true (q >= 4.0 && q <= 7.0));
+  Alcotest.(check (option (float 1e-9))) "mean is exact" (Some 6.0) (R.Histogram.mean h);
+  (* time observes a positive duration *)
+  R.Histogram.reset h;
+  let v = R.Histogram.time h (fun () -> 13) in
+  Alcotest.(check int) "time passes the result through" 13 v;
+  Alcotest.(check int) "time observed once" 1 (R.Histogram.count h)
+
+let test_disabled () =
+  let c = R.counter "test.obs.disabled" in
+  let h = R.histogram "test.obs.disabled_h" in
+  R.Counter.reset c;
+  R.Histogram.reset h;
+  R.set_enabled false;
+  Fun.protect ~finally:(fun () -> R.set_enabled true) (fun () ->
+      R.Counter.incr c;
+      R.Counter.add c 10;
+      R.Histogram.observe h 5;
+      ignore (R.Histogram.time h (fun () -> ()));
+      Alcotest.(check int) "counter untouched" 0 (R.Counter.value c);
+      Alcotest.(check int) "histogram untouched" 0 (R.Histogram.count h));
+  R.Counter.incr c;
+  Alcotest.(check int) "recording resumes" 1 (R.Counter.value c)
+
+let test_registry_enumeration_and_delta () =
+  let c1 = R.counter "test.obs.enum_a" and c2 = R.counter "test.obs.enum_b" in
+  R.Counter.reset c1;
+  R.Counter.reset c2;
+  let before = R.counters () in
+  Alcotest.(check bool) "enumeration is sorted" true
+    (before = List.sort compare before);
+  R.Counter.add c1 3;
+  let after = R.counters () in
+  let d = R.delta ~before ~after in
+  Alcotest.(check (list (pair string int))) "delta keeps only movement"
+    [ ("test.obs.enum_a", 3) ]
+    (List.filter (fun (n, _) -> String.length n >= 13 && String.sub n 0 13 = "test.obs.enum") d)
+
+(* --- spans --- *)
+
+let capture_spans f =
+  let lines = ref [] in
+  Trace.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) f;
+  List.rev !lines
+
+let test_span_nesting () =
+  Alcotest.(check (option int)) "no open span" None (Trace.current_span ());
+  let inner_parent = ref None in
+  let lines =
+    capture_spans (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner" (fun () ->
+                inner_parent := Trace.current_span ();
+                ())))
+  in
+  (match lines with
+  | [ b_outer; b_inner; e_inner; e_outer ] ->
+    Alcotest.(check (option string)) "B outer" (Some "outer") (str_field b_outer "name");
+    Alcotest.(check (option string)) "B inner" (Some "inner") (str_field b_inner "name");
+    Alcotest.(check (option string)) "E inner first" (Some "inner") (str_field e_inner "name");
+    Alcotest.(check (option string)) "E outer last" (Some "outer") (str_field e_outer "name");
+    Alcotest.(check bool) "outer is a root span" true
+      (after b_outer "\"parent\":null" <> None);
+    let outer_id = int_field b_outer "id" in
+    Alcotest.(check (option int)) "inner's parent is outer" outer_id
+      (int_field b_inner "parent");
+    Alcotest.(check (option int)) "current_span inside = innermost id"
+      (int_field b_inner "id") !inner_parent;
+    Alcotest.(check bool) "E carries a non-negative duration" true
+      (match int_field e_inner "dur_ns" with Some d -> d >= 0 | None -> false)
+  | l -> Alcotest.failf "expected 4 events, got %d" (List.length l));
+  Alcotest.(check (option int)) "stack unwound" None (Trace.current_span ())
+
+let test_span_histogram_and_exceptions () =
+  let h = R.histogram "span.test.obs.boom.dur_ns" in
+  R.Histogram.reset h;
+  let lines =
+    capture_spans (fun () ->
+        try Trace.with_span "test.obs.boom" (fun () -> failwith "boom")
+        with Failure _ -> ())
+  in
+  Alcotest.(check int) "B and E emitted despite the raise" 2 (List.length lines);
+  Alcotest.(check int) "duration recorded despite the raise" 1 (R.Histogram.count h)
+
+let test_span_attrs_escaping () =
+  let lines =
+    capture_spans (fun () ->
+        Trace.with_span ~attrs:[ ("msg", "a\"b\\c\nd") ] "test.obs.attrs" Fun.id)
+  in
+  let b = List.hd lines in
+  Alcotest.(check bool) "quote escaped" true (after b "a\\\"b" <> None);
+  Alcotest.(check bool) "newline escaped, line unbroken" true
+    (not (String.contains b '\n'))
+
+let test_with_file () =
+  let path = Filename.temp_file "peace-obs" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Trace.with_file path (fun () ->
+          Trace.with_span "io.outer" (fun () -> Trace.with_span "io.inner" Fun.id));
+      Alcotest.(check bool) "sink removed after with_file" false (Trace.sink_active ());
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "four events" 4 (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line is a JSON object" true
+            (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+        lines;
+      let count ev =
+        List.length
+          (List.filter (fun l -> after l ("\"ev\":\"" ^ ev ^ "\"") <> None) lines)
+      in
+      Alcotest.(check int) "balanced begin/end" (count "B") (count "E"))
+
+(* --- exporters --- *)
+
+let test_export () =
+  let c = R.counter "test.obs.export" in
+  R.Counter.reset c;
+  R.Counter.add c 9;
+  let metrics = Export.to_metrics () in
+  Alcotest.(check (option int)) "to_metrics carries the counter" (Some 9)
+    (List.assoc_opt "test.obs.export" metrics);
+  let jsonl = ref [] in
+  Export.jsonl (fun l -> jsonl := l :: !jsonl);
+  Alcotest.(check bool) "jsonl emits the counter" true
+    (List.exists
+       (fun l ->
+         str_field l "name" = Some "test.obs.export" && int_field l "value" = Some 9)
+       !jsonl);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "jsonl lines are objects" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    !jsonl;
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Export.summary fmt;
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  Alcotest.(check bool) "summary names the counter" true
+    (after text "test.obs.export" <> None)
+
+let test_json_escape () =
+  Alcotest.(check string) "specials escaped" "a\\\"b\\\\c\\nd\\te"
+    (Peace_obs.Obs_json.escape "a\"b\\c\nd\te");
+  Alcotest.(check string) "control chars as \\u" "\\u0001"
+    (Peace_obs.Obs_json.escape "\001");
+  Alcotest.(check string) "str wraps in quotes" "\"x\"" (Peace_obs.Obs_json.str "x")
+
+let () =
+  Alcotest.run "peace-obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter concurrent exactness" `Quick test_counter_concurrent;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "disabled switch" `Quick test_disabled;
+          Alcotest.test_case "enumeration and delta" `Quick test_registry_enumeration_and_delta;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_histogram_and_exceptions;
+          Alcotest.test_case "attr escaping" `Quick test_span_attrs_escaping;
+          Alcotest.test_case "with_file" `Quick test_with_file;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "summary/jsonl/to_metrics" `Quick test_export;
+          Alcotest.test_case "json escaping" `Quick test_json_escape;
+        ] );
+    ]

@@ -159,6 +159,33 @@ let test_pool_shutdown () =
     (Invalid_argument "Domain_pool.create: domains must be >= 1") (fun () ->
       ignore (Domain_pool.create ~domains:0 ()))
 
+let test_pool_obs () =
+  let module R = Peace_obs.Registry in
+  let jobs_before = R.Counter.value (R.counter "pool.jobs_total") in
+  Domain_pool.run ~domains:2 (fun pool ->
+      let futures = List.init 8 (fun i -> Domain_pool.submit pool (fun () -> i * i)) in
+      Alcotest.(check (list int)) "results" (List.init 8 (fun i -> i * i))
+        (List.map Domain_pool.await futures));
+  Alcotest.(check int) "jobs_total counts every job" (jobs_before + 8)
+    (R.Counter.value (R.counter "pool.jobs_total"));
+  (* after a clean shutdown nothing is queued and nobody is busy *)
+  Alcotest.(check int) "queue_depth back to 0" 0
+    (R.Gauge.value (R.gauge "pool.queue_depth"));
+  Alcotest.(check int) "workers_busy back to 0" 0
+    (R.Gauge.value (R.gauge "pool.workers_busy"))
+
+let test_worker_stats_total () =
+  let pool = Domain_pool.create ~domains:3 () in
+  let futures = List.init 12 (fun i -> Domain_pool.submit pool (fun () -> i)) in
+  List.iter (fun f -> ignore (Domain_pool.await f)) futures;
+  Domain_pool.shutdown pool;
+  let stats = Domain_pool.stats pool in
+  Alcotest.(check int) "one slot per worker" 3 (Array.length stats);
+  let tot = Domain_pool.total stats in
+  Alcotest.(check int) "every job accounted" 12 tot.Domain_pool.jobs;
+  Alcotest.(check bool) "busy time non-negative" true
+    (Int64.compare tot.Domain_pool.busy_ns 0L >= 0)
+
 (* --- Batch_verify --- *)
 
 let issuer = Group_sig.setup tiny (test_rng 1)
@@ -242,6 +269,24 @@ let test_batch_on_external_pool () =
         (Batch_verify.verify_batch_in ~url pool gpk mixed_jobs);
       Alcotest.(check (list vres)) "batch 2 on the same pool" sequential_expected
         (Batch_verify.verify_batch_in ~url pool gpk mixed_jobs))
+
+let test_batch_with_stats () =
+  let results, stats =
+    Batch_verify.verify_batch_with_stats ~domains:2 ~url gpk mixed_jobs
+  in
+  Alcotest.(check (list vres)) "results match sequential" sequential_expected results;
+  Alcotest.(check int) "one slot per worker" 2 (Array.length stats);
+  Alcotest.(check int) "chunks all accounted"
+    (List.length mixed_jobs |> fun n ->
+     let chunk = Batch_verify.default_chunk ~domains:2 n in
+     (n + chunk - 1) / chunk)
+    (Domain_pool.total stats).Domain_pool.jobs;
+  (* the sequential path has no pool, hence no stats *)
+  let seq_results, seq_stats =
+    Batch_verify.verify_batch_with_stats ~domains:1 ~url gpk mixed_jobs
+  in
+  Alcotest.(check (list vres)) "domains:1 identical" sequential_expected seq_results;
+  Alcotest.(check int) "domains:1 has no farm stats" 0 (Array.length seq_stats)
 
 (* --- Mesh_router batched drain mode --- *)
 
@@ -334,12 +379,15 @@ let suite =
         Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
         Alcotest.test_case "exception propagation" `Quick test_pool_exceptions;
         Alcotest.test_case "graceful shutdown" `Quick test_pool_shutdown;
+        Alcotest.test_case "registry gauges" `Quick test_pool_obs;
+        Alcotest.test_case "worker stats total" `Quick test_worker_stats_total;
       ] );
     ( "batch-verify",
       [
         Alcotest.test_case "matches sequential" `Quick test_batch_matches_sequential;
         Alcotest.test_case "shared fast table" `Quick test_batch_fast_table;
         Alcotest.test_case "external pool reuse" `Quick test_batch_on_external_pool;
+        Alcotest.test_case "farm stats" `Quick test_batch_with_stats;
       ] );
     ( "router-batch-mode",
       [

@@ -123,7 +123,50 @@ let test_percentile_edges () =
   Alcotest.(check (option (float 0.0))) "p=0 is the min" (Some 1.0)
     (Metrics.percentile m "lat" 0.0);
   Alcotest.(check (option (float 0.0))) "p=100 is the max" (Some 5.0)
-    (Metrics.percentile m "lat" 100.0)
+    (Metrics.percentile m "lat" 100.0);
+  (* interpolated ranks (linear between closest ranks, numpy default):
+     on [1..5], p25 -> rank 1.0 -> 2.0; p90 -> rank 3.6 -> 4.6;
+     p95 -> rank 3.8 -> 4.8 *)
+  Alcotest.(check (option (float 1e-9))) "p25 interpolates" (Some 2.0)
+    (Metrics.percentile m "lat" 25.0);
+  Alcotest.(check (option (float 1e-9))) "p90 interpolates" (Some 4.6)
+    (Metrics.percentile m "lat" 90.0);
+  Alcotest.(check (option (float 1e-9))) "p95 interpolates" (Some 4.8)
+    (Metrics.percentile m "lat" 95.0);
+  (* between two samples the median is their midpoint *)
+  List.iter (fun v -> Metrics.sample m "two" v) [ 10.0; 20.0 ];
+  Alcotest.(check (option (float 1e-9))) "even-count median" (Some 15.0)
+    (Metrics.percentile m "two" 50.0)
+
+let test_metrics_absorb () =
+  let m = Metrics.create () in
+  Metrics.incr_by m "pairing.ops" 2;
+  Metrics.absorb m [ ("pairing.ops", 3); ("ec.scalar_mul", 4) ];
+  Alcotest.(check int) "absorbed adds" 5 (Metrics.count m "pairing.ops");
+  Alcotest.(check int) "absorbed creates" 4 (Metrics.count m "ec.scalar_mul")
+
+let test_engine_obs () =
+  let engine = Engine.create () in
+  Alcotest.(check (list (pair string int))) "empty before first run" []
+    (Engine.last_run_obs engine);
+  let c = Peace_obs.Registry.counter "test.sim.engine_obs" in
+  Peace_obs.Registry.Counter.reset c;
+  Engine.schedule engine ~delay:1 (fun () -> Peace_obs.Registry.Counter.incr c);
+  Engine.schedule engine ~delay:2 (fun () -> Peace_obs.Registry.Counter.incr c);
+  Engine.run engine;
+  Alcotest.(check int) "run delta captured" 2
+    (List.assoc "test.sim.engine_obs" (Engine.last_run_obs engine));
+  (* a run that records nothing reports nothing *)
+  Engine.schedule engine ~delay:1 (fun () -> ());
+  Engine.run engine;
+  Alcotest.(check bool) "quiet run drops the counter" true
+    (not (List.mem_assoc "test.sim.engine_obs" (Engine.last_run_obs engine)));
+  (* the delta feeds straight into a Metrics report *)
+  let m = Metrics.create () in
+  Engine.schedule engine ~delay:1 (fun () -> Peace_obs.Registry.Counter.incr c);
+  Engine.run engine;
+  Metrics.absorb m (Engine.last_run_obs engine);
+  Alcotest.(check int) "absorbed into report" 1 (Metrics.count m "test.sim.engine_obs")
 
 let test_attack_matrix () =
   let m = Scenario.attack_matrix ~seed:5 ~attempts_per_class:3 () in
@@ -232,6 +275,8 @@ let suite =
         Alcotest.test_case "sim rand" `Quick test_sim_rand;
         Alcotest.test_case "metrics" `Quick test_metrics;
         Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+        Alcotest.test_case "metrics absorb" `Quick test_metrics_absorb;
+        Alcotest.test_case "engine obs" `Quick test_engine_obs;
       ] );
     ( "scenarios",
       [
