@@ -115,6 +115,14 @@ let experiment_e1 () =
   in
   Printf.printf "%-48s %10s\n" "scheme" "bytes";
   List.iter (fun (name, size) -> Printf.printf "%-48s %10d\n" name size) rows;
+  Bench_record.add ~unit_:"B" "e1.groupsig_bytes.size_matched"
+    (float_of_int
+       (String.length
+          (Group_sig.signature_to_bytes fx_paper.fx_gpk fx_paper.fx_sig)));
+  Bench_record.add ~unit_:"B" "e1.groupsig_bytes.light"
+    (float_of_int
+       (String.length
+          (Group_sig.signature_to_bytes fx_light.fx_gpk fx_light.fx_sig)));
   Printf.printf
     "\nshape check: group signature ~ RSA-1024 at equal security (paper: 149 vs 128).\n\
      the size-matched preset (171-bit-class group elements, 170-bit scalars)\n\
@@ -156,6 +164,16 @@ let experiment_e2 () =
   let table = Group_sig.build_fast_table fx_fixed.fx_gpk (tokens_for fx_fixed 50) in
   count "fast-verify (50 tokens cached)" (fun () ->
       Group_sig.verify_fast fx_fixed.fx_gpk table ~msg:fx_fixed.fx_msg fx_fixed.fx_sig);
+  (* the canonical §V-C operation bill, recorded as data *)
+  Counters.reset ();
+  let before = Counters.snapshot () in
+  ignore
+    (Sys.opaque_identity (Group_sig.verify fx.fx_gpk ~msg:fx.fx_msg fx.fx_sig));
+  let d = Counters.diff (Counters.snapshot ()) before in
+  Bench_record.add ~unit_:"ops" "e2.verify_url0.pairings"
+    (float_of_int d.Counters.pairings);
+  Bench_record.add ~unit_:"ops" "e2.verify_url0.exponentiations"
+    (float_of_int (Counters.total_exponentiations d));
   count "audit/open (50-key grt)" (fun () ->
       Group_sig.open_signature fx.fx_gpk
         ~grt:(List.map (fun t -> (t, ())) (tokens_for fx 50))
@@ -191,6 +209,12 @@ let experiment_e3 () =
             Group_sig.verify_fast fx_fixed.fx_gpk table ~msg:fx_fixed.fx_msg
               fx_fixed.fx_sig)
       in
+      Bench_record.add ~unit_:"ms"
+        (Printf.sprintf "e3.verify_scan.url%d_ms" n)
+        scan_ms;
+      Bench_record.add ~unit_:"ms"
+        (Printf.sprintf "e3.verify_fast.url%d_ms" n)
+        fast_ms;
       Printf.printf "%8d %14.2f %14.2f\n" n scan_ms fast_ms)
     sizes;
   Printf.printf
@@ -275,7 +299,12 @@ let experiment_e4 () =
     |> sort_asc
   in
   Printf.printf "%-28s %12s\n" "operation" "ms/op";
-  List.iter (fun (name, ms) -> Printf.printf "%-28s %12.3f\n" name ms) rows;
+  List.iter
+    (fun (name, ms) ->
+      Printf.printf "%-28s %12.3f\n" name ms;
+      let flat = String.map (fun c -> if c = '/' then '.' else c) name in
+      Bench_record.add ~unit_:"ms" ("e4." ^ flat ^ "_ms") ms)
+    rows;
   Printf.printf
     "\nshape check (paper): group ops dominated by pairings; verify > sign;\n\
      both orders of magnitude above ECDSA-160/RSA-1024 ops — the price of\n\
@@ -320,6 +349,14 @@ let experiment_e5 () =
     (String.length (Messages.access_request_to_bytes config gpk request));
   Printf.printf "  %-34s %8d bytes\n" "M.3 access confirm"
     (String.length (Messages.access_confirm_to_bytes config confirm));
+  Bench_record.add ~unit_:"B" "e5.m1_beacon_bytes"
+    (float_of_int (String.length (Messages.beacon_to_bytes config beacon)));
+  Bench_record.add ~unit_:"B" "e5.m2_access_request_bytes"
+    (float_of_int
+       (String.length (Messages.access_request_to_bytes config gpk request)));
+  Bench_record.add ~unit_:"B" "e5.m3_access_confirm_bytes"
+    (float_of_int
+       (String.length (Messages.access_confirm_to_bytes config confirm)));
   (* user-user *)
   let beacon2 = Mesh_router.beacon router in
   let hello, pi =
@@ -369,6 +406,7 @@ let experiment_e6 () =
             | Some "signer" -> ()
             | _ -> failwith "audit failed")
       in
+      Bench_record.add ~unit_:"ms" (Printf.sprintf "e6.audit.grt%d_ms" n) ms;
       Printf.printf "%12d %14.2f\n" n ms)
     sizes;
   Printf.printf
@@ -391,6 +429,8 @@ let experiment_e6 () =
     "issuing %d member keys: %.0f ms total, %.2f ms/key (~%.0f keys/s)\n" batch
     issue_ms (issue_ms /. float_of_int batch)
     (1000.0 /. (issue_ms /. float_of_int batch));
+  Bench_record.add ~unit_:"ms" "e6b.issue_ms_per_key"
+    (issue_ms /. float_of_int batch);
   Printf.printf
     "a metropolitan operator provisioning 100k subscribers spends ~%.0f min\n\
      of CPU — a one-off setup cost, done offline per §IV-A.\n"
@@ -417,6 +457,12 @@ let experiment_e7 () =
           ~attacker_hash_rate_per_ms:10.0 ~attack_rate_per_s:rate
           ~legit_rate_per_s:1.0 ~duration_ms ()
       in
+      Bench_record.add ~better:Bench_record.Higher ~unit_:"count"
+        (Printf.sprintf "e7.legit_ok_puzzles_on.rate%.0f" rate)
+        (float_of_int on.Scenario.dr_legit_successes);
+      Bench_record.add ~unit_:"count"
+        (Printf.sprintf "e7.verifications_puzzles_on.rate%.0f" rate)
+        (float_of_int on.Scenario.dr_expensive_verifications);
       Printf.printf "%10.0f | %7d/%-4d %9d | %7d/%-4d %9d %16d\n" rate
         off.Scenario.dr_legit_successes off.Scenario.dr_legit_attempts
         off.Scenario.dr_expensive_verifications on.Scenario.dr_legit_successes
@@ -448,6 +494,13 @@ let experiment_e8 () =
     m.Scenario.am_rogue_beacon_attempts m.Scenario.am_rogue_beacons_accepted;
   Printf.printf "%-34s %10d %10d\n" "legitimate user (control)"
     m.Scenario.am_legit_attempts m.Scenario.am_legit_accepted;
+  Bench_record.add ~unit_:"count" "e8.attack_acceptances"
+    (float_of_int
+       (m.Scenario.am_outsider_accepted + m.Scenario.am_revoked_accepted
+      + m.Scenario.am_replay_accepted + m.Scenario.am_rogue_beacons_accepted));
+  Bench_record.add ~better:Bench_record.Higher ~unit_:"count"
+    "e8.legit_accepted"
+    (float_of_int m.Scenario.am_legit_accepted);
 
   subhr "phishing window after router revocation (bounded by CRL refresh)";
   Printf.printf "%18s %18s %22s %18s\n" "CRL refresh (s)" "phish pre-revoke"
@@ -487,6 +540,14 @@ let experiment_e9 () =
           ~duration_ms:(if quick then 20_000 else 60_000)
           ~mean_interarrival_ms:10_000.0 ()
       in
+      Bench_record.add ~unit_:"ms"
+        (Printf.sprintf "e9.handshake_mean.r%d_u%d_url%d_ms" n_routers n_users
+           url_size)
+        r.Scenario.cr_handshake_mean_ms;
+      Bench_record.add ~unit_:"ms"
+        (Printf.sprintf "e9.handshake_p95.r%d_u%d_url%d_ms" n_routers n_users
+           url_size)
+        r.Scenario.cr_handshake_p95_ms;
       Printf.printf "%8d %8d %8d | %6d/%-3d %12.1f %12.1f %10.1f\n" n_routers
         n_users url_size r.Scenario.cr_successes r.Scenario.cr_attempts
         r.Scenario.cr_handshake_mean_ms r.Scenario.cr_handshake_p95_ms
@@ -507,6 +568,9 @@ let experiment_e9 () =
     r.Scenario.mh_near_successes r.Scenario.mh_near_attempts
     r.Scenario.mh_far_successes r.Scenario.mh_far_attempts
     r.Scenario.mh_peer_handshakes;
+  Bench_record.add ~better:Bench_record.Higher ~unit_:"count"
+    "e9b.far_relayed_successes"
+    (float_of_int r.Scenario.mh_far_successes);
   Printf.printf
     "shape check: out-of-range users reach full coverage through the paper's\n\
      layer-3 cooperative relaying, after mutual peer authentication (S IV-C).\n";
@@ -523,6 +587,8 @@ let experiment_e9 () =
     "moves: %d   handoffs: %d (mean %.0f ms, failures %d)   sessions/user: %.1f\n"
     ro.Scenario.ro_moves ro.Scenario.ro_handoffs ro.Scenario.ro_handoff_mean_ms
     ro.Scenario.ro_handoff_failures ro.Scenario.ro_sessions_per_user;
+  Bench_record.add ~unit_:"ms" "e9c.handoff_mean_ms"
+    ro.Scenario.ro_handoff_mean_ms;
   Printf.printf
     "shape check: every handoff is a full anonymous re-authentication; the\n\
      roaming trail is a sequence of mutually unlinkable pseudonym pairs.\n"
@@ -560,6 +626,8 @@ let experiment_e10 () =
   in
   Printf.printf "repeated (T1|T2|nonce) components across pairs: %d (expect 0)\n"
     pairwise_equal_components;
+  Bench_record.add ~unit_:"count" "e10.repeated_sig_components"
+    (float_of_int pairwise_equal_components);
   (* the verifier (no grt) cannot distinguish signers; the operator (with
      grt) attributes each correctly — late binding *)
   let other = Group_sig.issue fx.fx_issuer ~grp:(Bigint.of_int 7) rng in
@@ -656,6 +724,10 @@ let experiment_e11 () =
                         /. (float_of_int domains *. !last_wall_ms)) )
                   end
                 in
+                Bench_record.add ~better:Bench_record.Higher ~unit_:"sig/s"
+                  (Printf.sprintf "e11.%s.d%d_b%d_url%d.sig_per_s" seed domains
+                     batch url_size)
+                  (float_of_int batch /. ms *. 1000.0);
                 Printf.printf "%8d %6d %7d | %12.1f %10.0f %7.2fx %6s %6s  %s\n"
                   domains batch url_size ms
                   (float_of_int batch /. ms *. 1000.0)
@@ -751,7 +823,9 @@ let experiment_e12 () =
   Printf.printf
     "\noverhead: %d verifies, counters on %.1f ms vs off %.1f ms -> %+.2f%%\n"
     n on_ms off_ms
-    (100.0 *. (on_ms -. off_ms) /. off_ms)
+    (100.0 *. (on_ms -. off_ms) /. off_ms);
+  Bench_record.add ~unit_:"ms" "e12.verify_batch_counters_on_ms" on_ms;
+  Bench_record.add ~unit_:"ms" "e12.verify_batch_counters_off_ms" off_ms
 
 (* ================================================================== *)
 (* Ablations (DESIGN.md §6)                                           *)
@@ -789,6 +863,7 @@ let ablations () =
   Printf.printf "montgomery mul: %8.1f ns/op\n" mont_ns;
   Printf.printf "divmod mul:     %8.1f ns/op  (%.1fx slower)\n" div_ns
     (div_ns /. mont_ns);
+  Bench_record.add ~unit_:"ns" "abl.mont_mul_ns" mont_ns;
 
   subhr "A2  PEACE variant vs vanilla BS04 (grp = 0) — cost of the key split";
   let fx = make_fixture tiny "ab2" in
@@ -846,6 +921,7 @@ let ablations () =
   Printf.printf "projective (inversion-free): %8.2f ms\n" proj;
   Printf.printf "affine reference:            %8.2f ms  (%.1fx slower)\n" aff
     (aff /. proj);
+  Bench_record.add ~unit_:"ms" "abl.pairing_projective_ms" proj;
 
   subhr "A6  VLR (the paper's choice) vs BBS04 opener-based group signature";
   let fx = make_fixture tiny "ab6" in
@@ -886,22 +962,91 @@ let ablations () =
 
 (* ================================================================== *)
 
+let experiments =
+  [
+    ("E1", experiment_e1);
+    ("E2", experiment_e2);
+    ("E3", experiment_e3);
+    ("E4", experiment_e4);
+    ("E5", experiment_e5);
+    ("E6", experiment_e6);
+    ("E7", experiment_e7);
+    ("E8", experiment_e8);
+    ("E9", experiment_e9);
+    ("E10", experiment_e10);
+    ("E11", experiment_e11);
+    ("E12", experiment_e12);
+    ("ABL", ablations);
+  ]
+
+(* hand-rolled flag parsing: the harness takes only --flag VALUE pairs.
+   --rev/--date exist so the caller (CI, the @benchjson alias) pins the
+   provenance fields and the output stays deterministic for a given run. *)
+let usage () =
+  prerr_endline
+    "usage: main.exe [--only E1,E5,ABL] [--json OUT.json] [--rev REV] \
+     [--date DATE]";
+  exit 2
+
+let cli_opts =
+  let opts = Hashtbl.create 4 in
+  let rec go i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | ("--only" | "--json" | "--rev" | "--date") as flag ->
+        if i + 1 >= Array.length Sys.argv then usage ();
+        Hashtbl.replace opts flag Sys.argv.(i + 1);
+        go (i + 2)
+      | other ->
+        Printf.eprintf "unknown argument %S\n" other;
+        usage ()
+  in
+  go 1;
+  opts
+
+let selected_experiments () =
+  (* --only E11,E12 restricts the run; PEACE_BENCH_ONLY is the env
+     fallback for contexts where argv is awkward (dune rules) *)
+  let only =
+    match Hashtbl.find_opt cli_opts "--only" with
+    | Some s -> Some s
+    | None -> Sys.getenv_opt "PEACE_BENCH_ONLY"
+  in
+  match only with
+  | None -> experiments
+  | Some spec ->
+    let keys =
+      String.split_on_char ',' spec
+      |> List.map (fun k -> String.uppercase_ascii (String.trim k))
+      |> List.filter (fun k -> k <> "")
+    in
+    if keys = [] then usage ();
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k experiments) then begin
+          Printf.eprintf "unknown experiment %S (known: %s)\n" k
+            (String.concat ", " (List.map fst experiments));
+          exit 2
+        end)
+      keys;
+    List.filter (fun (name, _) -> List.mem name keys) experiments
+
 let () =
+  let selected = selected_experiments () in
   Printf.printf "PEACE benchmark harness%s\n" (if quick then " (quick mode)" else "");
   Printf.printf "pairing presets: tiny = %s, light = %s\n" tiny.Params.name
     light.Params.name;
+  if List.length selected < List.length experiments then
+    Printf.printf "running: %s\n" (String.concat ", " (List.map fst selected));
   let t0 = Unix.gettimeofday () in
-  experiment_e1 ();
-  experiment_e2 ();
-  experiment_e3 ();
-  experiment_e4 ();
-  experiment_e5 ();
-  experiment_e6 ();
-  experiment_e7 ();
-  experiment_e8 ();
-  experiment_e9 ();
-  experiment_e10 ();
-  experiment_e11 ();
-  experiment_e12 ();
-  ablations ();
+  List.iter (fun (_, run) -> run ()) selected;
+  (match Hashtbl.find_opt cli_opts "--json" with
+  | None -> ()
+  | Some path ->
+    let field flag fallback =
+      match Hashtbl.find_opt cli_opts flag with Some v -> v | None -> fallback
+    in
+    Bench_record.write_file path ~rev:(field "--rev" "unknown")
+      ~date:(field "--date" "unknown");
+    Printf.printf "\nwrote %d metrics to %s\n" (Bench_record.count ()) path);
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

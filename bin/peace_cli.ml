@@ -225,25 +225,27 @@ let audit_cmd =
 
 (* --- simulate --- *)
 
-let simulate trace scenario seed =
+let simulate trace timeline scenario seed =
   with_trace trace @@ fun () ->
-  let open Peace_sim in
-  match scenario with
-  | "attacks" ->
-    let m = Scenario.attack_matrix ~seed ~attempts_per_class:5 () in
-    Printf.printf "outsider:      %d/%d accepted\n" m.Scenario.am_outsider_accepted m.Scenario.am_outsider_attempts;
-    Printf.printf "revoked:       %d/%d accepted\n" m.Scenario.am_revoked_accepted m.Scenario.am_revoked_attempts;
-    Printf.printf "replay:        %d/%d accepted\n" m.Scenario.am_replay_accepted m.Scenario.am_replay_attempts;
-    Printf.printf "rogue beacons: %d/%d accepted\n" m.Scenario.am_rogue_beacons_accepted m.Scenario.am_rogue_beacon_attempts;
-    Printf.printf "legitimate:    %d/%d accepted\n" m.Scenario.am_legit_accepted m.Scenario.am_legit_attempts
-  | "city" ->
-    let r =
-      Scenario.city_auth ~seed ~n_routers:4 ~n_users:20 ~area_m:1500.0
-        ~range_m:600.0 ~duration_ms:60_000 ~mean_interarrival_ms:10_000.0 ()
-    in
-    Printf.printf "auth: %d/%d ok, handshake %.1f ms mean, %d bytes on air\n"
-      r.Scenario.cr_successes r.Scenario.cr_attempts r.Scenario.cr_handshake_mean_ms
-      r.Scenario.cr_bytes_on_air
+  let run ?sampler () =
+    let open Peace_sim in
+    match scenario with
+    | "attacks" ->
+      let m = Scenario.attack_matrix ~seed ~attempts_per_class:5 () in
+      Printf.printf "outsider:      %d/%d accepted\n" m.Scenario.am_outsider_accepted m.Scenario.am_outsider_attempts;
+      Printf.printf "revoked:       %d/%d accepted\n" m.Scenario.am_revoked_accepted m.Scenario.am_revoked_attempts;
+      Printf.printf "replay:        %d/%d accepted\n" m.Scenario.am_replay_accepted m.Scenario.am_replay_attempts;
+      Printf.printf "rogue beacons: %d/%d accepted\n" m.Scenario.am_rogue_beacons_accepted m.Scenario.am_rogue_beacon_attempts;
+      Printf.printf "legitimate:    %d/%d accepted\n" m.Scenario.am_legit_accepted m.Scenario.am_legit_attempts
+    | "city" ->
+      let r =
+        Scenario.city_auth ~seed ?sampler ~n_routers:4 ~n_users:20
+          ~area_m:1500.0 ~range_m:600.0 ~duration_ms:60_000
+          ~mean_interarrival_ms:10_000.0 ()
+      in
+      Printf.printf "auth: %d/%d ok, handshake %.1f ms mean, %d bytes on air\n"
+        r.Scenario.cr_successes r.Scenario.cr_attempts r.Scenario.cr_handshake_mean_ms
+        r.Scenario.cr_bytes_on_air
   | "dos" ->
     let run puzzles =
       Scenario.dos_attack ~seed ~puzzles ~puzzle_difficulty:12
@@ -281,11 +283,42 @@ let simulate trace scenario seed =
     Printf.printf "moves: %d   handoffs: %d (mean %.0f ms, %d failed)\n"
       r.Scenario.ro_moves r.Scenario.ro_handoffs r.Scenario.ro_handoff_mean_ms
       r.Scenario.ro_handoff_failures
-  | other ->
-    Printf.eprintf
-      "unknown scenario %S (try: attacks, city, dos, phishing, multihop, roaming)\n"
-      other;
-    exit 2
+    | other ->
+      Printf.eprintf
+        "unknown scenario %S (try: attacks, city, dos, phishing, multihop, roaming)\n"
+        other;
+      exit 2
+  in
+  match timeline with
+  | None -> run ()
+  | Some path ->
+    (* one JSONL file carrying both faces of the timeline: span begin/end
+       events stream out while the scenario runs (trace sink), gauge series
+       are appended once it finishes *)
+    if Peace_obs.Trace.sink_active () then begin
+      prerr_endline "error: --timeline cannot be combined with --trace";
+      exit 2
+    end;
+    let sampler = Peace_obs.Timeseries.create () in
+    let oc = open_out path in
+    let emit line =
+      output_string oc line;
+      output_char oc '\n'
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Peace_obs.Trace.set_sink None;
+        close_out oc)
+      (fun () ->
+        Peace_obs.Trace.set_sink (Some emit);
+        run ~sampler ();
+        Peace_obs.Trace.set_sink None;
+        Peace_obs.Timeseries.to_jsonl sampler emit);
+    let n_series = List.length (Peace_obs.Timeseries.series sampler) in
+    Printf.eprintf "timeline: %d series, %d samples -> %s\n" n_series
+      (Peace_obs.Timeseries.sample_count sampler)
+      path;
+    Peace_obs.Export.series_summary Format.err_formatter sampler
 
 let simulate_cmd =
   let scenario =
@@ -293,9 +326,20 @@ let simulate_cmd =
            ~doc:"attacks | city | dos | phishing | multihop | roaming")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Write a timeline to $(docv): per-handshake causal span events \
+             plus gauge series sampled on simulated time, one JSON object \
+             per line. Only the city scenario tracks gauges so far; spans \
+             cover every scenario that threads request ids.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a WMN simulation scenario")
-    Term.(const simulate $ trace_arg $ scenario $ seed)
+    Term.(const simulate $ trace_arg $ timeline $ scenario $ seed)
 
 (* --- bench-verify --- *)
 
@@ -405,6 +449,106 @@ let bench_verify_cmd =
     Term.(
       const bench_verify $ trace_arg $ params_arg $ domains $ batch $ url_size
       $ chunk)
+
+(* --- bench-report --- *)
+
+(* Compares two BENCH_RESULTS.json files (the schema bench/main.ml --json
+   writes) metric by metric. A metric regresses when it moves in its worse
+   direction ("better" field: lower|higher) by more than the threshold. *)
+
+module J = Peace_obs.Obs_json
+
+let bench_report old_path new_path threshold =
+  let load path =
+    match J.parse (read_file path) with
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" path e;
+      exit 2
+    | Ok j -> (
+      match J.member "schema" j with
+      | Some (J.Num 1.0) -> j
+      | _ ->
+        Printf.eprintf "error: %s: unsupported or missing schema version\n"
+          path;
+        exit 2)
+  in
+  let results path j =
+    match J.member "results" j with
+    | Some (J.Arr rs) ->
+      List.filter_map
+        (fun r ->
+          match (J.member "name" r, J.member "value" r) with
+          | Some (J.Str name), Some (J.Num value) ->
+            let field key fallback =
+              match J.member key r with Some (J.Str s) -> s | _ -> fallback
+            in
+            Some (name, (value, field "unit" "", field "better" "lower"))
+          | _ -> None)
+        rs
+    | _ ->
+      Printf.eprintf "error: %s: no results array\n" path;
+      exit 2
+  in
+  let rev j = match J.member "rev" j with Some (J.Str r) -> r | _ -> "?" in
+  let old_j = load old_path and new_j = load new_path in
+  let old_r = results old_path old_j and new_r = results new_path new_j in
+  Printf.printf "bench-report: %s (%s) -> %s (%s), threshold %.1f%%\n"
+    old_path (rev old_j) new_path (rev new_j) threshold;
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, (nv, unit_, better)) ->
+      match List.assoc_opt name old_r with
+      | None -> Printf.printf "  %-44s %12s %10.3f %s  added\n" name "-" nv unit_
+      | Some (ov, _, _) ->
+        (* delta is signed so that positive always means "worse" *)
+        let worse = if better = "higher" then ov -. nv else nv -. ov in
+        let pct =
+          if ov <> 0.0 then 100.0 *. worse /. Float.abs ov
+          else if worse = 0.0 then 0.0
+          else Float.infinity *. (if worse > 0.0 then 1.0 else -1.0)
+        in
+        let verdict =
+          if pct > threshold then begin
+            incr regressions;
+            "REGRESSION"
+          end
+          else if pct < -.threshold then "improved"
+          else "ok"
+        in
+        Printf.printf "  %-44s %10.3f -> %10.3f %-6s %+7.1f%%  %s\n" name ov
+          nv unit_
+          (if better = "higher" then -.pct else pct)
+          verdict)
+    new_r;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name new_r) then
+        Printf.printf "  %-44s removed\n" name)
+    old_r;
+  if !regressions > 0 then begin
+    Printf.printf "%d metric(s) regressed beyond %.1f%%\n" !regressions
+      threshold;
+    exit 1
+  end
+  else print_endline "no regressions"
+
+let bench_report_cmd =
+  let old_path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 5.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Regression tolerance in percent (worse-direction change).")
+  in
+  Cmd.v
+    (Cmd.info "bench-report"
+       ~doc:"Diff two benchmark result files and fail on regressions")
+    Term.(const bench_report $ old_path $ new_path $ threshold)
 
 (* --- stats --- *)
 
@@ -534,5 +678,6 @@ let () =
             audit_cmd;
             simulate_cmd;
             bench_verify_cmd;
+            bench_report_cmd;
             stats_cmd;
           ]))

@@ -70,3 +70,58 @@ let jsonl write =
     (Registry.histograms ())
 
 let to_metrics () = Registry.counters () @ Registry.gauges ()
+
+(* --- time-series rendering --- *)
+
+let spark_blocks = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline ?(width = 40) points =
+  match points with
+  | [] -> ""
+  | points ->
+    let values = List.map snd points in
+    let lo = List.fold_left Float.min (List.hd values) values in
+    let hi = List.fold_left Float.max (List.hd values) values in
+    let n = List.length values in
+    let width = Stdlib.min width n in
+    (* resample to [width] columns: each column is the mean of its slice *)
+    let sums = Array.make width 0.0 and counts = Array.make width 0 in
+    List.iteri
+      (fun i v ->
+        let col = Stdlib.min (width - 1) (i * width / n) in
+        sums.(col) <- sums.(col) +. v;
+        counts.(col) <- counts.(col) + 1)
+      values;
+    let buf = Buffer.create (3 * width) in
+    for col = 0 to width - 1 do
+      if counts.(col) > 0 then begin
+        let v = sums.(col) /. float_of_int counts.(col) in
+        let level =
+          if hi -. lo <= 0.0 then 3
+          else
+            Stdlib.min 7
+              (int_of_float ((v -. lo) /. (hi -. lo) *. 8.0))
+        in
+        Buffer.add_string buf spark_blocks.(level)
+      end
+    done;
+    Buffer.contents buf
+
+let series_summary fmt sampler =
+  let all = Timeseries.series sampler in
+  let live = List.filter (fun s -> Timeseries.Series.length s > 0) all in
+  if live = [] then Format.fprintf fmt "(no series sampled)@."
+  else
+    List.iter
+      (fun s ->
+        let points = Timeseries.Series.points s in
+        let values = List.map snd points in
+        let lo = List.fold_left Float.min (List.hd values) values in
+        let hi = List.fold_left Float.max (List.hd values) values in
+        let last = List.nth values (List.length values - 1) in
+        Format.fprintf fmt "  %-28s %s  min=%g max=%g last=%g n=%d/%d@."
+          (Timeseries.Series.name s)
+          (sparkline points) lo hi last
+          (Timeseries.Series.length s)
+          (Timeseries.Series.stride s * Timeseries.Series.length s))
+      live

@@ -11,3 +11,12 @@ val jsonl : (string -> unit) -> unit
 val to_metrics : unit -> (string * int) list
 (** Flat (name, value) list of all counters and gauges — the shape
     [Peace_sim.Metrics.absorb] consumes. *)
+
+val sparkline : ?width:int -> (int * float) list -> string
+(** Render [(ts, value)] points as a Unicode block sparkline (▁▂…█),
+    resampled to at most [width] columns (default 40, mean per column).
+    A constant series renders at mid height; empty input is [""]. *)
+
+val series_summary : Format.formatter -> Timeseries.t -> unit
+(** One line per non-empty series of the sampler: name, sparkline,
+    min/max/last, and stored-out-of-raw point counts. *)

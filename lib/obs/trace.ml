@@ -73,6 +73,48 @@ let with_span ?(attrs = []) name f =
       f
   end
 
+(* --- explicit span handles (cross-event tracing) ---
+
+   [with_span] ties span lifetime to a call frame, so a span cannot
+   survive an [Engine.schedule] hop: the handler runs later, on an empty
+   stack, and its spans come out unrelated. Handles decouple the two —
+   [start] returns a value that any later event can [finish], and
+   parentage is explicit (an id, which can travel inside a simulated
+   message), so a 3-message handshake stitches into one causal trace. *)
+
+type handle = {
+  h_name : string;
+  h_id : int;
+  h_t0 : int;
+  h_hist : Registry.Histogram.t;
+  mutable h_finished : bool;
+}
+
+let start ?(attrs = []) ?parent ?ts name =
+  let id = Atomic.fetch_and_add next_id 1 in
+  let t0 = match ts with Some t -> t | None -> Registry.now_ns () in
+  emit (fun () -> begin_line ~name ~id ~parent ~attrs ~ts:t0);
+  {
+    h_name = name;
+    h_id = id;
+    h_t0 = t0;
+    h_hist = Registry.histogram ("span." ^ name ^ ".dur_ns");
+    h_finished = false;
+  }
+
+let start_linked ?attrs ?ts ~parent name =
+  start ?attrs ~parent:parent.h_id ?ts name
+
+let id h = h.h_id
+
+let finish ?ts h =
+  if not h.h_finished then begin
+    h.h_finished <- true;
+    let t1 = match ts with Some t -> t | None -> Registry.now_ns () in
+    Registry.Histogram.observe h.h_hist (t1 - h.h_t0);
+    emit (fun () -> end_line ~name:h.h_name ~id:h.h_id ~ts:t1 ~dur:(t1 - h.h_t0))
+  end
+
 let with_file path f =
   let oc = open_out path in
   set_sink

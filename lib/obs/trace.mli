@@ -22,6 +22,41 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 val current_span : unit -> int option
 (** The innermost open span id on the calling domain, if any. *)
 
+(** {1 Explicit span handles}
+
+    [with_span] ties a span to a call frame, so it cannot survive a
+    {!Peace_sim.Engine} event hop: the scheduled handler runs later on an
+    empty stack and its spans come out unrelated. Handles decouple span
+    lifetime from control flow — [start] in one event, [finish] in
+    another, with parentage explicit. The parent is an [int] id, so it
+    can travel inside a (simulated) protocol message and stitch a
+    multi-message handshake into one causal trace. *)
+
+type handle
+(** An open span. Finishing twice is a no-op. *)
+
+val start :
+  ?attrs:(string * string) list -> ?parent:int -> ?ts:int -> string -> handle
+(** Open a span and emit its begin event (when a sink is active).
+    [parent] is an explicit span id ([None] = root); the domain-local
+    stack is not consulted. [ts] overrides the begin timestamp —
+    simulation code passes simulated time, so durations come out in
+    simulated units; default is wall {!Registry.now_ns}. Use one time
+    base consistently per trace. *)
+
+val start_linked :
+  ?attrs:(string * string) list -> ?ts:int -> parent:handle -> string -> handle
+(** [start ~parent:(id parent)] — child of a handle you still hold. *)
+
+val id : handle -> int
+(** The span id — embed it in a message so a later event (possibly in
+    another entity) can open children under it with [start ~parent]. *)
+
+val finish : ?ts:int -> handle -> unit
+(** Emit the end event and record the duration into the
+    ["span.<name>.dur_ns"] histogram. [ts] must use the same time base
+    as [start]'s. Idempotent. *)
+
 val set_sink : (string -> unit) option -> unit
 (** Install (or remove) the event sink. The sink receives one JSON line
     per event, without the trailing newline, serialised under a lock. *)

@@ -70,3 +70,11 @@ let run ?until t =
 
 let pending t = Event_queue.size t.queue
 let last_run_obs t = t.last_obs
+
+let attach_sampler t ~period ?until sampler =
+  (* the sampler reads simulated, not wall, time from here on: a 1-hour
+     simulated run yields a 1-hour timeline however fast it executes *)
+  Peace_obs.Timeseries.set_clock sampler (fun () -> Clock.now t.clock);
+  Peace_obs.Timeseries.sample sampler;
+  schedule_every t ~period ?until (fun () ->
+      Peace_obs.Timeseries.sample sampler)

@@ -32,3 +32,10 @@ val last_run_obs : t -> (string * int) list
     recent {!run} — the crypto-op and router-traffic bill of that run.
     Empty before the first run. Feed it to {!Metrics.absorb} to fold the
     observability counters into a simulation report. *)
+
+val attach_sampler :
+  t -> period:int -> ?until:int -> Peace_obs.Timeseries.t -> unit
+(** Drive a {!Peace_obs.Timeseries} sampler on simulated time: rebinds
+    its clock to this engine's, takes one sample immediately, then one
+    every [period] simulated ms (until [until], if given) while {!run}
+    processes events. Timeline timestamps come out in simulated ms. *)

@@ -10,11 +10,19 @@ val counters : t -> (string * int) list
 (** Sorted by name. *)
 
 val sample : t -> string -> float -> unit
+
 val samples : t -> string -> float list
+(** All recorded samples in chronological (insertion) order — a
+    timeline consumer can pair them with event times. *)
+
 val mean : t -> string -> float option
+(** Running mean; O(1) regardless of series length. *)
+
 val percentile : t -> string -> float -> float option
 (** [percentile t name 95.0]; [None] when the series is empty. Linear
-    interpolation between closest ranks (numpy's default method). *)
+    interpolation between closest ranks (numpy's default method). The
+    ascending sort is cached between samples, so reading several
+    percentiles in a row costs one sort, not one per call. *)
 
 val absorb : t -> (string * int) list -> unit
 (** Add each [(name, n)] pair into the counters — the shape

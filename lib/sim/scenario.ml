@@ -28,10 +28,16 @@ let tag_beacon = 1
 let tag_access_request = 2
 let tag_access_confirm = 3
 
-let envelope ~tag ~sender payload =
+(* [req] is a request id for cross-event tracing: the root span id of the
+   handshake this frame belongs to (0 = untraced). It rides the simulated
+   radio only — the real protocol messages inside [payload] are unchanged —
+   so a router can parent its processing span under the user's handshake
+   span even though the two run in different events. *)
+let envelope ?(req = 0) ~tag ~sender payload =
   let w = Wire.writer () in
   Wire.u8 w tag;
   Wire.u32 w sender;
+  Wire.u32 w req;
   Wire.bytes w payload;
   Wire.contents w
 
@@ -41,9 +47,10 @@ let parse_envelope s =
   match
     let* tag = read_u8 r in
     let* sender = read_u32 r in
+    let* req = read_u32 r in
     let* payload = read_bytes r in
     let* () = expect_end r in
-    Ok (tag, sender, payload)
+    Ok (tag, sender, req, payload)
   with
   | Ok v -> Some v
   | Error _ -> None
@@ -98,7 +105,20 @@ type router_node = {
   rn_queue_limit : int;
 }
 
-let router_service world cost node ~url_size ~sender ~under_attack request =
+(* a span is only opened when a trace sink is live AND the frame carries a
+   request id — the untraced paths stay allocation-free *)
+let sim_span world ~req ~name =
+  if req > 0 && Peace_obs.Trace.sink_active () then
+    Some
+      (Peace_obs.Trace.start ~parent:req ~ts:(Engine.now world.engine) name)
+  else None
+
+let sim_finish world = function
+  | None -> ()
+  | Some h -> Peace_obs.Trace.finish ~ts:(Engine.now world.engine) h
+
+let router_service world cost node ~url_size ~sender ~under_attack ?(req = 0)
+    request =
   (* charge the modeled processing time, then run the real handler *)
   let now = Engine.now world.engine in
   let service_cost =
@@ -110,21 +130,26 @@ let router_service world cost node ~url_size ~sender ~under_attack request =
     Metrics.incr world.metrics "router.dropped_queue_full"
   else begin
     node.rn_queue <- node.rn_queue + 1;
+    (* the span covers queueing + modeled verify: it opens in this event
+       and closes in the scheduled one, parented on the id that travelled
+       inside the (M.2) envelope *)
+    let span = sim_span world ~req ~name:"sim.router.service" in
     let start = Stdlib.max now node.rn_busy_until in
     let finish = start + ms service_cost in
     node.rn_busy_until <- finish;
     node.rn_busy_total <- node.rn_busy_total +. service_cost;
     Engine.schedule_at world.engine ~time:finish (fun () ->
         node.rn_queue <- node.rn_queue - 1;
-        match Mesh_router.handle_access_request node.rn request with
+        (match Mesh_router.handle_access_request node.rn request with
         | Ok (confirm, _session) ->
           Metrics.incr world.metrics "router.accepted";
           Net.send world.net ~src:node.rn_addr ~dst:sender
-            (envelope ~tag:tag_access_confirm ~sender:node.rn_addr
+            (envelope ~req ~tag:tag_access_confirm ~sender:node.rn_addr
                (Messages.access_confirm_to_bytes world.config confirm))
         | Error e ->
           Metrics.incr world.metrics
-            ("router.rejected." ^ Protocol_error.to_string e))
+            ("router.rejected." ^ Protocol_error.to_string e));
+        sim_finish world span)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -150,12 +175,15 @@ type user_node = {
   mutable un_m2_sent : int;
   mutable un_pending : User.pending_access option;
   mutable un_busy : bool; (* currently computing (modeled delay) *)
+  mutable un_span : Peace_obs.Trace.handle option;
+      (* root span of the current authentication attempt; its id rides in
+         the envelope [req] field so router-side spans stitch onto it *)
 }
 
 let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
     ?(range_m = 450.0) ?(beacon_period_ms = 500) ?(url_size = 0)
-    ?(loss_prob = 0.0) ~n_routers ~n_users ~duration_ms ~mean_interarrival_ms
-    () =
+    ?(loss_prob = 0.0) ?sampler ~n_routers ~n_users ~duration_ms
+    ~mean_interarrival_ms () =
   let world = make_world ~seed ~loss_prob () in
   let group_id = 1 in
   ignore (Deployment.add_group world.deployment ~group_id ~size:n_users);
@@ -179,7 +207,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
         in
         Net.register world.net node.rn_addr ~pos:(x, y) (fun payload ->
             match parse_envelope payload with
-            | Some (tag, sender, body) when tag = tag_access_request -> begin
+            | Some (tag, sender, req, body) when tag = tag_access_request -> begin
               match
                 Messages.access_request_of_bytes world.config
                   (Deployment.gpk world.deployment)
@@ -187,7 +215,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
               with
               | Some request ->
                 router_service world cost node ~url_size ~sender
-                  ~under_attack:false request
+                  ~under_attack:false ~req request
               | None -> Metrics.incr world.metrics "router.unparseable"
             end
             | _ -> ());
@@ -216,12 +244,13 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
               un_m2_sent = 0;
               un_pending = None;
               un_busy = false;
+              un_span = None;
             }
           in
           let pos = (Sim_rand.float world.rand area_m, Sim_rand.float world.rand area_m) in
           Net.register world.net node.un_addr ~pos (fun payload ->
               match parse_envelope payload with
-              | Some (tag, sender, body) when tag = tag_beacon -> begin
+              | Some (tag, sender, _req, body) when tag = tag_beacon -> begin
                 (* a handshake whose M.2 or M.3 frame was lost times out and
                    the user retries on a later beacon *)
                 (match node.un_pending with
@@ -236,15 +265,26 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
                   | None -> ()
                   | Some beacon ->
                     node.un_busy <- true;
+                    (* the request id is the root span id: it survives the
+                       schedule hop here and the radio hop to the router *)
+                    let req =
+                      match node.un_span with
+                      | Some root -> Peace_obs.Trace.id root
+                      | None -> 0
+                    in
+                    let sign_span =
+                      sim_span world ~req ~name:"sim.user.sign"
+                    in
                     let delay = ms (cost.beacon_validate_ms +. cost.sign_ms) in
                     Engine.schedule world.engine ~delay (fun () ->
                         node.un_busy <- false;
+                        sim_finish world sign_span;
                         match User.process_beacon node.un beacon with
                         | Ok (request, pending) ->
                           node.un_pending <- Some pending;
                           node.un_m2_sent <- Engine.now world.engine;
                           Net.send world.net ~src:node.un_addr ~dst:sender
-                            (envelope ~tag:tag_access_request
+                            (envelope ~req ~tag:tag_access_request
                                ~sender:node.un_addr
                                (Messages.access_request_to_bytes world.config
                                   (Deployment.gpk world.deployment)
@@ -254,7 +294,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
                             ("user.beacon_rejected." ^ Protocol_error.to_string e))
                 end
               end
-              | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+              | Some (tag, _sender, _req, body) when tag = tag_access_confirm -> begin
                 match (node.un_pending, Messages.access_confirm_of_bytes world.config body) with
                 | Some pending, Some confirm -> begin
                   match User.process_confirm node.un pending confirm with
@@ -262,6 +302,13 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
                     node.un_pending <- None;
                     node.un_want_auth <- false;
                     let now = Engine.now world.engine in
+                    (* close the attempt's root span: its duration is the
+                       end-to-end (arrival → session) latency in sim ms *)
+                    (match node.un_span with
+                    | Some root ->
+                      Peace_obs.Trace.finish ~ts:now root;
+                      node.un_span <- None
+                    | None -> ());
                     Metrics.incr world.metrics "user.authenticated";
                     Metrics.sample world.metrics "handshake_ms"
                       (float_of_int (now - node.un_m2_sent));
@@ -303,6 +350,12 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
               if not node.un_want_auth then begin
                 node.un_want_auth <- true;
                 node.un_attempt_started <- Engine.now world.engine;
+                if Peace_obs.Trace.sink_active () then
+                  node.un_span <-
+                    Some
+                      (Peace_obs.Trace.start
+                         ~attrs:[ ("user", string_of_int node.un_addr) ]
+                         ~ts:(Engine.now world.engine) "sim.handshake");
                 incr attempts
               end;
               arrival ()
@@ -310,6 +363,25 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
       in
       arrival ())
     users;
+  (* timeline telemetry: snapshot city-wide gauges on simulated time *)
+  (match sampler with
+  | None -> ()
+  | Some s ->
+    let track name read = ignore (Peace_obs.Timeseries.track s name read) in
+    track "sim.router.queue_depth" (fun () ->
+        List.fold_left
+          (fun acc node -> acc +. float_of_int node.rn_queue)
+          0.0 routers);
+    track "sim.handshakes.inflight" (fun () ->
+        List.fold_left
+          (fun acc u -> if u.un_pending <> None then acc +. 1.0 else acc)
+          0.0 users);
+    track "sim.authenticated" (fun () ->
+        float_of_int (Metrics.count world.metrics "user.authenticated"));
+    track "sim.net.bytes_on_air" (fun () ->
+        float_of_int (Net.bytes_sent world.net));
+    Engine.attach_sampler world.engine ~period:1_000
+      ~until:(1_000_000 + duration_ms) s);
   Engine.run ~until:(1_000_000 + duration_ms) world.engine;
   let successes = Metrics.count world.metrics "user.authenticated" in
   let failures =
@@ -377,12 +449,12 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
   let bogus_received = ref 0 in
   Net.register world.net 0 ~pos:(0.0, 0.0) (fun payload ->
       match parse_envelope payload with
-      | Some (tag, sender, body) when tag = tag_access_request -> begin
+      | Some (tag, sender, req, body) when tag = tag_access_request -> begin
         match Messages.access_request_of_bytes world.config gpk body with
         | Some request ->
           if sender >= 90_000 then incr bogus_received;
           router_service world cost node ~url_size:0 ~sender
-            ~under_attack:puzzles request
+            ~under_attack:puzzles ~req request
         | None -> Metrics.incr world.metrics "router.unparseable"
       end
       | _ -> ());
@@ -407,13 +479,14 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
               un_m2_sent = 0;
               un_pending = None;
               un_busy = false;
+              un_span = None;
             }
           in
           Net.register world.net node_u.un_addr
             ~pos:(Sim_rand.float world.rand 100.0, Sim_rand.float world.rand 100.0)
             (fun payload ->
               match parse_envelope payload with
-              | Some (tag, sender, body) when tag = tag_beacon -> begin
+              | Some (tag, sender, _req, body) when tag = tag_beacon -> begin
                 if node_u.un_want_auth && node_u.un_pending = None && not node_u.un_busy
                 then begin
                   match Messages.beacon_of_bytes world.config body with
@@ -447,7 +520,7 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
                         | Error _ -> node_u.un_busy <- false)
                 end
               end
-              | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+              | Some (tag, _sender, _req, body) when tag = tag_access_confirm -> begin
                 match
                   (node_u.un_pending, Messages.access_confirm_of_bytes world.config body)
                 with
@@ -505,7 +578,7 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
   let attacker_hashes = ref 0 in
   Net.register world.net attacker_addr ~pos:(10.0, 10.0) (fun payload ->
       match parse_envelope payload with
-      | Some (tag, _sender, body) when tag = tag_beacon ->
+      | Some (tag, _sender, _req, body) when tag = tag_beacon ->
         latest_beacon := Messages.beacon_of_bytes world.config body
       | _ -> ());
   let attack_mean_ms = 1000.0 /. attack_rate_per_s in
@@ -822,13 +895,13 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
   (* router: full-cell downlink, and it accepts requests relayed by anyone *)
   Net.register world.net 0 ~pos:(0.0, 0.0) ~tx_range:2000.0 (fun payload ->
       match parse_envelope payload with
-      | Some (tag, sender, body) when tag = tag_access_request -> begin
+      | Some (tag, sender, req, body) when tag = tag_access_request -> begin
         match Messages.access_request_of_bytes config gpk body with
         | Some request -> begin
           match Mesh_router.handle_access_request router request with
           | Ok (confirm, _session) ->
             Net.send world.net ~src:0 ~dst:sender
-              (envelope ~tag:tag_access_confirm ~sender:0
+              (envelope ~req ~tag:tag_access_confirm ~sender:0
                  (Messages.access_confirm_to_bytes config confirm))
           | Error e ->
             Metrics.incr world.metrics
@@ -861,7 +934,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
         let want = ref true in
         Net.register world.net addr ~pos ~tx_range:user_tx (fun payload ->
             match parse_envelope payload with
-            | Some (tag, sender, body) when tag = tag_beacon -> begin
+            | Some (tag, sender, _req, body) when tag = tag_beacon -> begin
               if !want && !pending = None then begin
                 match Messages.beacon_of_bytes config body with
                 | None -> ()
@@ -877,7 +950,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
                 end
               end
             end
-            | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+            | Some (tag, _sender, _req, body) when tag = tag_access_confirm -> begin
               match (!pending, Messages.access_confirm_of_bytes config body) with
               | Some p, Some confirm -> begin
                 match User.process_confirm user p confirm with
@@ -897,7 +970,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
                 | None -> ()
               end
             end
-            | Some (tag, sender, body) when tag = tag_peer_hello -> begin
+            | Some (tag, sender, _req, body) when tag = tag_peer_hello -> begin
               (* §IV-C responder side *)
               match Messages.peer_hello_of_bytes config gpk body with
               | None -> ()
@@ -913,7 +986,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
                     ("relay.hello_rejected." ^ Protocol_error.to_string e)
               end
             end
-            | Some (tag, sender, body) when tag = tag_peer_confirm -> begin
+            | Some (tag, sender, _req, body) when tag = tag_peer_confirm -> begin
               match !responder_state with
               | Some (peer_addr, pr) when peer_addr = sender -> begin
                 match Messages.peer_confirm_of_bytes config body with
@@ -930,7 +1003,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
               end
               | _ -> ()
             end
-            | Some (tag, sender, body) when tag = tag_relay_forward -> begin
+            | Some (tag, sender, _req, body) when tag = tag_relay_forward -> begin
               (* forward the inner payload to the requested destination *)
               match !relay_return with
               | Some (peer_addr, session) when peer_addr = sender -> begin
@@ -979,7 +1052,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
          in
          Net.register world.net addr ~pos ~tx_range:user_tx (fun payload ->
              match parse_envelope payload with
-             | Some (tag, _sender, body) when tag = tag_beacon -> begin
+             | Some (tag, _sender, _req, body) when tag = tag_beacon -> begin
                match Messages.beacon_of_bytes config body with
                | None -> ()
                | Some beacon ->
@@ -996,7 +1069,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
                  end
                  else try_relay_auth ()
              end
-             | Some (tag, sender, body) when tag = tag_peer_response -> begin
+             | Some (tag, sender, _req, body) when tag = tag_peer_response -> begin
                match (!peer_pending, Messages.peer_response_of_bytes config gpk body) with
                | Some pi, Some response -> begin
                  match User.process_peer_response user pi response with
@@ -1011,7 +1084,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
                end
                | _ -> ()
              end
-             | Some (tag, sender, body) when tag = tag_relay_reply -> begin
+             | Some (tag, sender, _req, body) when tag = tag_relay_reply -> begin
                match (!peer_session, !router_pending) with
                | Some (relay_addr, session), Some p when relay_addr = sender -> begin
                  match Relay.unwrap_reply session body with
@@ -1034,7 +1107,7 @@ let multihop_auth ?(seed = 42) ~n_near ~n_far ~duration_ms () =
                end
                | _ -> ()
              end
-             | Some (tag, _sender, body) when tag = tag_access_confirm -> begin
+             | Some (tag, _sender, _req, body) when tag = tag_access_confirm -> begin
                (* downlink is one hop (§III-A): the router's (M.3) reaches
                   the far user directly even though the uplink was relayed *)
                match (!router_pending, Messages.access_confirm_of_bytes config body) with
@@ -1112,7 +1185,7 @@ let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
         in
         Net.register world.net node.rn_addr ~pos:(x, y) (fun payload ->
             match parse_envelope payload with
-            | Some (tag, sender, body) when tag = tag_access_request -> begin
+            | Some (tag, sender, req, body) when tag = tag_access_request -> begin
               match
                 Messages.access_request_of_bytes config
                   (Deployment.gpk world.deployment)
@@ -1120,7 +1193,7 @@ let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
               with
               | Some request ->
                 router_service world cost node ~url_size:0 ~sender
-                  ~under_attack:false request
+                  ~under_attack:false ~req request
               | None -> ()
             end
             | _ -> ());
@@ -1147,6 +1220,7 @@ let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
               un_m2_sent = 0;
               un_pending = None;
               un_busy = false;
+              un_span = None;
             }
           in
           (* track the serving router to detect cell changes *)
@@ -1156,7 +1230,7 @@ let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
           in
           Net.register world.net node.un_addr ~pos:(random_pos ()) (fun payload ->
               match parse_envelope payload with
-              | Some (tag, sender, body) when tag = tag_beacon -> begin
+              | Some (tag, sender, _req, body) when tag = tag_beacon -> begin
                 (* hand off only when unserved (after a move); beacons from
                    other overlapping cells do not cause ping-pong *)
                 if !serving = -1 && node.un_pending = None && not node.un_busy
@@ -1184,7 +1258,7 @@ let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
                           Metrics.incr world.metrics "roam.handoff_failed")
                 end
               end
-              | Some (tag, sender, body) when tag = tag_access_confirm -> begin
+              | Some (tag, sender, _req, body) when tag = tag_access_confirm -> begin
                 match (node.un_pending, Messages.access_confirm_of_bytes config body) with
                 | Some pending, Some confirm -> begin
                   match User.process_confirm node.un pending confirm with

@@ -40,6 +40,7 @@ type city_result = {
 val city_auth :
   ?seed:int -> ?cost:cost_model -> ?area_m:float -> ?range_m:float ->
   ?beacon_period_ms:int -> ?url_size:int -> ?loss_prob:float ->
+  ?sampler:Peace_obs.Timeseries.t ->
   n_routers:int -> n_users:int -> duration_ms:int ->
   mean_interarrival_ms:float -> unit -> city_result
 (** Routers on a grid over an [area_m]² city; users placed uniformly;
@@ -47,7 +48,16 @@ val city_auth :
     with that many (revoked, otherwise unused) tokens so verification cost
     scales as the paper predicts. [loss_prob] drops frames Bernoulli-style;
     interrupted handshakes time out after 3 s and retry on a later
-    beacon. *)
+    beacon.
+
+    A [sampler] is attached to the engine ({!Engine.attach_sampler}) and
+    tracks city-wide gauges on simulated time, one sample per simulated
+    second: total router queue depth, in-flight handshakes, completed
+    authentications and bytes on air. When a {!Peace_obs.Trace} sink is
+    active each authentication attempt additionally emits a causal span
+    tree — [sim.handshake] (arrival to session) with [sim.user.sign] and
+    [sim.router.service] children stitched across events and radio hops
+    by the envelope request id. *)
 
 (** {1 DoS flooding and client puzzles (E7)} *)
 

@@ -68,6 +68,77 @@ groupsig.verify span with the proof check nested inside it:
   [1]
   $ test $(grep -c '"ev":"B"' verify-trace.jsonl) -eq $(grep -c '"ev":"E"' verify-trace.jsonl)
 
+--timeline captures the city simulation as one JSONL file: gauge series
+sampled on simulated time plus a causal span tree per handshake. The
+run itself prints to stdout; the timeline summary goes to stderr:
+
+  $ peace simulate city --timeline city.jsonl 2>timeline.log
+  auth: 107/107 ok, handshake 81.1 ms mean, 1481448 bytes on air
+  $ grep -c 'timeline: 4 series' timeline.log
+  1
+  $ grep -c '"kind":"series"' city.jsonl
+  4
+  $ grep '"kind":"series"' city.jsonl | sed 's/.*"name":"\([^"]*\)".*/\1/'
+  sim.router.queue_depth
+  sim.handshakes.inflight
+  sim.authenticated
+  sim.net.bytes_on_air
+  $ test $(grep -c '"kind":"sample"' city.jsonl) -ge 100
+
+Every completed handshake is a root span; the user's signing work and
+the router's verify+queue service stitch onto it across events and
+radio hops (parent is never null on the children):
+
+  $ test $(grep -c '"ev":"B","name":"sim.handshake"' city.jsonl) -ge 10
+  $ grep '"name":"sim.user.sign"' city.jsonl | grep -c '"parent":null'
+  0
+  [1]
+  $ grep '"name":"sim.router.service"' city.jsonl | grep -c '"parent":null'
+  0
+  [1]
+  $ test $(grep -c '"ev":"B"' city.jsonl) -eq $(grep -c '"ev":"E"' city.jsonl)
+
+bench-report diffs two benchmark result files; a self-diff never
+regresses (exit 0), a worse-direction move beyond the threshold fails
+the run (exit 1):
+
+  $ cat > old.json <<'EOF'
+  > {"schema":1,"rev":"aaa","date":"d1","results":[
+  >  {"name":"verify_ms","unit":"ms","value":100,"better":"lower"},
+  >  {"name":"throughput","unit":"sig/s","value":50,"better":"higher"},
+  >  {"name":"gone_ms","unit":"ms","value":1,"better":"lower"}]}
+  > EOF
+  $ cat > new.json <<'EOF'
+  > {"schema":1,"rev":"bbb","date":"d2","results":[
+  >  {"name":"verify_ms","unit":"ms","value":112,"better":"lower"},
+  >  {"name":"throughput","unit":"sig/s","value":49,"better":"higher"},
+  >  {"name":"fresh_ms","unit":"ms","value":2,"better":"lower"}]}
+  > EOF
+  $ peace bench-report old.json old.json --threshold 5
+  bench-report: old.json (aaa) -> old.json (aaa), threshold 5.0%
+    verify_ms                                       100.000 ->    100.000 ms        +0.0%  ok
+    throughput                                       50.000 ->     50.000 sig/s     -0.0%  ok
+    gone_ms                                           1.000 ->      1.000 ms        +0.0%  ok
+  no regressions
+  $ peace bench-report old.json new.json --threshold 5
+  bench-report: old.json (aaa) -> new.json (bbb), threshold 5.0%
+    verify_ms                                       100.000 ->    112.000 ms       +12.0%  REGRESSION
+    throughput                                       50.000 ->     49.000 sig/s     -2.0%  ok
+    fresh_ms                                                -      2.000 ms  added
+    gone_ms                                      removed
+  1 metric(s) regressed beyond 5.0%
+  [1]
+  $ peace bench-report old.json new.json --threshold 15
+  bench-report: old.json (aaa) -> new.json (bbb), threshold 15.0%
+    verify_ms                                       100.000 ->    112.000 ms       +12.0%  ok
+    throughput                                       50.000 ->     49.000 sig/s     -2.0%  ok
+    fresh_ms                                                -      2.000 ms  added
+    gone_ms                                      removed
+  no regressions
+  $ peace bench-report old.json missing.json
+  error: missing.json: No such file or directory
+  [1]
+
 Parameter validation and malformed input handling:
 
   $ peace validate-params --params tiny

@@ -258,6 +258,171 @@ let test_json_escape () =
     (Peace_obs.Obs_json.escape "\001");
   Alcotest.(check string) "str wraps in quotes" "\"x\"" (Peace_obs.Obs_json.str "x")
 
+(* --- JSON value round-trip --- *)
+
+module J = Peace_obs.Obs_json
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("schema", J.Num 1.0);
+        ("rev", J.Str "a\"b\\c\nd");
+        ("ok", J.Bool true);
+        ("none", J.Null);
+        ("results", J.Arr [ J.Num 42.0; J.Num 1.5; J.Num (-3.25) ]);
+      ]
+  in
+  (match J.parse (J.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "parse (to_string v) = v" true (v = v')
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e);
+  (match J.parse "{\"a\": [1, 2.5e1, \"\\u0041\"], \"b\": null}" with
+  | Ok j ->
+    Alcotest.(check (option (float 1e-9))) "exponent" (Some 25.0)
+      (Option.bind (J.member "a" j) (fun a ->
+           match J.to_list a with
+           | Some (_ :: x :: _) -> J.to_float x
+           | _ -> None));
+    Alcotest.(check bool) "\\u0041 decodes to A" true
+      (match J.member "a" j with
+      | Some (J.Arr [ _; _; J.Str "A" ]) -> true
+      | _ -> false)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (match J.parse "{} x" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "unterminated string rejected" true
+    (match J.parse "\"abc" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check string) "integral floats print without fraction" "149"
+    (J.num_to_string 149.0)
+
+(* --- time series --- *)
+
+module Ts = Peace_obs.Timeseries
+
+let test_series_wraparound () =
+  let s = Ts.Series.create ~capacity:8 "test.series" in
+  for i = 0 to 7 do
+    Ts.Series.push s ~ts:i (float_of_int i)
+  done;
+  Alcotest.(check int) "full at capacity" 8 (Ts.Series.length s);
+  Alcotest.(check int) "stride 1 before overflow" 1 (Ts.Series.stride s);
+  (* the 9th push forces a pairwise merge: 8 points -> 4, stride 2 *)
+  Ts.Series.push s ~ts:8 8.0;
+  Alcotest.(check int) "stride doubles on overflow" 2 (Ts.Series.stride s);
+  let pts = Ts.Series.points s in
+  (match pts with
+  | (t0, v0) :: _ ->
+    Alcotest.(check int) "first timestamp preserved" 0 t0;
+    Alcotest.(check (float 1e-9)) "merged value is the pair mean" 0.5 v0
+  | [] -> Alcotest.fail "empty after downsample");
+  (* push enough to overflow again: range keeps covering ts 0..N *)
+  for i = 9 to 40 do
+    Ts.Series.push s ~ts:i (float_of_int i)
+  done;
+  let pts = Ts.Series.points s in
+  Alcotest.(check bool) "never exceeds capacity" true (List.length pts <= 8);
+  Alcotest.(check bool) "timestamps monotone" true
+    (let rec mono = function
+       | (a, _) :: ((b, _) :: _ as rest) -> a <= b && mono rest
+       | _ -> true
+     in
+     mono pts);
+  Alcotest.(check int) "history starts at the oldest push" 0 (fst (List.hd pts));
+  Alcotest.(check bool) "odd capacity rounds up, tiny raises" true
+    (Ts.Series.capacity (Ts.Series.create ~capacity:5 "odd") = 6
+    && match Ts.Series.create ~capacity:1 "nope" with
+       | exception Invalid_argument _ -> true
+       | _ -> false)
+
+let test_sampler_clock_and_export () =
+  let t = ref 100 in
+  let sampler = Ts.create ~capacity:8 ~now:(fun () -> !t) () in
+  let v = ref 0.0 in
+  let series = Ts.track sampler "test.sampler.v" (fun () -> !v) in
+  Alcotest.(check bool) "duplicate name raises" true
+    (match Ts.track sampler "test.sampler.v" (fun () -> 0.0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  for i = 1 to 3 do
+    v := float_of_int (10 * i);
+    Ts.sample sampler;
+    t := !t + 50
+  done;
+  Alcotest.(check int) "three samples" 3 (Ts.sample_count sampler);
+  Alcotest.(check
+              (list (pair int (float 1e-9))))
+    "points carry the injected clock"
+    [ (100, 10.0); (150, 20.0); (200, 30.0) ]
+    (Ts.Series.points series);
+  (* rebinding the clock affects subsequent samples *)
+  Ts.set_clock sampler (fun () -> 9_999);
+  v := 40.0;
+  Ts.sample sampler;
+  Alcotest.(check (option (pair int (float 1e-9)))) "set_clock rebinds"
+    (Some (9_999, 40.0))
+    (Ts.Series.last series);
+  let jsonl = ref [] in
+  Ts.to_jsonl sampler (fun l -> jsonl := l :: !jsonl);
+  let jsonl = List.rev !jsonl in
+  Alcotest.(check int) "header + one line per point" 5 (List.length jsonl);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "jsonl lines parse" true
+        (match J.parse l with Ok _ -> true | Error _ -> false))
+    jsonl;
+  let csv = ref [] in
+  Ts.to_csv sampler (fun l -> csv := l :: !csv);
+  Alcotest.(check (option string)) "csv header" (Some "series,ts,value")
+    (match List.rev !csv with h :: _ -> Some h | [] -> None)
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Export.sparkline []);
+  let line =
+    Export.sparkline ~width:8
+      (List.init 8 (fun i -> (i, float_of_int i)))
+  in
+  Alcotest.(check bool) "ramp ends on the tallest block" true
+    (String.length line >= 3
+    && String.sub line (String.length line - 3) 3 = "█")
+
+(* --- explicit span handles --- *)
+
+let test_span_handles () =
+  let lines =
+    capture_spans (fun () ->
+        let root = Trace.start ~ts:1_000 "h.root" in
+        let child = Trace.start_linked ~ts:1_010 ~parent:root "h.child" in
+        (* cross-entity stitching: only the integer id travels *)
+        let remote = Trace.start ~parent:(Trace.id root) ~ts:1_020 "h.remote" in
+        Trace.finish ~ts:1_040 remote;
+        Trace.finish ~ts:1_050 child;
+        Trace.finish ~ts:1_050 child;
+        (* idempotent *)
+        Trace.finish ~ts:1_060 root)
+  in
+  Alcotest.(check int) "3 B + 3 E (double finish is a no-op)" 6
+    (List.length lines);
+  let b name =
+    List.find (fun l -> str_field l "name" = Some name && after l "\"ev\":\"B\"" <> None) lines
+  in
+  let root_id = int_field (b "h.root") "id" in
+  Alcotest.(check bool) "root is parentless" true
+    (after (b "h.root") "\"parent\":null" <> None);
+  Alcotest.(check (option int)) "start_linked parents on the handle" root_id
+    (int_field (b "h.child") "parent");
+  Alcotest.(check (option int)) "start ~parent:(id ...) stitches" root_id
+    (int_field (b "h.remote") "parent");
+  Alcotest.(check (option int)) "ts override rides into the event"
+    (Some 1_000)
+    (int_field (b "h.root") "ts_ns");
+  let e_root =
+    List.find
+      (fun l -> str_field l "name" = Some "h.root" && after l "\"ev\":\"E\"" <> None)
+      lines
+  in
+  Alcotest.(check (option int)) "duration in the caller's time base"
+    (Some 60) (int_field e_root "dur_ns")
+
 let () =
   Alcotest.run "peace-obs"
     [
@@ -276,10 +441,18 @@ let () =
           Alcotest.test_case "exception safety" `Quick test_span_histogram_and_exceptions;
           Alcotest.test_case "attr escaping" `Quick test_span_attrs_escaping;
           Alcotest.test_case "with_file" `Quick test_with_file;
+          Alcotest.test_case "explicit handles" `Quick test_span_handles;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "ring wraparound/downsampling" `Quick test_series_wraparound;
+          Alcotest.test_case "sampler clock + exporters" `Quick test_sampler_clock_and_export;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
         ] );
       ( "export",
         [
           Alcotest.test_case "summary/jsonl/to_metrics" `Quick test_export;
           Alcotest.test_case "json escaping" `Quick test_json_escape;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         ] );
     ]

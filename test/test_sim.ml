@@ -168,6 +168,100 @@ let test_engine_obs () =
   Metrics.absorb m (Engine.last_run_obs engine);
   Alcotest.(check int) "absorbed into report" 1 (Metrics.count m "test.sim.engine_obs")
 
+let test_samples_chronological () =
+  let m = Metrics.create () in
+  List.iter (fun v -> Metrics.sample m "s" v) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check (list (float 0.0))) "insertion order preserved"
+    [ 3.0; 1.0; 2.0 ] (Metrics.samples m "s");
+  (* the cached percentile sort must not leak into reads, and a new
+     sample must invalidate it *)
+  Alcotest.(check (option (float 1e-9))) "p100 before" (Some 3.0)
+    (Metrics.percentile m "s" 100.0);
+  Alcotest.(check (list (float 0.0))) "percentile left samples untouched"
+    [ 3.0; 1.0; 2.0 ] (Metrics.samples m "s");
+  Metrics.sample m "s" 9.0;
+  Alcotest.(check (option (float 1e-9))) "p100 sees the new sample"
+    (Some 9.0)
+    (Metrics.percentile m "s" 100.0);
+  Alcotest.(check (list (float 0.0))) "appended at the end"
+    [ 3.0; 1.0; 2.0; 9.0 ] (Metrics.samples m "s")
+
+(* handles + explicit ids stitch spans across engine events — the exact
+   mechanism the scenarios use for cross-message traces *)
+let test_span_stitching_across_schedule () =
+  let lines = ref [] in
+  Peace_obs.Trace.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect ~finally:(fun () -> Peace_obs.Trace.set_sink None) (fun () ->
+      let engine = Engine.create ~start:0 () in
+      let root = ref None in
+      Engine.schedule engine ~delay:10 (fun () ->
+          root :=
+            Some (Peace_obs.Trace.start ~ts:(Engine.now engine) "t.root"));
+      Engine.schedule engine ~delay:20 (fun () ->
+          (* a different event, same causal request: parent by id *)
+          let r = Option.get !root in
+          let child =
+            Peace_obs.Trace.start
+              ~parent:(Peace_obs.Trace.id r)
+              ~ts:(Engine.now engine) "t.child"
+          in
+          Engine.schedule engine ~delay:15 (fun () ->
+              Peace_obs.Trace.finish ~ts:(Engine.now engine) child;
+              Peace_obs.Trace.finish ~ts:(Engine.now engine) r));
+      Engine.run engine);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "2 B + 2 E" 4 (List.length lines);
+  (* fixed field order in the trace emitter makes substring scans safe *)
+  let contains l pat =
+    let n = String.length pat in
+    let rec go i =
+      i + n <= String.length l && (String.sub l i n = pat || go (i + 1))
+    in
+    go 0
+  in
+  let find pat = List.find (fun l -> contains l pat) lines in
+  let b_root = find "\"ev\":\"B\",\"name\":\"t.root\"" in
+  let b_child = find "\"ev\":\"B\",\"name\":\"t.child\"" in
+  let e_child = find "\"ev\":\"E\",\"name\":\"t.child\"" in
+  let field l key =
+    let pat = "\"" ^ key ^ "\":" in
+    let n = String.length pat in
+    let rec start i =
+      if i + n > String.length l then Alcotest.failf "no %s in %s" key l
+      else if String.sub l i n = pat then i + n
+      else start (i + 1)
+    in
+    let i = start 0 in
+    let j = ref i in
+    while
+      !j < String.length l
+      && match l.[!j] with '0' .. '9' | '-' -> true | _ -> false
+    do
+      incr j
+    done;
+    int_of_string (String.sub l i (!j - i))
+  in
+  Alcotest.(check int) "child parented on root across events"
+    (field b_root "id") (field b_child "parent");
+  Alcotest.(check int) "timestamps are simulated ms" 10 (field b_root "ts_ns");
+  Alcotest.(check int) "duration in simulated ms" 15 (field e_child "dur_ns")
+
+let test_attach_sampler_simulated_time () =
+  let sampler = Peace_obs.Timeseries.create () in
+  let v = ref 0.0 in
+  let series = Peace_obs.Timeseries.track sampler "t.gauge" (fun () -> !v) in
+  let engine = Engine.create ~start:0 () in
+  Engine.schedule_every engine ~period:250 ~until:2_000 (fun () -> v := !v +. 1.0);
+  Engine.attach_sampler engine ~period:1_000 ~until:3_000 sampler;
+  Engine.run ~until:4_000 engine;
+  let pts = Peace_obs.Timeseries.Series.points series in
+  (* one immediate sample at t=0, then t=1000, 2000, 3000 *)
+  Alcotest.(check (list int)) "sampled on the simulated clock"
+    [ 0; 1_000; 2_000; 3_000 ]
+    (List.map fst pts);
+  Alcotest.(check bool) "values advance with simulated work" true
+    (match pts with (_, a) :: rest -> List.for_all (fun (_, b) -> b >= a) rest | [] -> false)
+
 let test_attack_matrix () =
   let m = Scenario.attack_matrix ~seed:5 ~attempts_per_class:3 () in
   Alcotest.(check int) "outsider never accepted" 0 m.Scenario.am_outsider_accepted;
@@ -276,7 +370,12 @@ let suite =
         Alcotest.test_case "metrics" `Quick test_metrics;
         Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
         Alcotest.test_case "metrics absorb" `Quick test_metrics_absorb;
+        Alcotest.test_case "samples chronological" `Quick test_samples_chronological;
         Alcotest.test_case "engine obs" `Quick test_engine_obs;
+        Alcotest.test_case "span stitching across schedule" `Quick
+          test_span_stitching_across_schedule;
+        Alcotest.test_case "attach_sampler sim time" `Quick
+          test_attach_sampler_simulated_time;
       ] );
     ( "scenarios",
       [
