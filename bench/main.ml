@@ -828,6 +828,69 @@ let experiment_e12 () =
   Bench_record.add ~unit_:"ms" "e12.verify_batch_counters_off_ms" off_ms
 
 (* ================================================================== *)
+(* E14: profiling & exposition overhead                               *)
+(* ================================================================== *)
+
+(* PR 2 established the instrumentation baseline (registry counters +
+   span histograms, no consumer attached). This experiment measures what
+   the PR 4 layer adds on top of that baseline: the span-tree profiler,
+   the raw event recorder, and the render cost of each exposition format
+   (folded stacks, Chrome trace JSON, Prometheus text). *)
+
+let experiment_e14 () =
+  hr "E14 Profiling & exposition overhead vs the instrumentation baseline";
+  let fx = make_fixture tiny "e14" in
+  let rng = drbg "e14-run" in
+  let n = if quick then 20 else 60 in
+  let batch =
+    List.init n (fun i ->
+        let msg = Printf.sprintf "profiled %d" i in
+        (msg, Group_sig.sign fx.fx_gpk fx.fx_key ~rng ~msg))
+  in
+  let verify_all () =
+    List.iter
+      (fun (msg, s) -> ignore (Group_sig.verify fx.fx_gpk ~msg s))
+      batch
+  in
+  (* baseline: registry on, no span consumer — the PR-2 state *)
+  let base_ms = time_ms ~reps:5 verify_all in
+  (* + span-tree profiler folding every begin/end into the call tree *)
+  let prof = Peace_obs.Profile.create () in
+  Peace_obs.Profile.install prof;
+  let prof_ms = time_ms ~reps:5 verify_all in
+  Peace_obs.Profile.uninstall ();
+  (* + raw event recorder (what --profile-out FILE.json attaches) *)
+  let rec_ = Peace_obs.Expo.recorder () in
+  Peace_obs.Trace.set_collector (Some (Peace_obs.Expo.record rec_));
+  let rec_ms = time_ms ~reps:5 verify_all in
+  Peace_obs.Trace.set_collector None;
+  let pct x = 100.0 *. (x -. base_ms) /. base_ms in
+  Printf.printf "%d verifies (tiny params), median of 5 reps:\n" n;
+  Printf.printf "  baseline (registry only)   %8.1f ms\n" base_ms;
+  Printf.printf "  + profile collector        %8.1f ms  (%+.2f%%)\n" prof_ms
+    (pct prof_ms);
+  Printf.printf "  + event recorder           %8.1f ms  (%+.2f%%)\n" rec_ms
+    (pct rec_ms);
+  (* render costs, measured on the data those runs produced *)
+  let folded_ms =
+    time_ms ~reps:3 (fun () -> Peace_obs.Expo.folded prof)
+  in
+  let chrome_ms =
+    time_ms ~reps:3 (fun () ->
+        Peace_obs.Expo.chrome (Peace_obs.Expo.events rec_))
+  in
+  let prom_ms = time_ms ~reps:3 (fun () -> Peace_obs.Expo.prometheus ()) in
+  Printf.printf "render: folded %.2f ms, chrome %.2f ms, prometheus %.2f ms\n"
+    folded_ms chrome_ms prom_ms;
+  Printf.printf
+    "(collectors see one begin + one end per span — overhead scales with\n\
+     span rate, not with work done inside the span)\n";
+  Bench_record.add ~unit_:"ms" "e14.verify_batch_baseline_ms" base_ms;
+  Bench_record.add ~unit_:"ms" "e14.verify_batch_profiled_ms" prof_ms;
+  Bench_record.add ~unit_:"ms" "e14.verify_batch_recorded_ms" rec_ms;
+  Bench_record.add ~unit_:"ms" "e14.prometheus_render_ms" prom_ms
+
+(* ================================================================== *)
 (* Ablations (DESIGN.md §6)                                           *)
 (* ================================================================== *)
 
@@ -976,6 +1039,7 @@ let experiments =
     ("E10", experiment_e10);
     ("E11", experiment_e11);
     ("E12", experiment_e12);
+    ("E14", experiment_e14);
     ("ABL", ablations);
   ]
 

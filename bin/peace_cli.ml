@@ -78,6 +78,55 @@ let trace_arg =
 let with_trace path f =
   match path with None -> f () | Some path -> Peace_obs.Trace.with_file path f
 
+(* --profile-out FILE: capture the span stream and render it by file
+   extension — .json gets Chrome trace-event JSON (open in Perfetto or
+   chrome://tracing), anything else gets folded stacks for flamegraph.pl
+   or speedscope. Composes with --trace (sink and collector are
+   independent). *)
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Profile the run and write $(docv): Chrome trace-event JSON when \
+           $(docv) ends in .json (Perfetto-loadable), folded stacks \
+           (flamegraph.pl / speedscope) otherwise.")
+
+(* several consumers (the --profile-out writer, the --profile report) can
+   want the span stream at once; compose them into the single Trace
+   collector slot and run the finishers once the command body is done *)
+let with_collectors fns finishers f =
+  match fns with
+  | [] -> f ()
+  | fns ->
+    Peace_obs.Trace.set_collector
+      (Some (fun ev -> List.iter (fun g -> g ev) fns));
+    Fun.protect
+      ~finally:(fun () ->
+        Peace_obs.Trace.set_collector None;
+        List.iter (fun g -> g ()) finishers)
+      f
+
+let profile_out_spec = function
+  | None -> ([], [])
+  | Some path when Filename.check_suffix path ".json" ->
+    let r = Peace_obs.Expo.recorder () in
+    ( [ Peace_obs.Expo.record r ],
+      [
+        (fun () ->
+          write_file path (Peace_obs.Expo.chrome (Peace_obs.Expo.events r)));
+      ] )
+  | Some path ->
+    let prof = Peace_obs.Profile.create () in
+    ( [ Peace_obs.Profile.collector prof ],
+      [ (fun () -> write_file path (Peace_obs.Expo.folded prof)) ] )
+
+let with_profile_out path f =
+  let fns, finishers = profile_out_spec path in
+  with_collectors fns finishers f
+
 (* --- gen-params --- *)
 
 let gen_params qbits pbits name output =
@@ -142,8 +191,9 @@ let issue_cmd =
 
 (* --- sign --- *)
 
-let sign trace gpk_path key_path message =
+let sign trace profile_out gpk_path key_path message =
   with_trace trace @@ fun () ->
+  with_profile_out profile_out @@ fun () ->
   let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
   let gsk = or_die (Group_sig.gsk_of_text gpk (read_file key_path)) in
   let signature = Group_sig.sign gpk gsk ~rng:(fresh_rng ()) ~msg:message in
@@ -158,37 +208,45 @@ let sign_cmd =
   let key = Arg.(value & opt string "member.key" & info [ "key" ] ~doc:"Member key file.") in
   Cmd.v
     (Cmd.info "sign" ~doc:"Produce an anonymous group signature (hex on stdout)")
-    Term.(const sign $ trace_arg $ gpk_arg $ key $ message_arg)
+    Term.(const sign $ trace_arg $ profile_out_arg $ gpk_arg $ key $ message_arg)
 
 (* --- verify --- *)
 
-let verify trace gpk_path message sig_hex url_path =
-  with_trace trace @@ fun () ->
-  let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
-  let sig_bytes = or_die (hex_decode sig_hex) in
-  match Group_sig.signature_of_bytes gpk sig_bytes with
-  | None ->
-    prerr_endline "error: malformed signature";
-    exit 1
-  | Some signature ->
-    let url =
-      match url_path with
-      | None -> []
-      | Some path ->
-        read_file path |> String.trim |> String.split_on_char '\n'
-        |> List.filter (fun l -> String.trim l <> "")
-        |> List.map (fun line -> or_die (Group_sig.token_of_text gpk line))
-    in
-    let result = Group_sig.verify gpk ~url ~msg:message signature in
-    Format.printf "%a@." Group_sig.pp_verify_result result;
-    if result <> Group_sig.Valid then exit 1
+let verify trace profile_out gpk_path message sig_hex url_path =
+  (* the verdict exits through a return code so the --profile-out writer
+     (a Fun.protect finaliser, which [exit] would bypass) still runs *)
+  let code =
+    with_trace trace @@ fun () ->
+    with_profile_out profile_out @@ fun () ->
+    let gpk = or_die (Group_sig.gpk_of_text (read_file gpk_path)) in
+    let sig_bytes = or_die (hex_decode sig_hex) in
+    match Group_sig.signature_of_bytes gpk sig_bytes with
+    | None ->
+      prerr_endline "error: malformed signature";
+      1
+    | Some signature ->
+      let url =
+        match url_path with
+        | None -> []
+        | Some path ->
+          read_file path |> String.trim |> String.split_on_char '\n'
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.map (fun line -> or_die (Group_sig.token_of_text gpk line))
+      in
+      let result = Group_sig.verify gpk ~url ~msg:message signature in
+      Format.printf "%a@." Group_sig.pp_verify_result result;
+      if result <> Group_sig.Valid then 1 else 0
+  in
+  if code <> 0 then exit code
 
 let verify_cmd =
   let sig_hex = Arg.(required & opt (some string) None & info [ "s"; "signature" ] ~doc:"Signature (hex).") in
   let url = Arg.(value & opt (some string) None & info [ "url" ] ~doc:"Revocation list file (one token per line).") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a group signature against an optional URL")
-    Term.(const verify $ trace_arg $ gpk_arg $ message_arg $ sig_hex $ url)
+    Term.(
+      const verify $ trace_arg $ profile_out_arg $ gpk_arg $ message_arg
+      $ sig_hex $ url)
 
 (* --- audit --- *)
 
@@ -225,8 +283,9 @@ let audit_cmd =
 
 (* --- simulate --- *)
 
-let simulate trace timeline scenario seed =
+let simulate trace profile_out timeline scenario seed =
   with_trace trace @@ fun () ->
+  with_profile_out profile_out @@ fun () ->
   let run ?sampler () =
     let open Peace_sim in
     match scenario with
@@ -339,12 +398,15 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a WMN simulation scenario")
-    Term.(const simulate $ trace_arg $ timeline $ scenario $ seed)
+    Term.(
+      const simulate $ trace_arg $ profile_out_arg $ timeline $ scenario
+      $ seed)
 
 (* --- bench-verify --- *)
 
-let bench_verify trace params_src domains batch url_size chunk =
+let bench_verify trace profile_out params_src domains batch url_size chunk =
   with_trace trace @@ fun () ->
+  with_profile_out profile_out @@ fun () ->
   if domains < 1 then begin
     prerr_endline "error: --domains must be >= 1";
     exit 2
@@ -447,8 +509,8 @@ let bench_verify_cmd =
     (Cmd.info "bench-verify"
        ~doc:"Benchmark batched group-signature verification across domains")
     Term.(
-      const bench_verify $ trace_arg $ params_arg $ domains $ batch $ url_size
-      $ chunk)
+      const bench_verify $ trace_arg $ profile_out_arg $ params_arg $ domains
+      $ batch $ url_size $ chunk)
 
 (* --- bench-report --- *)
 
@@ -458,7 +520,7 @@ let bench_verify_cmd =
 
 module J = Peace_obs.Obs_json
 
-let bench_report old_path new_path threshold =
+let bench_report old_path new_path threshold json_out =
   let load path =
     match J.parse (read_file path) with
     | Error e ->
@@ -495,10 +557,27 @@ let bench_report old_path new_path threshold =
   Printf.printf "bench-report: %s (%s) -> %s (%s), threshold %.1f%%\n"
     old_path (rev old_j) new_path (rev new_j) threshold;
   let regressions = ref 0 in
+  let json_rows = ref [] in
+  let row_json fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> J.str k ^ ":" ^ v) fields)
+    ^ "}"
+  in
+  let num = J.num_to_string in
   List.iter
     (fun (name, (nv, unit_, better)) ->
       match List.assoc_opt name old_r with
-      | None -> Printf.printf "  %-44s %12s %10.3f %s  added\n" name "-" nv unit_
+      | None ->
+        Printf.printf "  %-44s %12s %10.3f %s  added\n" name "-" nv unit_;
+        json_rows :=
+          row_json
+            [
+              ("name", J.str name);
+              ("status", J.str "added");
+              ("unit", J.str unit_);
+              ("better", J.str better);
+              ("new", num nv);
+            ]
+          :: !json_rows
       | Some (ov, _, _) ->
         (* delta is signed so that positive always means "worse" *)
         let worse = if better = "higher" then ov -. nv else nv -. ov in
@@ -518,13 +597,58 @@ let bench_report old_path new_path threshold =
         Printf.printf "  %-44s %10.3f -> %10.3f %-6s %+7.1f%%  %s\n" name ov
           nv unit_
           (if better = "higher" then -.pct else pct)
-          verdict)
+          verdict;
+        json_rows :=
+          row_json
+            [
+              ("name", J.str name);
+              ("status", J.str "compared");
+              ("unit", J.str unit_);
+              ("better", J.str better);
+              ("old", num ov);
+              ("new", num nv);
+              ( "pct_worse",
+                if Float.is_finite pct then num pct else J.str "inf" );
+              ("verdict", J.str verdict);
+            ]
+          :: !json_rows)
     new_r;
   List.iter
-    (fun (name, _) ->
-      if not (List.mem_assoc name new_r) then
-        Printf.printf "  %-44s removed\n" name)
+    (fun (name, (ov, unit_, better)) ->
+      if not (List.mem_assoc name new_r) then begin
+        Printf.printf "  %-44s removed\n" name;
+        json_rows :=
+          row_json
+            [
+              ("name", J.str name);
+              ("status", J.str "removed");
+              ("unit", J.str unit_);
+              ("better", J.str better);
+              ("old", num ov);
+            ]
+          :: !json_rows
+      end)
     old_r;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    (* machine-readable twin of the table above, schema-versioned like the
+       BENCH_RESULTS.json inputs, so CI can post regressions *)
+    let doc =
+      row_json
+        [
+          ("schema", "1");
+          ("kind", J.str "bench-diff");
+          ("old_file", J.str old_path);
+          ("old_rev", J.str (rev old_j));
+          ("new_file", J.str new_path);
+          ("new_rev", J.str (rev new_j));
+          ("threshold_pct", num threshold);
+          ("regressions", string_of_int !regressions);
+          ("rows", "[" ^ String.concat "," (List.rev !json_rows) ^ "]");
+        ]
+    in
+    write_file path (doc ^ "\n"));
   if !regressions > 0 then begin
     Printf.printf "%d metric(s) regressed beyond %.1f%%\n" !regressions
       threshold;
@@ -545,10 +669,20 @@ let bench_report_cmd =
       & info [ "threshold" ] ~docv:"PCT"
           ~doc:"Regression tolerance in percent (worse-direction change).")
   in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the diff as machine-readable JSON to $(docv) \
+             (schema 1: per-row status/old/new/pct_worse/verdict plus a \
+             regression count) so CI can post regressions.")
+  in
   Cmd.v
     (Cmd.info "bench-report"
        ~doc:"Diff two benchmark result files and fail on regressions")
-    Term.(const bench_report $ old_path $ new_path $ threshold)
+    Term.(const bench_report $ old_path $ new_path $ threshold $ json_out)
 
 (* --- stats --- *)
 
@@ -560,13 +694,25 @@ let bench_report_cmd =
 let expect ~pairings ~g1_mul ~gt_exp ~hash_to_g1 =
   { Counters.pairings; g1_mul; gt_exp; hash_to_g1 }
 
-let stats trace params_src url_size =
-  with_trace trace @@ fun () ->
+let stats trace profile_out profile params_src url_size =
   if url_size < 1 then begin
     prerr_endline "error: --url-size must be >= 1";
     exit 2
   end;
-  let params = load_params params_src in
+  let code =
+    with_trace trace @@ fun () ->
+    let prof =
+      if profile then Some (Peace_obs.Profile.create ()) else None
+    in
+    let fns, finishers = profile_out_spec profile_out in
+    let fns =
+      fns
+      @ match prof with
+        | Some p -> [ Peace_obs.Profile.collector p ]
+        | None -> []
+    in
+    with_collectors fns finishers @@ fun () ->
+    let params = load_params params_src in
   let rng = Peace_hash.Drbg.bytes_fn (Peace_hash.Drbg.create ~seed:"peace-stats" ()) in
   let issuer = Group_sig.setup params rng in
   let gpk = issuer.Group_sig.gpk in
@@ -623,13 +769,23 @@ let stats trace params_src url_size =
     (Printf.sprintf "verify_fast table=%d" (Group_sig.fast_table_size table_large))
     (expect ~pairings:4 ~g1_mul:8 ~gt_exp:1 ~hash_to_g1:0)
     (fun () -> valid (Group_sig.verify_fast gpk_f table_large ~msg s_f));
-  print_newline ();
-  print_endline "registry:";
-  Peace_obs.Export.summary Format.std_formatter;
-  if !failures > 0 then begin
-    Printf.eprintf "error: %d row(s) diverge from the paper's formulas\n" !failures;
-    exit 1
-  end
+    print_newline ();
+    (match prof with
+    | None -> ()
+    | Some p ->
+      print_endline "profile:";
+      Peace_obs.Profile.report Format.std_formatter p;
+      print_newline ());
+    print_endline "registry:";
+    Peace_obs.Export.summary Format.std_formatter;
+    if !failures > 0 then begin
+      Printf.eprintf "error: %d row(s) diverge from the paper's formulas\n"
+        !failures;
+      1
+    end
+    else 0
+  in
+  if code <> 0 then exit code
 
 let stats_cmd =
   let url_size =
@@ -638,10 +794,98 @@ let stats_cmd =
       & info [ "url-size" ]
           ~doc:"Revocation tokens in the URL / fast-table fixture (>= 1).")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print the span call tree with per-path counts, total/self \
+             time, and attributed crypto op deltas.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Measure per-operation crypto op counts against the paper's formulas")
-    Term.(const stats $ trace_arg $ params_arg $ url_size)
+    Term.(
+      const stats $ trace_arg $ profile_out_arg $ profile $ params_arg
+      $ url_size)
+
+(* --- serve --- *)
+
+(* A pull-based metrics surface over the live registry: GET /metrics in
+   Prometheus text exposition format, GET /healthz. --warmup runs a
+   scenario first so a fresh process has per-router labeled series to
+   show; --announce/--max-requests make the listener scriptable (the cram
+   test scrapes one /metrics and lets the server exit). *)
+
+let serve port warmup announce max_requests =
+  (match max_requests with
+  | Some n when n < 1 ->
+    prerr_endline "error: --max-requests must be >= 1";
+    exit 2
+  | _ -> ());
+  (match warmup with
+  | None -> ()
+  | Some "city" ->
+    let r =
+      Peace_sim.Scenario.city_auth ~seed:42 ~n_routers:4 ~n_users:20
+        ~area_m:1500.0 ~range_m:600.0 ~duration_ms:60_000
+        ~mean_interarrival_ms:10_000.0 ()
+    in
+    Printf.eprintf "warmup: city auth %d/%d ok\n%!"
+      r.Peace_sim.Scenario.cr_successes r.Peace_sim.Scenario.cr_attempts
+  | Some other ->
+    Printf.eprintf "error: unknown warmup scenario %S (try: city)\n" other;
+    exit 2);
+  Peace_obs.Serve.serve ~port ?max_requests
+    ~on_listen:(fun p ->
+      (match announce with
+      | Some path -> write_file path (string_of_int p ^ "\n")
+      | None -> ());
+      Printf.eprintf
+        "peace serve: listening on http://127.0.0.1:%d (GET /metrics, \
+         /healthz)\n\
+         %!"
+        p)
+    ()
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 9464
+      & info [ "port" ] ~docv:"N"
+          ~doc:"TCP port to listen on (0 = let the kernel pick).")
+  in
+  let warmup =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "warmup" ] ~docv:"SCENARIO"
+          ~doc:
+            "Run a scenario before listening so the registry has data \
+             (currently: city).")
+  in
+  let announce =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "announce" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port number to $(docv) once listening \
+             (useful with --port 0).")
+  in
+  let max_requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after serving $(docv) requests (default: serve forever).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Expose the live metric registry over HTTP (Prometheus text \
+          exposition on /metrics, liveness on /healthz)")
+    Term.(const serve $ port $ warmup $ announce $ max_requests)
 
 (* --- validate-params --- *)
 
@@ -680,4 +924,5 @@ let () =
             bench_verify_cmd;
             bench_report_cmd;
             stats_cmd;
+            serve_cmd;
           ]))

@@ -1,0 +1,185 @@
+(* Exposition formats: Chrome trace-event JSON (Perfetto), folded stacks
+   (flamegraph.pl / speedscope), and Prometheus text exposition over the
+   registry. *)
+
+(* --- event recorder ---
+
+   A tiny collector that keeps the raw Trace events (with the emitting
+   domain id) so they can be re-rendered after the run. *)
+
+type recorded = { r_ev : Trace.event; r_dom : int }
+
+type recorder = {
+  rec_lock : Mutex.t;
+  mutable rec_events : recorded list; (* newest first *)
+}
+
+let recorder () = { rec_lock = Mutex.create (); rec_events = [] }
+
+let record r ev =
+  Mutex.lock r.rec_lock;
+  r.rec_events <- { r_ev = ev; r_dom = (Domain.self () :> int) } :: r.rec_events;
+  Mutex.unlock r.rec_lock
+
+let events r =
+  Mutex.lock r.rec_lock;
+  let evs = r.rec_events in
+  Mutex.unlock r.rec_lock;
+  List.rev_map (fun { r_ev; r_dom } -> (r_ev, r_dom)) evs
+
+(* --- Chrome trace-event JSON ---
+
+   One "B"/"E" pair per completed span, in emission order (chronological:
+   begins are recorded at span start, ends at span finish). Spans without
+   a matching end (still open when the recorder detached) are dropped so
+   the output always balances. The end event reuses the begin's tid: a
+   handle may be finished by another domain, and Chrome pairs B/E per
+   (pid, tid). [ts_div] converts recorded timestamps to the microseconds
+   the format requires (default 1e3: wall nanoseconds -> us). *)
+
+let chrome ?(ts_div = 1e3) evs =
+  let ends = Hashtbl.create 64 and btid = Hashtbl.create 64 in
+  List.iter
+    (fun (ev, dom) ->
+      match ev with
+      | Trace.End { id; _ } -> Hashtbl.replace ends id ()
+      | Trace.Begin { id; _ } -> Hashtbl.replace btid id dom)
+    evs;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n "
+  in
+  let us ts = Printf.sprintf "%.3f" (float_of_int ts /. ts_div) in
+  List.iter
+    (fun (ev, dom) ->
+      match ev with
+      | Trace.Begin { name; id; parent; ts } when Hashtbl.mem ends id ->
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"ph\":\"B\",\"name\":%s,\"pid\":1,\"tid\":%d,\"ts\":%s,\"args\":{\"id\":%d%s}}"
+             (Obs_json.str name) dom (us ts) id
+             (match parent with
+             | None -> ""
+             | Some p -> Printf.sprintf ",\"parent\":%d" p))
+      | Trace.End { name; id; ts; _ } when Hashtbl.mem btid id ->
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"ph\":\"E\",\"name\":%s,\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (Obs_json.str name)
+             (Hashtbl.find btid id)
+             (us ts))
+      | _ -> ())
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* --- folded stacks ---
+
+   flamegraph.pl input: one line per call-tree path, "a;b;c <self-value>".
+   The value is the node's self time in the profile's time unit
+   (nanoseconds for wall-clock spans); zero-self nodes are skipped —
+   their time is entirely in their children's lines. *)
+
+let folded profile =
+  let buf = Buffer.create 1024 in
+  let rec walk (n : Profile.node) =
+    if n.Profile.self_ns > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n"
+           (String.concat ";" n.Profile.path)
+           n.Profile.self_ns);
+    List.iter walk n.Profile.children
+  in
+  List.iter walk (Profile.roots profile);
+  Buffer.contents buf
+
+(* --- Prometheus text exposition ---
+
+   Registry keys are already canonical series names (labels sorted and
+   escaped by Registry.encode_labels), so only the base name needs
+   sanitising to the [a-zA-Z_:][a-zA-Z0-9_:]* grammar (dots become
+   underscores). Series group by family so each # TYPE line appears
+   once. *)
+
+let sanitize_base name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let family prefix full =
+  let base, labels = Registry.split_name full in
+  (prefix ^ sanitize_base base, labels)
+
+(* group a sorted (full-name, v) list into (family, (labels, v) list)
+   pairs, families sorted — label variants of one base can be separated
+   by other names in raw sort order, so group via an intermediate table *)
+let by_family prefix series =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (full, v) ->
+      let fam, labels = family prefix full in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl fam) in
+      Hashtbl.replace tbl fam ((labels, v) :: prev))
+    series;
+  Hashtbl.fold
+    (fun fam rows acc ->
+      (fam, List.sort (fun (a, _) (b, _) -> compare a b) rows) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* merge an extra label into a stored "{...}" suffix (histogram [le]) *)
+let with_label labels extra =
+  if labels = "" then "{" ^ extra ^ "}"
+  else
+    "{"
+    ^ String.sub labels 1 (String.length labels - 2)
+    ^ "," ^ extra ^ "}"
+
+let prometheus ?(prefix = "peace_") () =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let simple kind series =
+    List.iter
+      (fun (fam, rows) ->
+        add "# TYPE %s %s\n" fam kind;
+        List.iter (fun (labels, v) -> add "%s%s %d\n" fam labels v) rows)
+      (by_family prefix series)
+  in
+  simple "counter" (Registry.counters ());
+  simple "gauge" (Registry.gauges ());
+  let hists =
+    List.filter
+      (fun (_, h) -> Registry.Histogram.count h > 0)
+      (Registry.histograms ())
+  in
+  List.iter
+    (fun (fam, rows) ->
+      add "# TYPE %s histogram\n" fam;
+      List.iter
+        (fun (labels, h) ->
+          let counts = Registry.Histogram.bucket_counts h in
+          let top = ref (-1) in
+          Array.iteri (fun i c -> if c > 0 then top := i) counts;
+          let cum = ref 0 in
+          for i = 0 to Stdlib.min !top (Registry.Histogram.nbuckets - 2) do
+            cum := !cum + counts.(i);
+            add "%s_bucket%s %d\n" fam
+              (with_label labels
+                 (Printf.sprintf "le=\"%d\"" (Registry.Histogram.upper_bound i)))
+              !cum
+          done;
+          add "%s_bucket%s %d\n" fam
+            (with_label labels "le=\"+Inf\"")
+            (Registry.Histogram.count h);
+          add "%s_sum%s %d\n" fam labels (Registry.Histogram.sum h);
+          add "%s_count%s %d\n" fam labels (Registry.Histogram.count h))
+        rows)
+    (by_family prefix hists);
+  Buffer.contents buf

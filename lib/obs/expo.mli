@@ -1,0 +1,41 @@
+(** Exposition formats over the span stream and the registry: Chrome
+    trace-event JSON (load in Perfetto / [chrome://tracing]), folded
+    stacks ([flamegraph.pl] / speedscope), and the Prometheus text
+    exposition {!Serve} publishes on [/metrics]. *)
+
+(** {1 Recording the span stream} *)
+
+type recorder
+(** Keeps raw {!Trace.event}s (with the emitting domain id) for
+    re-rendering after the run. *)
+
+val recorder : unit -> recorder
+
+val record : recorder -> Trace.event -> unit
+(** The collector function — install with
+    [Trace.set_collector (Some (Expo.record r))]. Thread-safe. *)
+
+val events : recorder -> (Trace.event * int) list
+(** Recorded events in emission (chronological) order, each with the
+    domain that emitted it. *)
+
+(** {1 Renderers} *)
+
+val chrome : ?ts_div:float -> (Trace.event * int) list -> string
+(** Chrome trace-event JSON: one ["ph":"B"]/["ph":"E"] pair per completed
+    span ([tid] = emitting domain; unmatched begins are dropped so pairs
+    always balance). [ts_div] converts recorded timestamps to the
+    microseconds the format wants — default [1e3] (wall ns -> us); pass
+    [1e-3] for simulated-milliseconds spans. *)
+
+val folded : Profile.t -> string
+(** Folded stacks: one ["root;child;leaf <self>"] line per call-tree path
+    with non-zero self time, value in the profile's time unit. *)
+
+val prometheus : ?prefix:string -> unit -> string
+(** The whole registry in Prometheus text exposition format. Base metric
+    names are sanitised to the exposition grammar (dots -> underscores)
+    and prefixed (default ["peace_"]); label suffixes are emitted as
+    stored ({!Registry.encode_labels} already escapes values). Histograms
+    render as cumulative [_bucket{le="..."}] series over the log-bucket
+    upper bounds, plus [_sum] and [_count]. *)

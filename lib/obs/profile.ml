@@ -1,0 +1,354 @@
+(* Span-tree profiler.
+
+   Folds the structured Trace event stream into a call tree keyed by the
+   span-name path (root;child;leaf). Each node accumulates a call count,
+   total time, and the delta of a fixed set of registry counters between
+   the span's begin and end — so a profile line can read "sign: 3
+   pairings, 8 mul, 2.1 ms self".
+
+   Ingestion shards per domain: every domain folds its own events into its
+   own (mutex-guarded) shard, so Domain_pool workers never contend on a
+   shared table; [roots]/[report] merge the shards at read time. Op
+   attribution reads the process-global counters, so it is exact on a
+   single domain and approximate while several domains run concurrently
+   (another domain's ops can land in whichever span is open here). *)
+
+let default_ops =
+  [
+    "pairing.ops";
+    "pairing.exp_g1";
+    "pairing.exp_gt";
+    "pairing.hash_to_g1";
+    "ec.scalar_mul";
+  ]
+
+(* per-path accumulator; paths are stored leaf-first (name :: parent path)
+   so extending a path on span begin is O(1) *)
+type acc = {
+  mutable a_count : int;
+  mutable a_total_ns : int;
+  a_ops : int array;
+}
+
+type open_span = { os_path : string list; os_ops0 : int array }
+
+type shard = {
+  sh_lock : Mutex.t;
+  sh_open : (int, open_span) Hashtbl.t;
+  sh_nodes : (string list, acc) Hashtbl.t;
+  mutable sh_dropped : int;
+}
+
+type t = {
+  p_ops : string array;
+  p_counters : Registry.Counter.t array;
+  p_shards_lock : Mutex.t;
+  p_shards : (int, shard) Hashtbl.t;
+}
+
+let create ?(ops = default_ops) () =
+  let p_ops = Array.of_list ops in
+  {
+    p_ops;
+    p_counters = Array.map (fun n -> Registry.counter n) p_ops;
+    p_shards_lock = Mutex.create ();
+    p_shards = Hashtbl.create 8;
+  }
+
+let ops_snapshot t = Array.map Registry.Counter.value t.p_counters
+
+let shard_for t =
+  let did = (Domain.self () :> int) in
+  Mutex.lock t.p_shards_lock;
+  let sh =
+    match Hashtbl.find_opt t.p_shards did with
+    | Some sh -> sh
+    | None ->
+      let sh =
+        {
+          sh_lock = Mutex.create ();
+          sh_open = Hashtbl.create 16;
+          sh_nodes = Hashtbl.create 16;
+          sh_dropped = 0;
+        }
+      in
+      Hashtbl.replace t.p_shards did sh;
+      sh
+  in
+  Mutex.unlock t.p_shards_lock;
+  sh
+
+let all_shards t =
+  Mutex.lock t.p_shards_lock;
+  let shards = Hashtbl.fold (fun _ sh acc -> sh :: acc) t.p_shards [] in
+  Mutex.unlock t.p_shards_lock;
+  shards
+
+(* only ever hold one shard lock at a time: cross-shard lookups (a handle
+   started on another domain) lock each candidate shard in turn, never two
+   together, so ingestion cannot deadlock *)
+
+let add_to_nodes t sh path dur ops0 =
+  let a =
+    match Hashtbl.find_opt sh.sh_nodes path with
+    | Some a -> a
+    | None ->
+      let a =
+        { a_count = 0; a_total_ns = 0; a_ops = Array.make (Array.length t.p_ops) 0 }
+      in
+      Hashtbl.replace sh.sh_nodes path a;
+      a
+  in
+  a.a_count <- a.a_count + 1;
+  a.a_total_ns <- a.a_total_ns + Stdlib.max 0 dur;
+  let now = ops_snapshot t in
+  Array.iteri
+    (fun i v0 -> a.a_ops.(i) <- a.a_ops.(i) + Stdlib.max 0 (now.(i) - v0))
+    ops0
+
+let find_open_path sh id =
+  Mutex.lock sh.sh_lock;
+  let r = Hashtbl.find_opt sh.sh_open id in
+  Mutex.unlock sh.sh_lock;
+  Option.map (fun os -> os.os_path) r
+
+let on_begin t name id parent =
+  let own = shard_for t in
+  let parent_path =
+    match parent with
+    | None -> []
+    | Some pid -> (
+      match find_open_path own pid with
+      | Some p -> p
+      | None ->
+        (* parent opened on another domain (or before install): adopt its
+           path if some shard still has it open, else attach at the root *)
+        let rec scan = function
+          | [] -> []
+          | sh :: rest when sh != own -> (
+            match find_open_path sh pid with Some p -> p | None -> scan rest)
+          | _ :: rest -> scan rest
+        in
+        scan (all_shards t))
+  in
+  Mutex.lock own.sh_lock;
+  Hashtbl.replace own.sh_open id
+    { os_path = name :: parent_path; os_ops0 = ops_snapshot t };
+  Mutex.unlock own.sh_lock
+
+let on_end t id dur =
+  let close sh =
+    Mutex.lock sh.sh_lock;
+    (match Hashtbl.find_opt sh.sh_open id with
+    | None ->
+      Mutex.unlock sh.sh_lock;
+      false
+    | Some os ->
+      Hashtbl.remove sh.sh_open id;
+      add_to_nodes t sh os.os_path dur os.os_ops0;
+      Mutex.unlock sh.sh_lock;
+      true)
+  in
+  let own = shard_for t in
+  if not (close own) then begin
+    let rec scan = function
+      | [] -> false
+      | sh :: rest when sh != own -> close sh || scan rest
+      | _ :: rest -> scan rest
+    in
+    if not (scan (all_shards t)) then begin
+      Mutex.lock own.sh_lock;
+      own.sh_dropped <- own.sh_dropped + 1;
+      Mutex.unlock own.sh_lock
+    end
+  end
+
+let ingest t = function
+  | Trace.Begin { name; id; parent; _ } -> on_begin t name id parent
+  | Trace.End { id; dur; _ } -> on_end t id dur
+
+let collector t = ingest t
+
+let install t = Trace.set_collector (Some (ingest t))
+let uninstall () = Trace.set_collector None
+
+let with_profile ?ops f =
+  let t = create ?ops () in
+  install t;
+  let v = Fun.protect ~finally:uninstall f in
+  (v, t)
+
+let dropped t =
+  List.fold_left (fun n sh -> n + sh.sh_dropped) 0 (all_shards t)
+
+(* --- report-time tree --- *)
+
+type node = {
+  name : string;
+  path : string list;
+  count : int;
+  total_ns : int;
+  self_ns : int;
+  ops : (string * int) list;
+  self_ops : (string * int) list;
+  children : node list;
+}
+
+(* merged, leaf-first-path -> (count, total, ops) snapshot of every shard *)
+let merged_table t =
+  let tbl : (string list, int * int * int array) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun sh ->
+      Mutex.lock sh.sh_lock;
+      Hashtbl.iter
+        (fun path a ->
+          let c0, t0, o0 =
+            match Hashtbl.find_opt tbl path with
+            | Some v -> v
+            | None -> (0, 0, Array.make (Array.length t.p_ops) 0)
+          in
+          Array.iteri (fun i v -> o0.(i) <- o0.(i) + v) a.a_ops;
+          Hashtbl.replace tbl path (c0 + a.a_count, t0 + a.a_total_ns, o0))
+        sh.sh_nodes;
+      Mutex.unlock sh.sh_lock)
+    (all_shards t);
+  tbl
+
+let merge ~into src =
+  let tbl = merged_table src in
+  let sh = shard_for into in
+  Mutex.lock sh.sh_lock;
+  Hashtbl.iter
+    (fun path (c, total, ops) ->
+      let a =
+        match Hashtbl.find_opt sh.sh_nodes path with
+        | Some a -> a
+        | None ->
+          let a =
+            {
+              a_count = 0;
+              a_total_ns = 0;
+              a_ops = Array.make (Array.length into.p_ops) 0;
+            }
+          in
+          Hashtbl.replace sh.sh_nodes path a;
+          a
+      in
+      a.a_count <- a.a_count + c;
+      a.a_total_ns <- a.a_total_ns + total;
+      (* op columns line up by name, not position: src may track a
+         different op list *)
+      Array.iteri
+        (fun i opname ->
+          match
+            Array.to_list src.p_ops
+            |> List.mapi (fun j n -> (n, j))
+            |> List.assoc_opt opname
+          with
+          | Some j -> a.a_ops.(i) <- a.a_ops.(i) + ops.(j)
+          | None -> ())
+        into.p_ops)
+    tbl;
+  Mutex.unlock sh.sh_lock
+
+(* intermediate build node: totals recorded directly plus a child table *)
+type tnode = {
+  mutable b_count : int;
+  mutable b_total : int;
+  b_ops : int array;
+  b_children : (string, tnode) Hashtbl.t;
+}
+
+let roots t =
+  let nops = Array.length t.p_ops in
+  let fresh () =
+    {
+      b_count = 0;
+      b_total = 0;
+      b_ops = Array.make nops 0;
+      b_children = Hashtbl.create 4;
+    }
+  in
+  let top = fresh () in
+  Hashtbl.iter
+    (fun rev_path (c, total, ops) ->
+      let rec descend node = function
+        | [] ->
+          node.b_count <- node.b_count + c;
+          node.b_total <- node.b_total + total;
+          Array.iteri (fun i v -> node.b_ops.(i) <- node.b_ops.(i) + v) ops
+        | name :: rest ->
+          let child =
+            match Hashtbl.find_opt node.b_children name with
+            | Some ch -> ch
+            | None ->
+              let ch = fresh () in
+              Hashtbl.replace node.b_children name ch;
+              ch
+          in
+          descend child rest
+      in
+      descend top (List.rev rev_path))
+    (merged_table t);
+  let rec freeze rev_prefix name b =
+    let path = List.rev (name :: rev_prefix) in
+    let children =
+      Hashtbl.fold (fun n ch acc -> freeze (name :: rev_prefix) n ch :: acc)
+        b.b_children []
+      |> List.sort (fun a b -> compare a.name b.name)
+    in
+    let child_total = List.fold_left (fun s c -> s + c.total_ns) 0 children in
+    let self_ops =
+      Array.to_list
+        (Array.mapi
+           (fun i op ->
+             let child_ops =
+               List.fold_left
+                 (fun s c -> s + List.assoc op c.ops)
+                 0 children
+             in
+             (op, Stdlib.max 0 (b.b_ops.(i) - child_ops)))
+           t.p_ops)
+    in
+    {
+      name;
+      path;
+      count = b.b_count;
+      total_ns = b.b_total;
+      self_ns = Stdlib.max 0 (b.b_total - child_total);
+      ops = Array.to_list (Array.mapi (fun i op -> (op, b.b_ops.(i))) t.p_ops);
+      self_ops;
+      children;
+    }
+  in
+  Hashtbl.fold (fun n ch acc -> freeze [] n ch :: acc) top.b_children []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let tracked_ops t = Array.to_list t.p_ops
+
+let ms ns = float_of_int ns /. 1e6
+
+let report fmt t =
+  let rs = roots t in
+  if rs = [] then Format.fprintf fmt "(no spans profiled)@."
+  else begin
+    Format.fprintf fmt "  %-38s %7s %11s %11s  %s@." "span tree" "count"
+      "total ms" "self ms" "ops (span total)";
+    let rec pr depth n =
+      let label = String.make (2 * depth) ' ' ^ n.name in
+      let ops =
+        List.filter (fun (_, v) -> v > 0) n.ops
+        |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+        |> String.concat " "
+      in
+      Format.fprintf fmt "  %-38s %7d %11.3f %11.3f  %s@." label n.count
+        (ms n.total_ns) (ms n.self_ns) ops;
+      List.iter (pr (depth + 1)) n.children
+    in
+    List.iter (pr 0) rs;
+    let d = dropped t in
+    if d > 0 then
+      Format.fprintf fmt "  (%d end event(s) without a matching begin)@." d
+  end

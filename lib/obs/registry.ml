@@ -123,11 +123,49 @@ module Histogram = struct
       find 0 0
     end
 
+  let bucket_counts h = Array.map Atomic.get h.buckets
+
   let reset h =
     Array.iter (fun b -> Atomic.set b 0) h.buckets;
     Atomic.set h.count 0;
     Atomic.set h.sum 0
 end
+
+(* --- labels ---
+
+   A labeled metric is an ordinary metric whose registry key is the
+   Prometheus-style series name [name{k="v",...}]: labels sort by key and
+   values use exposition escaping, so the same label set always produces
+   the same key and the exposition layer can emit stored names verbatim.
+   Base metric names must not contain '{'. *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let encode_labels = function
+  | [] -> ""
+  | labels ->
+    let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"")
+           labels)
+    ^ "}"
+
+let split_name full =
+  match String.index_opt full '{' with
+  | None -> (full, "")
+  | Some i -> (String.sub full 0 i, String.sub full i (String.length full - i))
 
 (* --- the registry proper --- *)
 
@@ -149,9 +187,14 @@ let get_or_create tbl make name =
         Hashtbl.replace tbl name m;
         m)
 
-let counter name = get_or_create counters_tbl Counter.make name
-let gauge name = get_or_create gauges_tbl Gauge.make name
-let histogram name = get_or_create histograms_tbl Histogram.make name
+let counter ?(labels = []) name =
+  get_or_create counters_tbl Counter.make (name ^ encode_labels labels)
+
+let gauge ?(labels = []) name =
+  get_or_create gauges_tbl Gauge.make (name ^ encode_labels labels)
+
+let histogram ?(labels = []) name =
+  get_or_create histograms_tbl Histogram.make (name ^ encode_labels labels)
 
 let dump tbl value =
   with_lock (fun () ->

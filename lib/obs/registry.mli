@@ -67,14 +67,46 @@ module Histogram : sig
   (** [quantile h p] for [p] in [0..100], [None] on an empty histogram;
       linear interpolation inside the target bucket. *)
 
+  val nbuckets : int
+
+  val bucket_of : int -> int
+  (** The bucket index an observation of this value lands in: the value's
+      bit-length ([v <= 0] goes to bucket 0), clamped to the last bucket. *)
+
+  val lower_bound : int -> int
+  (** Smallest value bucket [i] can hold (0 for bucket 0). *)
+
+  val upper_bound : int -> int
+  (** Largest value bucket [i] can hold ([max_int] for the last bucket). *)
+
+  val bucket_counts : t -> int array
+  (** Per-bucket observation counts, length {!nbuckets} — the raw
+      distribution behind {!quantile}; {!Expo.prometheus} renders it as
+      cumulative [_bucket{le=...}] series. *)
+
   val reset : t -> unit
 end
 
-val counter : string -> Counter.t
-(** Get-or-create by name. *)
+val counter : ?labels:(string * string) list -> string -> Counter.t
+(** Get-or-create by name. [labels] adds a label dimension: the metric is
+    keyed by the canonical Prometheus-style series name (labels sorted by
+    key, values escaped), so the same label set always returns the same
+    metric and different label values are independent series — e.g.
+    [counter ~labels:["router","r7"] "router.requests_total"]. Base names
+    must not contain an opening brace. *)
 
-val gauge : string -> Gauge.t
-val histogram : string -> Histogram.t
+val gauge : ?labels:(string * string) list -> string -> Gauge.t
+val histogram : ?labels:(string * string) list -> string -> Histogram.t
+
+val encode_labels : (string * string) list -> string
+(** The canonical label suffix: empty for no labels, else the brace-quoted
+    key=value list with keys sorted and values escaped (backslash, double
+    quote, and newline, per Prometheus text exposition escaping). *)
+
+val split_name : string -> string * string
+(** Splits a registry key into (base name, label suffix): the suffix is
+    empty or the full braced part, verbatim as {!encode_labels} built
+    it. *)
 
 val counters : unit -> (string * int) list
 (** Current values, sorted by name. *)

@@ -1,0 +1,113 @@
+(* Minimal HTTP/1.1 listener over Unix sockets — no web framework, no
+   threads: one request at a time, close after each response. That is all
+   a Prometheus scraper (or curl) needs, and it keeps peace.obs
+   dependency-free beyond the unix library it already uses.
+
+   Routes:
+     GET /metrics  -> Prometheus text exposition of the live registry
+     GET /healthz  -> "ok" *)
+
+let http_response ?(status = "200 OK") ?(content_type = "text/plain") body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let route path =
+  match path with
+  | "/metrics" ->
+    http_response
+      ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+      (Expo.prometheus ())
+  | "/healthz" -> http_response "ok\n"
+  | _ -> http_response ~status:"404 Not Found" "not found\n"
+
+(* read until the end of the request head (or EOF); we only need the
+   request line, but draining the head keeps clients from seeing a reset
+   before the response *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then ()
+    else begin
+      let seen = Buffer.contents buf in
+      let have_head =
+        let rec find i =
+          i + 3 < String.length seen
+          && (String.sub seen i 4 = "\r\n\r\n" || find (i + 1))
+        in
+        String.length seen >= 4 && find 0
+      in
+      if not have_head then begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error _ -> ()
+      end
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_request head =
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol -> (
+    match String.split_on_char ' ' (String.sub head 0 eol) with
+    | [ meth; target; _version ] ->
+      (* strip any query string: the routes take no parameters *)
+      let path =
+        match String.index_opt target '?' with
+        | None -> target
+        | Some q -> String.sub target 0 q
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let handle_client fd =
+  let head = read_head fd in
+  let response =
+    match parse_request head with
+    | Some ("GET", path) -> route path
+    | Some _ -> http_response ~status:"405 Method Not Allowed" "GET only\n"
+    | None -> http_response ~status:"400 Bad Request" "bad request\n"
+  in
+  write_all fd response
+
+let serve ?(host = "127.0.0.1") ?max_requests ?on_listen ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen sock 16;
+      let bound_port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (match on_listen with Some f -> f bound_port | None -> ());
+      let served = ref 0 in
+      let keep_going () =
+        match max_requests with None -> true | Some n -> !served < n
+      in
+      while keep_going () do
+        let client, _ = Unix.accept sock in
+        (try handle_client client with _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        incr served
+      done)

@@ -1,0 +1,21 @@
+(** A minimal zero-dependency HTTP listener (Unix sockets only) exposing
+    the live registry — the first externally scrapeable surface:
+
+    - [GET /metrics]: Prometheus text exposition ({!Expo.prometheus})
+    - [GET /healthz]: ["ok"]
+
+    Sequential (one request at a time, connection closed per response),
+    which is exactly the access pattern of a metrics scraper. *)
+
+val serve :
+  ?host:string ->
+  ?max_requests:int ->
+  ?on_listen:(int -> unit) ->
+  port:int ->
+  unit ->
+  unit
+(** Bind [host:port] (default host [127.0.0.1]; port [0] lets the kernel
+    pick) and serve until [max_requests] requests have been answered
+    ([None] = forever). [on_listen] receives the actually bound port once
+    the socket is listening — announce it to whoever will scrape. Blocks
+    the calling domain. *)

@@ -10,6 +10,26 @@
 
 let next_id = Atomic.make 1
 
+(* --- structured event stream ---
+
+   Besides the JSONL sink, spans can feed a structured collector (the
+   profiler, the trace recorders) without going through text. At most one
+   collector is installed at a time; it runs on the emitting domain and
+   must synchronise internally. *)
+
+type event =
+  | Begin of { name : string; id : int; parent : int option; ts : int }
+  | End of { name : string; id : int; ts : int; dur : int }
+
+let collector : (event -> unit) option Atomic.t = Atomic.make None
+let set_collector c = Atomic.set collector c
+let collector_active () = Atomic.get collector <> None
+
+let collect ev =
+  match Atomic.get collector with
+  | None -> ()
+  | Some f -> ( try f ev with _ -> ())
+
 let sink_lock = Mutex.create ()
 let sink : (string -> unit) option ref = ref None
 
@@ -55,7 +75,11 @@ let end_line ~name ~id ~ts ~dur =
     (Obs_json.str name) id ts dur
 
 let with_span ?(attrs = []) name f =
-  if (not (Registry.is_enabled ())) && not (sink_active ()) then f ()
+  if
+    (not (Registry.is_enabled ()))
+    && (not (sink_active ()))
+    && not (collector_active ())
+  then f ()
   else begin
     let h = Registry.histogram ("span." ^ name ^ ".dur_ns") in
     let id = Atomic.fetch_and_add next_id 1 in
@@ -63,11 +87,13 @@ let with_span ?(attrs = []) name f =
     let parent = match stack with [] -> None | p :: _ -> Some p in
     Domain.DLS.set stack_key (id :: stack);
     let t0 = Registry.now_ns () in
+    collect (Begin { name; id; parent; ts = t0 });
     emit (fun () -> begin_line ~name ~id ~parent ~attrs ~ts:t0);
     Fun.protect
       ~finally:(fun () ->
         let t1 = Registry.now_ns () in
         Registry.Histogram.observe h (t1 - t0);
+        collect (End { name; id; ts = t1; dur = t1 - t0 });
         emit (fun () -> end_line ~name ~id ~ts:t1 ~dur:(t1 - t0));
         Domain.DLS.set stack_key stack)
       f
@@ -87,19 +113,24 @@ type handle = {
   h_id : int;
   h_t0 : int;
   h_hist : Registry.Histogram.t;
-  mutable h_finished : bool;
+  h_finished : bool Atomic.t;
+      (* a compare-and-set guards [finish]: two domains racing to finish
+         the same handle must produce exactly one end event (PR-3 claimed
+         idempotency but used a plain mutable bool, so both racers could
+         read [false] and double-emit) *)
 }
 
 let start ?(attrs = []) ?parent ?ts name =
   let id = Atomic.fetch_and_add next_id 1 in
   let t0 = match ts with Some t -> t | None -> Registry.now_ns () in
+  collect (Begin { name; id; parent; ts = t0 });
   emit (fun () -> begin_line ~name ~id ~parent ~attrs ~ts:t0);
   {
     h_name = name;
     h_id = id;
     h_t0 = t0;
     h_hist = Registry.histogram ("span." ^ name ^ ".dur_ns");
-    h_finished = false;
+    h_finished = Atomic.make false;
   }
 
 let start_linked ?attrs ?ts ~parent name =
@@ -108,10 +139,10 @@ let start_linked ?attrs ?ts ~parent name =
 let id h = h.h_id
 
 let finish ?ts h =
-  if not h.h_finished then begin
-    h.h_finished <- true;
+  if Atomic.compare_and_set h.h_finished false true then begin
     let t1 = match ts with Some t -> t | None -> Registry.now_ns () in
     Registry.Histogram.observe h.h_hist (t1 - h.h_t0);
+    collect (End { name = h.h_name; id = h.h_id; ts = t1; dur = t1 - h.h_t0 });
     emit (fun () -> end_line ~name:h.h_name ~id:h.h_id ~ts:t1 ~dur:(t1 - h.h_t0))
   end
 

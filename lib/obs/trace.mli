@@ -17,7 +17,8 @@
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Runs the thunk inside a span. Exceptions propagate; the end event and
     the histogram observation still happen. When the registry is disabled
-    and no sink is set, this is a direct call with no overhead. *)
+    and neither a sink nor a collector is set, this is a direct call with
+    no overhead. *)
 
 val current_span : unit -> int option
 (** The innermost open span id on the calling domain, if any. *)
@@ -62,6 +63,24 @@ val set_sink : (string -> unit) option -> unit
     per event, without the trailing newline, serialised under a lock. *)
 
 val sink_active : unit -> bool
+
+(** {1 Structured event stream}
+
+    The same begin/end stream the sink sees, but as values instead of JSON
+    text — {!Peace_obs.Profile} folds it into a call tree and
+    {!Peace_obs.Expo} records it for flamegraph / Chrome-trace export. *)
+
+type event =
+  | Begin of { name : string; id : int; parent : int option; ts : int }
+  | End of { name : string; id : int; ts : int; dur : int }
+
+val set_collector : (event -> unit) option -> unit
+(** Install (or remove) the structured collector. At most one is active;
+    it is invoked on the emitting domain (no lock is taken around the
+    call), so it must synchronise internally. Exceptions it raises are
+    swallowed. *)
+
+val collector_active : unit -> bool
 
 val with_file : string -> (unit -> 'a) -> 'a
 (** [with_file path f] writes events to [path] (one line each, flushed)

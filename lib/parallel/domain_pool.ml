@@ -34,7 +34,9 @@ let rec worker_loop queue stats i =
     Peace_obs.Registry.Gauge.decr g_queue_depth;
     Peace_obs.Registry.Gauge.incr g_workers_busy;
     let t0 = now_ns () in
-    (try job () with _ -> ());
+    (* the span runs on this worker's domain, so a profiler shards it per
+       domain and a trace recorder tags it with this domain's tid *)
+    (try Peace_obs.Trace.with_span "pool.job" job with _ -> ());
     let dt = Int64.sub (now_ns ()) t0 in
     let s = stats.(i) in
     stats.(i) <- { jobs = s.jobs + 1; busy_ns = Int64.add s.busy_ns dt };

@@ -1,5 +1,12 @@
 open Peace_core
 
+(* live engine telemetry, scrapeable via `peace serve` while a long
+   simulation runs: events executed, the simulated clock, and the event
+   queue backlog *)
+let c_events = Peace_obs.Registry.counter "sim.engine.events_total"
+let g_sim_now = Peace_obs.Registry.gauge "sim.engine.now_ms"
+let g_pending = Peace_obs.Registry.gauge "sim.engine.pending_events"
+
 type t = {
   queue : (unit -> unit) Event_queue.t;
   clock : Clock.t;
@@ -53,6 +60,9 @@ let run ?until t =
       | None -> ()
       | Some (time, handler) ->
         Clock.set t.clock time;
+        Peace_obs.Registry.Counter.incr c_events;
+        Peace_obs.Registry.Gauge.set g_sim_now time;
+        Peace_obs.Registry.Gauge.set g_pending (Event_queue.size t.queue);
         handler ();
         loop ())
   in

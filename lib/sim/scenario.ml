@@ -103,7 +103,27 @@ type router_node = {
   mutable rn_busy_total : float;
   mutable rn_queue : int;
   rn_queue_limit : int;
+  (* per-router labeled registry series (router="rN"): load, queue depth,
+     and revocation-scan length, scrapeable via `peace serve` /metrics *)
+  rn_c_requests : Peace_obs.Registry.Counter.t;
+  rn_g_queue : Peace_obs.Registry.Gauge.t;
+  rn_h_scan : Peace_obs.Registry.Histogram.t;
 }
+
+let make_router_node ?(queue_limit = 64) ~addr rn =
+  let labels = [ ("router", "r" ^ string_of_int addr) ] in
+  {
+    rn;
+    rn_addr = addr;
+    rn_busy_until = 0;
+    rn_busy_total = 0.0;
+    rn_queue = 0;
+    rn_queue_limit = queue_limit;
+    rn_c_requests =
+      Peace_obs.Registry.counter ~labels "sim.router.requests_total";
+    rn_g_queue = Peace_obs.Registry.gauge ~labels "sim.router.queue_depth";
+    rn_h_scan = Peace_obs.Registry.histogram ~labels "sim.router.scan_len";
+  }
 
 (* a span is only opened when a trace sink is live AND the frame carries a
    request id — the untraced paths stay allocation-free *)
@@ -126,10 +146,13 @@ let router_service world cost node ~url_size ~sender ~under_attack ?(req = 0)
     +. cost.verify_base_ms
     +. (cost.verify_per_token_ms *. float_of_int url_size)
   in
+  Peace_obs.Registry.Counter.incr node.rn_c_requests;
+  Peace_obs.Registry.Histogram.observe node.rn_h_scan url_size;
   if node.rn_queue >= node.rn_queue_limit then
     Metrics.incr world.metrics "router.dropped_queue_full"
   else begin
     node.rn_queue <- node.rn_queue + 1;
+    Peace_obs.Registry.Gauge.set node.rn_g_queue node.rn_queue;
     (* the span covers queueing + modeled verify: it opens in this event
        and closes in the scheduled one, parented on the id that travelled
        inside the (M.2) envelope *)
@@ -140,6 +163,7 @@ let router_service world cost node ~url_size ~sender ~under_attack ?(req = 0)
     node.rn_busy_total <- node.rn_busy_total +. service_cost;
     Engine.schedule_at world.engine ~time:finish (fun () ->
         node.rn_queue <- node.rn_queue - 1;
+        Peace_obs.Registry.Gauge.set node.rn_g_queue node.rn_queue;
         (match Mesh_router.handle_access_request node.rn request with
         | Ok (confirm, _session) ->
           Metrics.incr world.metrics "router.accepted";
@@ -195,16 +219,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
         let router = Deployment.add_router world.deployment ~router_id:i in
         let x = (float_of_int (i mod grid) +. 0.5) *. (area_m /. float_of_int grid) in
         let y = (float_of_int (i / grid) +. 0.5) *. (area_m /. float_of_int grid) in
-        let node =
-          {
-            rn = router;
-            rn_addr = i;
-            rn_busy_until = 0;
-            rn_busy_total = 0.0;
-            rn_queue = 0;
-            rn_queue_limit = 64;
-          }
-        in
+        let node = make_router_node ~addr:i router in
         Net.register world.net node.rn_addr ~pos:(x, y) (fun payload ->
             match parse_envelope payload with
             | Some (tag, sender, req, body) when tag = tag_access_request -> begin
@@ -435,16 +450,7 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
   ignore (Deployment.add_group world.deployment ~group_id ~size:n_users);
   let router = Deployment.add_router world.deployment ~router_id:0 in
   if puzzles then Mesh_router.set_under_attack router ~difficulty:puzzle_difficulty;
-  let node =
-    {
-      rn = router;
-      rn_addr = 0;
-      rn_busy_until = 0;
-      rn_busy_total = 0.0;
-      rn_queue = 0;
-      rn_queue_limit = 64;
-    }
-  in
+  let node = make_router_node ~addr:0 router in
   let gpk = Deployment.gpk world.deployment in
   let bogus_received = ref 0 in
   Net.register world.net 0 ~pos:(0.0, 0.0) (fun payload ->
@@ -1173,16 +1179,7 @@ let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
         let router = Deployment.add_router world.deployment ~router_id:i in
         let x = (float_of_int (i mod grid) +. 0.5) *. cell in
         let y = (float_of_int (i / grid) +. 0.5) *. cell in
-        let node =
-          {
-            rn = router;
-            rn_addr = i;
-            rn_busy_until = 0;
-            rn_busy_total = 0.0;
-            rn_queue = 0;
-            rn_queue_limit = 64;
-          }
-        in
+        let node = make_router_node ~addr:i router in
         Net.register world.net node.rn_addr ~pos:(x, y) (fun payload ->
             match parse_envelope payload with
             | Some (tag, sender, req, body) when tag = tag_access_request -> begin

@@ -148,3 +148,70 @@ Parameter validation and malformed input handling:
   [1]
   $ peace sign --key /nonexistent -m x 2>/dev/null
   [1]
+
+bench-report --json writes the diff machine-readably (schema 1, one row
+per metric with its status) alongside the table; a clean diff records
+zero regressions:
+
+  $ peace bench-report old.json new.json --threshold 15 --json diff.json > /dev/null
+  $ grep -c '"schema":1' diff.json
+  1
+  $ grep -c '"kind":"bench-diff"' diff.json
+  1
+  $ grep -c '"regressions":0' diff.json
+  1
+  $ grep -c '"name":"verify_ms","status":"compared"' diff.json
+  1
+  $ grep -c '"name":"fresh_ms","status":"added"' diff.json
+  1
+  $ grep -c '"name":"gone_ms","status":"removed"' diff.json
+  1
+  $ peace bench-report old.json new.json --threshold 5 --json regress.json > /dev/null
+  [1]
+  $ grep -c '"regressions":1' regress.json
+  1
+
+--profile-out renders the span stream of a run to a file: a .json path
+gets Chrome trace-event JSON (balanced B/E pairs), anything else gets
+folded stacks (flamegraph.pl grammar, one "path;to;frame N" per line):
+
+  $ peace stats --url-size 2 --profile-out prof.folded > /dev/null
+  $ grep -Eq '^[A-Za-z0-9_.]+(;[A-Za-z0-9_.]+)* [0-9]+$' prof.folded
+  $ peace stats --url-size 2 --profile-out prof.json > /dev/null
+  $ grep -c '"traceEvents"' prof.json
+  1
+  $ test $(grep -o '"ph":"B"' prof.json | wc -l) -eq $(grep -o '"ph":"E"' prof.json | wc -l)
+  $ test $(grep -o '"ph":"B"' prof.json | wc -l) -ge 5
+
+--profile folds the same stream into an on-terminal call tree with the
+crypto ops attributed to each path:
+
+  $ peace stats --url-size 2 --profile | grep -c 'groupsig.sign'
+  2
+  $ peace stats --url-size 2 --profile | grep -c 'proof_check'
+  3
+
+peace serve exposes the registry over HTTP in Prometheus text format.
+--port 0 lets the kernel pick (announced via --announce), the city
+warmup populates per-router labeled series, and --max-requests makes
+the server exit after a fixed number of scrapes:
+
+  $ peace serve --port 0 --warmup city --announce port.txt --max-requests 2 2>serve.log &
+  $ for i in $(seq 1 100); do [ -s port.txt ] && break; sleep 0.1; done
+  $ curl -s http://127.0.0.1:$(cat port.txt)/healthz
+  ok
+  $ curl -s http://127.0.0.1:$(cat port.txt)/metrics > metrics.txt
+  $ wait
+  $ grep -c 'warmup: city auth' serve.log
+  1
+  $ grep -c '^peace_sim_router_requests_total{router="r0"} ' metrics.txt
+  1
+  $ test $(grep -c 'router="r' metrics.txt) -ge 8
+  $ test $(grep -vc '^#' metrics.txt) -ge 20
+
+Every non-comment line obeys the exposition grammar (legal metric name,
+optional label set, numeric value):
+
+  $ grep -v '^#' metrics.txt | grep -Evc '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? -?[0-9]+$'
+  0
+  [1]

@@ -423,6 +423,303 @@ let test_span_handles () =
   Alcotest.(check (option int)) "duration in the caller's time base"
     (Some 60) (int_field e_root "dur_ns")
 
+(* --- labeled metrics --- *)
+
+let test_labels () =
+  let c = R.counter ~labels:[ ("b", "2"); ("a", "1") ] "test.obs.lab" in
+  R.Counter.reset c;
+  R.Counter.add c 5;
+  Alcotest.(check bool) "label order is canonicalised" true
+    (R.counter ~labels:[ ("a", "1"); ("b", "2") ] "test.obs.lab" == c);
+  Alcotest.(check bool) "different labels, different series" false
+    (R.counter ~labels:[ ("a", "9") ] "test.obs.lab" == c);
+  Alcotest.(check string) "series name carries the sorted label suffix"
+    "test.obs.lab{a=\"1\",b=\"2\"}" (R.Counter.name c);
+  Alcotest.(check string) "no labels, no suffix" "" (R.encode_labels []);
+  Alcotest.(check (pair string string)) "split_name separates the suffix"
+    ("test.obs.lab", "{a=\"1\",b=\"2\"}")
+    (R.split_name (R.Counter.name c));
+  Alcotest.(check (pair string string)) "split_name on a bare name"
+    ("plain", "") (R.split_name "plain");
+  (* exposition escaping: backslash, double quote, newline *)
+  Alcotest.(check string) "label values escaped for exposition"
+    "{v=\"a\\\"b\\\\c\\nd\"}"
+    (R.encode_labels [ ("v", "a\"b\\c\nd") ])
+
+(* --- histogram log-bucket boundaries --- *)
+
+let test_histogram_buckets () =
+  let module H = R.Histogram in
+  Alcotest.(check int) "zero lands in bucket 0" 0 (H.bucket_of 0);
+  Alcotest.(check int) "negatives clamp to bucket 0" 0 (H.bucket_of (-7));
+  Alcotest.(check int) "one lands in bucket 1" 1 (H.bucket_of 1);
+  (* exact powers of two open a fresh bucket: 2^k -> bucket k+1, and the
+     bucket's bounds [2^k, 2^(k+1)-1] contain the value exactly *)
+  for k = 1 to 40 do
+    let v = 1 lsl k in
+    let b = H.bucket_of v in
+    Alcotest.(check int) (Printf.sprintf "2^%d bucket" k) (k + 1) b;
+    Alcotest.(check int) "power of two is its bucket's lower bound" v
+      (H.lower_bound b);
+    Alcotest.(check bool) "below the upper bound" true (v <= H.upper_bound b);
+    Alcotest.(check int) "2^k - 1 stays one bucket below" k (H.bucket_of (v - 1))
+  done;
+  Alcotest.(check int) "max_int clamps into the last bucket" (H.nbuckets - 1)
+    (H.bucket_of max_int);
+  Alcotest.(check int) "last bucket's upper bound is max_int" max_int
+    (H.upper_bound (H.nbuckets - 1));
+  let h = R.histogram "test.obs.buckets" in
+  H.reset h;
+  List.iter (H.observe h) [ 0; 1; 2; 1024; max_int ];
+  let counts = H.bucket_counts h in
+  Alcotest.(check int) "bucket array spans nbuckets" H.nbuckets
+    (Array.length counts);
+  Alcotest.(check int) "bucket counts account for every observation" 5
+    (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check int) "0 counted in bucket 0" 1 counts.(0);
+  Alcotest.(check int) "1024 counted in bucket 11" 1 counts.(11);
+  Alcotest.(check int) "max_int counted in the last bucket" 1
+    (counts.(H.nbuckets - 1))
+
+(* --- span-tree profiler --- *)
+
+module Profile = Peace_obs.Profile
+module Expo = Peace_obs.Expo
+
+let test_profile_tree () =
+  let ops_c = R.counter "test.obs.profops" in
+  R.Counter.reset ops_c;
+  let (), p =
+    Profile.with_profile ~ops:[ "test.obs.profops" ] (fun () ->
+        for _ = 1 to 3 do
+          Trace.with_span "p.outer" (fun () ->
+              R.Counter.add ops_c 2;
+              Trace.with_span "p.inner" (fun () -> R.Counter.incr ops_c))
+        done)
+  in
+  Alcotest.(check int) "no orphan end events" 0 (Profile.dropped p);
+  let outer =
+    match List.filter (fun n -> n.Profile.name = "p.outer") (Profile.roots p) with
+    | [ n ] -> n
+    | l -> Alcotest.failf "expected one p.outer root, got %d" (List.length l)
+  in
+  Alcotest.(check int) "outer called 3 times" 3 outer.Profile.count;
+  Alcotest.(check (list string)) "root path" [ "p.outer" ] outer.Profile.path;
+  let inner =
+    match outer.Profile.children with
+    | [ n ] -> n
+    | l -> Alcotest.failf "expected one child, got %d" (List.length l)
+  in
+  Alcotest.(check (list string)) "child path is root-first"
+    [ "p.outer"; "p.inner" ] inner.Profile.path;
+  Alcotest.(check int) "inner called 3 times" 3 inner.Profile.count;
+  Alcotest.(check bool) "self <= total on every node" true
+    (outer.Profile.self_ns <= outer.Profile.total_ns
+    && inner.Profile.self_ns <= inner.Profile.total_ns);
+  Alcotest.(check (list (pair string int))) "ops attributed to the whole span"
+    [ ("test.obs.profops", 9) ] outer.Profile.ops;
+  Alcotest.(check (list (pair string int))) "children's ops subtracted for self"
+    [ ("test.obs.profops", 6) ] outer.Profile.self_ops;
+  Alcotest.(check (list (pair string int))) "inner keeps its own ops"
+    [ ("test.obs.profops", 3) ] inner.Profile.ops
+
+let test_profile_multidomain () =
+  let jobs = 24 in
+  let (), p =
+    Profile.with_profile (fun () ->
+        Peace_parallel.Domain_pool.run ~domains:3 (fun pool ->
+            let futs =
+              List.init jobs (fun i ->
+                  Peace_parallel.Domain_pool.submit pool (fun () -> i * i))
+            in
+            List.iter
+              (fun f -> ignore (Peace_parallel.Domain_pool.await f))
+              futs))
+  in
+  let job_node =
+    List.filter (fun n -> n.Profile.name = "pool.job") (Profile.roots p)
+  in
+  match job_node with
+  | [ n ] ->
+    Alcotest.(check int) "per-domain shards merge to the full job count" jobs
+      n.Profile.count;
+    Alcotest.(check bool) "merged total time is positive" true
+      (n.Profile.total_ns > 0)
+  | l -> Alcotest.failf "expected one pool.job root, got %d" (List.length l)
+
+let test_concurrent_finish () =
+  (* two domains race Trace.finish over the same handles: every span must
+     end exactly once (the CAS in finish), both in the collector stream
+     and in the duration histogram *)
+  let n = 500 in
+  let h = R.histogram "span.h.race.dur_ns" in
+  R.Histogram.reset h;
+  let ends = Atomic.make 0 in
+  Trace.set_collector
+    (Some
+       (function
+       | Trace.End _ -> Atomic.incr ends
+       | Trace.Begin _ -> ()));
+  Fun.protect ~finally:(fun () -> Trace.set_collector None) (fun () ->
+      let handles =
+        Array.init n (fun i -> Trace.start ~ts:(1_000 + i) "h.race")
+      in
+      let racer () =
+        Domain.spawn (fun () ->
+            Array.iter (fun hd -> Trace.finish ~ts:2_000 hd) handles)
+      in
+      let d1 = racer () and d2 = racer () in
+      Domain.join d1;
+      Domain.join d2);
+  Alcotest.(check int) "each span ends exactly once" n (Atomic.get ends);
+  Alcotest.(check int) "each duration observed exactly once" n
+    (R.Histogram.count h)
+
+(* --- exposition renderers --- *)
+
+let test_chrome_export () =
+  let r = Expo.recorder () in
+  Trace.set_collector (Some (Expo.record r));
+  Fun.protect ~finally:(fun () -> Trace.set_collector None) (fun () ->
+      Trace.with_span "c.outer" (fun () ->
+          Trace.with_span "c.inner" Fun.id;
+          Trace.with_span "c.inner" Fun.id);
+      (* an unmatched begin must be dropped, not emitted unbalanced *)
+      ignore (Trace.start "c.never_finished"));
+  let json = Expo.chrome (Expo.events r) in
+  let doc =
+    match J.parse json with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "chrome output is not valid JSON: %s" e
+  in
+  let evs =
+    match Option.bind (J.member "traceEvents" doc) J.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let phase ev =
+    match J.member "ph" ev with Some (J.Str s) -> s | _ -> "?"
+  in
+  let begins = List.filter (fun e -> phase e = "B") evs in
+  let ends = List.filter (fun e -> phase e = "E") evs in
+  Alcotest.(check int) "three completed spans" 3 (List.length begins);
+  Alcotest.(check int) "B/E pairs balance" (List.length begins)
+    (List.length ends);
+  Alcotest.(check bool) "the unmatched begin was dropped" true
+    (not
+       (List.exists
+          (fun e ->
+            match J.member "name" e with
+            | Some (J.Str "c.never_finished") -> true
+            | _ -> false)
+          evs));
+  let ts ev =
+    match Option.bind (J.member "ts" ev) J.to_float with
+    | Some t -> t
+    | None -> Alcotest.fail "event without ts"
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> ts a <= ts b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone in emission order" true
+    (monotone evs)
+
+let test_folded_export () =
+  (* folded emits only paths with self > 0, so the leaf must burn enough
+     wall time to register on the clock *)
+  let spin () =
+    let x = ref 0 in
+    for i = 1 to 200_000 do
+      x := !x + i
+    done;
+    ignore (Sys.opaque_identity !x)
+  in
+  let (), p =
+    Profile.with_profile (fun () ->
+        Trace.with_span "f.outer" (fun () -> Trace.with_span "f.inner" spin))
+  in
+  let out = Expo.folded p in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check bool) "at least one stack line" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "no value separator in %S" line
+      | Some i ->
+        let path = String.sub line 0 i in
+        let value = String.sub line (i + 1) (String.length line - i - 1) in
+        Alcotest.(check bool) "value is a non-negative integer" true
+          (match int_of_string_opt value with Some v -> v >= 0 | None -> false);
+        Alcotest.(check bool) "path is semicolon-joined and non-empty" true
+          (path <> "" && not (String.contains path ' ')))
+    lines;
+  Alcotest.(check bool) "the nested path appears" true
+    (List.exists
+       (fun l ->
+         String.length l > 16 && String.sub l 0 16 = "f.outer;f.inner ")
+       lines)
+
+let test_prometheus_exposition () =
+  let c = R.counter ~labels:[ ("tricky", "a\"b\\c\nd") ] "test.obs.prom_total" in
+  R.Counter.reset c;
+  R.Counter.add c 7;
+  let h = R.histogram "test.obs.promh" in
+  R.Histogram.reset h;
+  List.iter (R.Histogram.observe h) [ 1; 6; 100 ];
+  let text = Expo.prometheus () in
+  Alcotest.(check bool) "label value escaped per the exposition rules" true
+    (after text "peace_test_obs_prom_total{tricky=\"a\\\"b\\\\c\\nd\"} 7" <> None);
+  Alcotest.(check bool) "histogram count series" true
+    (after text "peace_test_obs_promh_count 3" <> None);
+  Alcotest.(check bool) "histogram sum series" true
+    (after text "peace_test_obs_promh_sum 107" <> None);
+  Alcotest.(check bool) "+Inf bucket covers everything" true
+    (after text "peace_test_obs_promh_bucket{le=\"+Inf\"} 3" <> None);
+  Alcotest.(check bool) "buckets are cumulative" true
+    (after text "peace_test_obs_promh_bucket{le=\"1\"} 1" <> None
+    && after text "peace_test_obs_promh_bucket{le=\"7\"} 2" <> None
+    && after text "peace_test_obs_promh_bucket{le=\"127\"} 3" <> None);
+  (* grammar: every sample line is NAME{...}? SP VALUE with a legal name *)
+  let legal_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        let name_end =
+          match String.index_opt line '{' with
+          | Some i -> i
+          | None -> ( match String.index_opt line ' ' with
+            | Some i -> i
+            | None -> Alcotest.failf "no value on line %S" line)
+        in
+        let name = String.sub line 0 name_end in
+        Alcotest.(check bool)
+          (Printf.sprintf "metric name %S is exposition-legal" name)
+          true
+          (name <> ""
+          && (not (name.[0] >= '0' && name.[0] <= '9'))
+          && String.for_all legal_name_char name)
+      end)
+    (String.split_on_char '\n' text);
+  (* one TYPE declaration per family, even with labeled series present *)
+  let type_lines =
+    List.filter
+      (fun l ->
+        match after l "# TYPE peace_test_obs_prom_total " with
+        | Some _ -> true
+        | None -> false)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "single TYPE line for the labeled family" 1
+    (List.length type_lines)
+
 let () =
   Alcotest.run "peace-obs"
     [
@@ -454,5 +751,22 @@ let () =
           Alcotest.test_case "summary/jsonl/to_metrics" `Quick test_export;
           Alcotest.test_case "json escaping" `Quick test_json_escape;
           Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "labeled series + escaping" `Quick test_labels;
+          Alcotest.test_case "log-bucket boundaries" `Quick test_histogram_buckets;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "call tree + op attribution" `Quick test_profile_tree;
+          Alcotest.test_case "per-domain shards merge" `Quick test_profile_multidomain;
+          Alcotest.test_case "concurrent finish emits once" `Quick test_concurrent_finish;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "chrome trace JSON" `Quick test_chrome_export;
+          Alcotest.test_case "folded stacks" `Quick test_folded_export;
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_exposition;
         ] );
     ]
