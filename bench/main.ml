@@ -891,6 +891,80 @@ let experiment_e14 () =
   Bench_record.add ~unit_:"ms" "e14.prometheus_render_ms" prom_ms
 
 (* ================================================================== *)
+(* E15: fault injection & hardened handshakes                         *)
+(* ================================================================== *)
+
+(* Success rate and time-to-auth under Gilbert–Elliott burst loss of
+   rising severity and under router crash/restart churn, with the
+   hardened handshake path (retransmission + backoff, resend cache,
+   failover) against the legacy fixed-timeout baseline. *)
+
+let experiment_e15 () =
+  hr "E15 Fault injection: success rate & time-to-auth, hardened vs baseline";
+  let plan spec =
+    match Faults.of_string spec with
+    | Ok p -> p
+    | Error e -> failwith ("E15 plan: " ^ e)
+  in
+  let duration_ms = if quick then 30_000 else 60_000 in
+  let n_users = if quick then 10 else 20 in
+  let run ~faults ~hardened =
+    Scenario.city_auth ~seed:42 ~faults ~hardened ~n_routers:4 ~n_users
+      ~area_m:1500.0 ~range_m:600.0 ~duration_ms
+      ~mean_interarrival_ms:10_000.0 ()
+  in
+  let rows =
+    [
+      ("clean", "none");
+      (* stationary loss ≈ 7%, 14%, 27% *)
+      ("burst ~7%", "burst:0.05:0.4:0.5:0.02");
+      ("burst ~14%", "burst:0.1:0.35:0.5:0.02");
+      ("burst ~27%", "burst:0.2:0.3:0.6:0.05");
+      ("churn 12s/2.5s", "churn:12000:2500");
+      ("burst ~27% + churn", "burst:0.2:0.3:0.6:0.05,churn:12000:2500");
+    ]
+  in
+  Printf.printf "%-20s %-9s | %8s %8s %6s %5s %5s %12s\n" "plan" "mode"
+    "auth ok" "rate (%)" "retx" "t/o" "fail" "t-auth (ms)";
+  List.iter
+    (fun (label, spec) ->
+      let faults = plan spec in
+      List.iter
+        (fun hardened ->
+          let r = run ~faults ~hardened in
+          let mode = if hardened then "hardened" else "baseline" in
+          let rate =
+            if r.Scenario.cr_attempts = 0 then 0.0
+            else
+              100.0
+              *. float_of_int r.Scenario.cr_successes
+              /. float_of_int r.Scenario.cr_attempts
+          in
+          let slug =
+            String.lowercase_ascii label
+            |> String.map (fun c ->
+                   match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '_')
+          in
+          Bench_record.add ~better:Bench_record.Higher ~unit_:"count"
+            (Printf.sprintf "e15.%s.%s.successes" slug mode)
+            (float_of_int r.Scenario.cr_successes);
+          Bench_record.add ~unit_:"ms"
+            (Printf.sprintf "e15.%s.%s.time_to_auth_ms" slug mode)
+            r.Scenario.cr_time_to_auth_mean_ms;
+          Printf.printf "%-20s %-9s | %4d/%-3d %8.1f %6d %5d %5d %12.1f\n"
+            label mode r.Scenario.cr_successes r.Scenario.cr_attempts rate
+            r.Scenario.cr_retransmissions r.Scenario.cr_timeouts
+            r.Scenario.cr_failovers r.Scenario.cr_time_to_auth_mean_ms)
+        [ true; false ])
+    rows;
+  Printf.printf
+    "\nshape check: on a clean channel both modes are identical; as burst\n\
+     severity rises the hardened path holds its success rate by paying\n\
+     retransmissions, while the baseline loses attempts to its fixed 3 s\n\
+     timeout; under churn, failover re-routes abandoned handshakes to the\n\
+     surviving routers.\n"
+
+(* ================================================================== *)
 (* Ablations (DESIGN.md §6)                                           *)
 (* ================================================================== *)
 
@@ -1040,6 +1114,7 @@ let experiments =
     ("E11", experiment_e11);
     ("E12", experiment_e12);
     ("E14", experiment_e14);
+    ("E15", experiment_e15);
     ("ABL", ablations);
   ]
 

@@ -283,9 +283,29 @@ let audit_cmd =
 
 (* --- simulate --- *)
 
-let simulate trace profile_out timeline scenario seed =
+let parse_faults_or_exit spec =
+  match Peace_sim.Faults.of_string spec with
+  | Ok plan -> plan
+  | Error msg ->
+    Printf.eprintf "error: bad --faults spec: %s\n%s\n" msg
+      Peace_sim.Faults.grammar;
+    exit 1
+
+let simulate trace profile_out timeline faults_spec no_hardening scenario seed =
   with_trace trace @@ fun () ->
   with_profile_out profile_out @@ fun () ->
+  let faults =
+    match faults_spec with
+    | None -> Peace_sim.Faults.none
+    | Some spec -> parse_faults_or_exit spec
+  in
+  let have_faults = not (Peace_sim.Faults.is_none faults) in
+  if (have_faults || no_hardening) && scenario <> "city" && scenario <> "dos"
+  then begin
+    Printf.eprintf
+      "error: --faults/--no-hardening apply to the city and dos scenarios only\n";
+    exit 1
+  end;
   let run ?sampler () =
     let open Peace_sim in
     match scenario with
@@ -298,16 +318,29 @@ let simulate trace profile_out timeline scenario seed =
       Printf.printf "legitimate:    %d/%d accepted\n" m.Scenario.am_legit_accepted m.Scenario.am_legit_attempts
     | "city" ->
       let r =
-        Scenario.city_auth ~seed ?sampler ~n_routers:4 ~n_users:20
+        Scenario.city_auth ~seed ?sampler ~faults
+          ~hardened:(not no_hardening) ~n_routers:4 ~n_users:20
           ~area_m:1500.0 ~range_m:600.0 ~duration_ms:60_000
           ~mean_interarrival_ms:10_000.0 ()
       in
       Printf.printf "auth: %d/%d ok, handshake %.1f ms mean, %d bytes on air\n"
         r.Scenario.cr_successes r.Scenario.cr_attempts r.Scenario.cr_handshake_mean_ms
-        r.Scenario.cr_bytes_on_air
+        r.Scenario.cr_bytes_on_air;
+      if have_faults then begin
+        Printf.printf "faults: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s %d" k v)
+                r.Scenario.cr_fault_counters));
+        Printf.printf
+          "hardening: %d retransmissions, %d timeouts, %d failovers, \
+           recovery %.1f ms mean\n"
+          r.Scenario.cr_retransmissions r.Scenario.cr_timeouts
+          r.Scenario.cr_failovers r.Scenario.cr_recovery_mean_ms
+      end
   | "dos" ->
     let run puzzles =
-      Scenario.dos_attack ~seed ~puzzles ~puzzle_difficulty:12
+      Scenario.dos_attack ~seed ~puzzles ~faults ~puzzle_difficulty:12
         ~attacker_hash_rate_per_ms:10.0 ~attack_rate_per_s:40.0
         ~legit_rate_per_s:1.0 ~duration_ms:20_000 ()
     in
@@ -396,11 +429,88 @@ let simulate_cmd =
              per line. Only the city scenario tracks gauges so far; spans \
              cover every scenario that threads request ids.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject faults into the scenario (city and dos only). SPEC is \
+             comma-separated tokens, e.g. \
+             $(b,burst:0.05:0.5:0.5,dup:0.02,churn:10000:2000). Run with a \
+             malformed SPEC to see the full grammar.")
+  in
+  let no_hardening =
+    Arg.(
+      value & flag
+      & info [ "no-hardening" ]
+          ~doc:
+            "Disable handshake hardening (retransmission with backoff, \
+             duplicate resends, router failover) — the pre-E15 baseline \
+             behaviour. City and dos scenarios only.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a WMN simulation scenario")
     Term.(
-      const simulate $ trace_arg $ profile_out_arg $ timeline $ scenario
-      $ seed)
+      const simulate $ trace_arg $ profile_out_arg $ timeline $ faults
+      $ no_hardening $ scenario $ seed)
+
+(* --- chaos --- *)
+
+let chaos seed =
+  let open Peace_sim in
+  let plans =
+    [
+      ("none", "none");
+      ("burst 20% loss", "burst:0.05:0.4:0.5:0.02");
+      ("burst + churn", "burst:0.05:0.4:0.5:0.02,churn:12000:2500");
+      ("dup + corrupt + reorder", "dup:0.05,corrupt:0.05,reorder:0.1:40");
+    ]
+  in
+  Printf.printf "%-26s %-9s %7s %6s %5s %5s %11s\n" "plan" "mode" "ok/att"
+    "retx" "t/o" "fail" "t-auth ms";
+  List.iter
+    (fun (label, spec) ->
+      let faults =
+        match Faults.of_string spec with
+        | Ok p -> p
+        | Error msg -> failwith ("chaos: internal bad spec: " ^ msg)
+      in
+      List.iter
+        (fun hardened ->
+          let r =
+            Scenario.city_auth ~seed ~faults ~hardened ~n_routers:4
+              ~n_users:16 ~area_m:1500.0 ~range_m:600.0 ~duration_ms:45_000
+              ~mean_interarrival_ms:9_000.0 ()
+          in
+          Printf.printf "%-26s %-9s %3d/%-3d %6d %5d %5d %11.1f\n" label
+            (if hardened then "hardened" else "baseline")
+            r.Scenario.cr_successes r.Scenario.cr_attempts
+            r.Scenario.cr_retransmissions r.Scenario.cr_timeouts
+            r.Scenario.cr_failovers r.Scenario.cr_time_to_auth_mean_ms)
+        [ true; false ])
+    plans
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep fault plans over the city scenario, hardened vs baseline"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the city authentication scenario under a fixed set of \
+              fault plans (clean, burst loss, burst loss with router churn, \
+              and a duplication/corruption/reordering mix), once with the \
+              hardened handshake path and once with the legacy baseline, \
+              and prints a comparison table. Deterministic for a fixed \
+              seed.";
+         ])
+    Term.(const chaos $ seed)
 
 (* --- bench-verify --- *)
 
@@ -836,17 +946,23 @@ let serve port warmup announce max_requests =
   | Some other ->
     Printf.eprintf "error: unknown warmup scenario %S (try: city)\n" other;
     exit 2);
-  Peace_obs.Serve.serve ~port ?max_requests
-    ~on_listen:(fun p ->
-      (match announce with
-      | Some path -> write_file path (string_of_int p ^ "\n")
-      | None -> ());
-      Printf.eprintf
-        "peace serve: listening on http://127.0.0.1:%d (GET /metrics, \
-         /healthz)\n\
-         %!"
-        p)
-    ()
+  match
+    Peace_obs.Serve.serve ~port ?max_requests
+      ~on_listen:(fun p ->
+        (match announce with
+        | Some path -> write_file path (string_of_int p ^ "\n")
+        | None -> ());
+        Printf.eprintf
+          "peace serve: listening on http://127.0.0.1:%d (GET /metrics, \
+           /healthz)\n\
+           %!"
+          p)
+      ()
+  with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
 
 let serve_cmd =
   let port =
@@ -921,6 +1037,7 @@ let () =
             verify_cmd;
             audit_cmd;
             simulate_cmd;
+            chaos_cmd;
             bench_verify_cmd;
             bench_report_cmd;
             stats_cmd;

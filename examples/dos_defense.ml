@@ -83,10 +83,14 @@ let () =
   | None -> ()
   | Some p ->
     let port = try int_of_string (String.trim p) with _ -> 9464 in
-    Peace_obs.Serve.serve ~port
-      ~on_listen:(fun bound ->
-        Printf.printf
-          "\nserving the defence metrics on http://127.0.0.1:%d/metrics \
-           (Ctrl-C to stop)\n%!"
-          bound)
-      ()
+    match
+      Peace_obs.Serve.serve ~port
+        ~on_listen:(fun bound ->
+          Printf.printf
+            "\nserving the defence metrics on http://127.0.0.1:%d/metrics \
+             (Ctrl-C to stop)\n%!"
+            bound)
+        ()
+    with
+    | Ok () -> ()
+    | Error msg -> Printf.eprintf "serve: %s\n" msg

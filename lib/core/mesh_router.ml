@@ -46,6 +46,12 @@ type t = {
   mutable log : log_entry list;
   mutable verifications : int;
   mutable cheap_rejections : int;
+  mutable max_outstanding : int; (* pending-handshake table bound *)
+  mutable resend_cache : bool; (* idempotent duplicate-(M.2) handling *)
+  completed : (string, int * Messages.access_confirm * string) Hashtbl.t;
+      (* transcript hash -> (ts, confirm, session id): replays of an
+         already-answered (M.2) get the cached (M.3) back, no re-verify *)
+  mutable resends : int;
 }
 
 let create config ~router_id ~gpk ~operator_public ~rng =
@@ -68,6 +74,10 @@ let create config ~router_id ~gpk ~operator_public ~rng =
     log = [];
     verifications = 0;
     cheap_rejections = 0;
+    max_outstanding = 512;
+    resend_cache = false;
+    completed = Hashtbl.create 64;
+    resends = 0;
   }
 
 let router_id t = t.router_id
@@ -109,8 +119,23 @@ let note_request_arrival t =
       t.puzzle_difficulty <- None
     | _ -> ())
 
+(* keep the pending-handshake table bounded: beyond [max_outstanding]
+   entries the oldest beacons are evicted first, so a beacon flood (or a
+   long-lived router under churn) cannot grow state without limit *)
+let enforce_outstanding_bound t =
+  let excess = Hashtbl.length t.outstanding - t.max_outstanding in
+  if excess > 0 then begin
+    let entries =
+      Hashtbl.fold (fun key ob acc -> (ob.ob_ts, key) :: acc) t.outstanding []
+    in
+    List.sort compare entries
+    |> List.filteri (fun i _ -> i < excess)
+    |> List.iter (fun (_, key) -> Hashtbl.remove t.outstanding key)
+  end
+
 let gc_outstanding t =
-  (* drop beacons and replay-cache entries past the acceptance window *)
+  (* drop beacons, replay-cache and resend-cache entries past the
+     acceptance window; entries therefore expire even without pressure *)
   let cutoff = now t - (2 * t.config.Config.ts_window_ms) in
   let stale =
     Hashtbl.fold
@@ -123,7 +148,14 @@ let gc_outstanding t =
       (fun key ts acc -> if ts < cutoff then key :: acc else acc)
       t.seen_requests []
   in
-  List.iter (Hashtbl.remove t.seen_requests) stale_seen
+  List.iter (Hashtbl.remove t.seen_requests) stale_seen;
+  let stale_completed =
+    Hashtbl.fold
+      (fun key (ts, _, _) acc -> if ts < cutoff then key :: acc else acc)
+      t.completed []
+  in
+  List.iter (Hashtbl.remove t.completed) stale_completed;
+  enforce_outstanding_bound t
 
 let beacon t =
   let cert =
@@ -169,6 +201,7 @@ let beacon t =
   Hashtbl.replace t.outstanding
     (G1.encode params g_rr)
     { ob_g = g; ob_g_rr = g_rr; ob_r_r = r_r; ob_ts = ts1; ob_puzzle = puzzle };
+  enforce_outstanding_bound t;
   signed
 
 let cheap_reject t err =
@@ -182,6 +215,9 @@ let cheap_reject t err =
 type precheck_outcome =
   | Rejected of Protocol_error.t
   | Ready of outstanding_beacon * string (* transcript *)
+  | Resend of Messages.access_confirm * Session.t
+      (* duplicate of an already-answered (M.2): idempotent replay of the
+         cached (M.3), only when the resend cache is enabled *)
 
 let precheck t (m : Messages.access_request) =
   let params = t.config.Config.pairing in
@@ -198,10 +234,26 @@ let precheck t (m : Messages.access_request) =
         Messages.auth_transcript t.config m.Messages.g_rj m.Messages.ar_g_rr
           m.Messages.ts2
       in
-      (* replay cache: an (M.2) transcript may be processed only once *)
+      (* replay cache: an (M.2) transcript may be processed only once.
+         With the resend cache on, a duplicate of a request we already
+         answered gets the cached (M.3) back (a lost confirm is then
+         recoverable by retransmission); anything else replayed is
+         rejected exactly as before. *)
       let fingerprint = Peace_hash.Sha256.digest transcript in
-      if Hashtbl.mem t.seen_requests fingerprint then
-        Rejected (cheap_reject t Protocol_error.Stale_timestamp)
+      if Hashtbl.mem t.seen_requests fingerprint then begin
+        match
+          if t.resend_cache then Hashtbl.find_opt t.completed fingerprint
+          else None
+        with
+        | Some (_, confirm, session_id) -> begin
+          match Hashtbl.find_opt t.sessions session_id with
+          | Some session ->
+            t.resends <- t.resends + 1;
+            Resend (confirm, session)
+          | None -> Rejected (cheap_reject t Protocol_error.Stale_timestamp)
+        end
+        | None -> Rejected (cheap_reject t Protocol_error.Stale_timestamp)
+      end
       else begin
         let pass () =
           (* only requests that reach verification enter the replay cache,
@@ -249,13 +301,14 @@ let finalize t (m : Messages.access_request) ob transcript =
   Wire.bytes w (G1.encode params m.Messages.g_rj);
   Wire.bytes w (G1.encode params ob.ob_g_rr);
   let payload = Session.seal session (Wire.contents w) in
-  Ok
-    ( {
-        Messages.ac_g_rj = m.Messages.g_rj;
-        ac_g_rr = ob.ob_g_rr;
-        payload;
-      },
-      session )
+  let confirm =
+    { Messages.ac_g_rj = m.Messages.g_rj; ac_g_rr = ob.ob_g_rr; payload }
+  in
+  if t.resend_cache then
+    Hashtbl.replace t.completed
+      (Peace_hash.Sha256.digest transcript)
+      (m.Messages.ts2, confirm, Session.id session);
+  Ok (confirm, session)
 
 let conclude t (m : Messages.access_request) ob transcript = function
   | Group_sig.Invalid_proof -> Error Protocol_error.Invalid_group_signature
@@ -266,6 +319,7 @@ let handle_access_request t (m : Messages.access_request) =
   Obs.Counter.incr c_requests;
   match Obs.Histogram.time h_precheck (fun () -> precheck t m) with
   | Rejected err -> Error err
+  | Resend (confirm, session) -> Ok (confirm, session)
   | Ready (ob, transcript) ->
     let url = url_tokens t in
     Obs.Histogram.observe h_url_scan (List.length url);
@@ -286,7 +340,7 @@ let handle_access_requests_batch ?(domains = 1) t ms =
       (function
         | (m : Messages.access_request), Ready (_, transcript) ->
           Some { Peace_parallel.Batch_verify.msg = transcript; gsig = m.Messages.gsig }
-        | _, Rejected _ -> None)
+        | _, (Rejected _ | Resend _) -> None)
       prechecked
   in
   let url = url_tokens t in
@@ -301,6 +355,8 @@ let handle_access_requests_batch ?(domains = 1) t ms =
     match (prechecked, verdicts) with
     | [], _ -> []
     | (_, Rejected err) :: rest, verdicts -> Error err :: assemble rest verdicts
+    | (_, Resend (confirm, session)) :: rest, verdicts ->
+      Ok (confirm, session) :: assemble rest verdicts
     | (m, Ready (ob, transcript)) :: rest, verdict :: verdicts ->
       conclude t m ob transcript verdict :: assemble rest verdicts
     | (_, Ready _) :: _, [] -> assert false (* one verdict per Ready job *)
@@ -312,5 +368,13 @@ let find_session t ~id = Hashtbl.find_opt t.sessions id
 let access_log t = t.log
 let verifications_performed t = t.verifications
 let requests_rejected_cheaply t = t.cheap_rejections
+let enable_resend_cache t = t.resend_cache <- true
+let confirms_resent t = t.resends
+let outstanding_count t = Hashtbl.length t.outstanding
+
+let set_max_outstanding t n =
+  if n <= 0 then invalid_arg "Mesh_router.set_max_outstanding";
+  t.max_outstanding <- n;
+  enforce_outstanding_bound t
 
 let update_gpk t gpk = t.gpk <- gpk

@@ -74,6 +74,28 @@ val requests_rejected_cheaply : t -> int
 (** Requests dropped before any expensive verification (bad puzzle /
     missing solution / stale) — the puzzle defence's benefit metric. *)
 
+val enable_resend_cache : t -> unit
+(** Idempotent duplicate handling for lossy links: a replayed (M.2) whose
+    transcript the router already answered gets the {e cached} (M.3) back
+    instead of a rejection — no re-verification, no new session — so a
+    user whose confirm was lost can recover by retransmitting. Off by
+    default: without it every replay is rejected outright (the strict
+    §V-A replay rule the attack matrix asserts). Cache entries expire
+    with the replay cache (2× the timestamp window). *)
+
+val confirms_resent : t -> int
+(** (M.3)s served from the resend cache (never counted as
+    verifications). *)
+
+val outstanding_count : t -> int
+(** Live entries in the pending-handshake (beacon) table. *)
+
+val set_max_outstanding : t -> int -> unit
+(** Bounds the pending-handshake table (default 512): beyond the bound the
+    oldest beacons are evicted first, so beacon floods cannot exhaust
+    memory. Entries also expire after 2× the timestamp window regardless
+    of pressure. *)
+
 val update_gpk : t -> Group_sig.gpk -> unit
 (** Epoch rotation: installs the operator's new group public key. *)
 

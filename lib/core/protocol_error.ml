@@ -11,6 +11,8 @@ type t =
   | Unknown_session
   | Decryption_failed
   | No_group_key
+  | Timeout
+  | Malformed_frame
   | Malformed of string
 
 let pp fmt = function
@@ -28,6 +30,8 @@ let pp fmt = function
   | Unknown_session -> Format.pp_print_string fmt "unknown session"
   | Decryption_failed -> Format.pp_print_string fmt "decryption failed"
   | No_group_key -> Format.pp_print_string fmt "no group key"
+  | Timeout -> Format.pp_print_string fmt "timeout"
+  | Malformed_frame -> Format.pp_print_string fmt "malformed frame"
   | Malformed reason -> Format.fprintf fmt "malformed message (%s)" reason
 
 let to_string t = Format.asprintf "%a" pp t

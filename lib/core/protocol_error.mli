@@ -17,6 +17,10 @@ type t =
   | Unknown_session  (** no outstanding handshake matches *)
   | Decryption_failed  (** key-confirmation payload did not authenticate *)
   | No_group_key  (** user holds no key usable for this operation *)
+  | Timeout
+      (** retransmission budget exhausted — the handshake was abandoned *)
+  | Malformed_frame
+      (** a frame failed wire-level parsing (truncated or bit-flipped) *)
   | Malformed of string
 
 val pp : Format.formatter -> t -> unit

@@ -87,27 +87,52 @@ let handle_client fd =
   in
   write_all fd response
 
+(* a scraper that disconnects mid-response must not kill the server: on
+   POSIX a write to a closed socket raises SIGPIPE, whose default action
+   terminates the process before write_all's EPIPE handler ever runs *)
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _previous -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
 let serve ?(host = "127.0.0.1") ?max_requests ?on_listen ~port () =
+  ignore_sigpipe ();
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
-      Unix.setsockopt sock Unix.SO_REUSEADDR true;
-      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-      Unix.listen sock 16;
-      let bound_port =
-        match Unix.getsockname sock with
-        | Unix.ADDR_INET (_, p) -> p
-        | _ -> port
-      in
-      (match on_listen with Some f -> f bound_port | None -> ());
-      let served = ref 0 in
-      let keep_going () =
-        match max_requests with None -> true | Some n -> !served < n
-      in
-      while keep_going () do
-        let client, _ = Unix.accept sock in
-        (try handle_client client with _ -> ());
-        (try Unix.close client with Unix.Unix_error _ -> ());
-        incr served
-      done)
+      match
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        Unix.listen sock 16
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+        Error
+          (Printf.sprintf "cannot listen on %s:%d: %s" host port
+             (Unix.error_message err))
+      | exception Failure _ ->
+        Error (Printf.sprintf "cannot listen on %s:%d: invalid address" host port)
+      | () ->
+        let bound_port =
+          match Unix.getsockname sock with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        (match on_listen with Some f -> f bound_port | None -> ());
+        let served = ref 0 in
+        let keep_going () =
+          match max_requests with None -> true | Some n -> !served < n
+        in
+        while keep_going () do
+          (* a client that resets between accept and close is its own
+             problem: log nothing, drop nothing else *)
+          match Unix.accept sock with
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+            ()
+          | client, _ ->
+            (try handle_client client with _ -> ());
+            (try Unix.close client with Unix.Unix_error _ -> ());
+            incr served
+        done;
+        Ok ())

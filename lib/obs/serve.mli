@@ -13,9 +13,16 @@ val serve :
   ?on_listen:(int -> unit) ->
   port:int ->
   unit ->
-  unit
+  (unit, string) result
 (** Bind [host:port] (default host [127.0.0.1]; port [0] lets the kernel
     pick) and serve until [max_requests] requests have been answered
     ([None] = forever). [on_listen] receives the actually bound port once
     the socket is listening — announce it to whoever will scrape. Blocks
-    the calling domain. *)
+    the calling domain.
+
+    Hardened against misbehaving scrapers: [SIGPIPE] is ignored so a
+    client that disconnects mid-response ([EPIPE]/[ECONNRESET]) costs only
+    that response, and a reset between [accept] and [close] is swallowed.
+    A socket that cannot be bound (e.g. [EADDRINUSE] because the port is
+    taken) returns [Error] with a human-readable message instead of
+    raising. *)

@@ -1,5 +1,9 @@
 type address = int
 
+(* departed-node traffic: frames addressed to (or sent by) nodes no longer
+   registered — visible on /metrics so churny runs can account for it *)
+let c_dropped_unknown = Peace_obs.Registry.counter "sim.net.dropped_unknown"
+
 type node = {
   mutable pos : float * float;
   tx_range : float;
@@ -12,26 +16,30 @@ type t = {
   base_latency_ms : float;
   latency_per_m : float;
   loss_prob : float;
+  faults : Faults.link option;
   nodes : (address, node) Hashtbl.t;
   mutable bytes_sent : int;
   mutable frames_sent : int;
   mutable frames_lost : int;
   mutable frames_out_of_range : int;
+  mutable frames_dropped_unknown : int;
 }
 
 let create engine rand ?(base_latency_ms = 2.0) ?(latency_per_m = 0.01)
-    ?(loss_prob = 0.0) () =
+    ?(loss_prob = 0.0) ?faults () =
   {
     engine;
     rand;
     base_latency_ms;
     latency_per_m;
     loss_prob;
+    faults;
     nodes = Hashtbl.create 64;
     bytes_sent = 0;
     frames_sent = 0;
     frames_lost = 0;
     frames_out_of_range = 0;
+    frames_dropped_unknown = 0;
   }
 
 let register t address ~pos ?(tx_range = infinity) handler =
@@ -58,6 +66,17 @@ let distance t a b =
 
 let latency_ms t d = t.base_latency_ms +. (t.latency_per_m *. d)
 
+let drop_unknown t =
+  t.frames_dropped_unknown <- t.frames_dropped_unknown + 1;
+  Peace_obs.Registry.Counter.incr c_dropped_unknown
+
+let deliver t ~dst ~delay payload =
+  Engine.schedule t.engine ~delay (fun () ->
+      (* the destination may have moved away or left by delivery time *)
+      match Hashtbl.find_opt t.nodes dst with
+      | Some node -> node.handler payload
+      | None -> drop_unknown t)
+
 let transmit t ~dst ~dist payload =
   t.bytes_sent <- t.bytes_sent + String.length payload;
   t.frames_sent <- t.frames_sent + 1;
@@ -65,11 +84,22 @@ let transmit t ~dst ~dist payload =
     t.frames_lost <- t.frames_lost + 1
   else begin
     let delay = int_of_float (ceil (latency_ms t dist)) in
-    Engine.schedule t.engine ~delay (fun () ->
-        (* the destination may have moved away or left by delivery time *)
-        match Hashtbl.find_opt t.nodes dst with
-        | Some node -> node.handler payload
-        | None -> ())
+    match t.faults with
+    | None -> deliver t ~dst ~delay payload
+    | Some link -> begin
+      match Faults.transmit link payload with
+      | [] -> t.frames_lost <- t.frames_lost + 1
+      | copies ->
+        List.iteri
+          (fun i (extra, copy) ->
+            if i > 0 then begin
+              (* a duplicate occupies air time like any other frame *)
+              t.bytes_sent <- t.bytes_sent + String.length copy;
+              t.frames_sent <- t.frames_sent + 1
+            end;
+            deliver t ~dst ~delay:(delay + extra) copy)
+          copies
+    end
   end
 
 let send t ~src ~dst payload =
@@ -78,7 +108,9 @@ let send t ~src ~dst payload =
     if d > sender.tx_range then
       t.frames_out_of_range <- t.frames_out_of_range + 1
     else transmit t ~dst ~dist:d payload
-  | _ -> ()
+  | _ ->
+    (* src or dst is no longer registered: the node crashed or left *)
+    drop_unknown t
 
 let nodes_in_range t ~of_ ~range =
   match position t of_ with
@@ -122,3 +154,4 @@ let bytes_sent t = t.bytes_sent
 let frames_out_of_range t = t.frames_out_of_range
 let frames_sent t = t.frames_sent
 let frames_lost t = t.frames_lost
+let frames_dropped_unknown t = t.frames_dropped_unknown

@@ -11,9 +11,11 @@ type t
 
 val create :
   Engine.t -> Sim_rand.t -> ?base_latency_ms:float -> ?latency_per_m:float ->
-  ?loss_prob:float -> unit -> t
+  ?loss_prob:float -> ?faults:Faults.link -> unit -> t
 (** Defaults: 2 ms base latency, 0.01 ms/m propagation+forwarding factor,
-    no loss. *)
+    no loss. [faults] routes every transmitted frame through a
+    {!Faults.link} (burst loss, duplication, reordering, corruption) on
+    top of the independent [loss_prob] Bernoulli drops. *)
 
 val register :
   t -> address -> pos:float * float -> ?tx_range:float -> (string -> unit) ->
@@ -29,8 +31,9 @@ val position : t -> address -> (float * float) option
 val distance : t -> address -> address -> float option
 
 val send : t -> src:address -> dst:address -> string -> unit
-(** Delivers (unless lost) after the link latency. Unknown destinations
-    drop silently (the node left). *)
+(** Delivers (unless lost) after the link latency. Frames to or from
+    unregistered nodes (crashed or departed) are dropped and counted in
+    {!frames_dropped_unknown}. *)
 
 val broadcast : t -> src:address -> range:float -> string -> unit
 (** Delivers to every registered node within [range] metres of [src]
@@ -48,3 +51,9 @@ val frames_lost : t -> int
 val frames_out_of_range : t -> int
 (** Unicasts dropped because the destination exceeded the sender's
     transmit range. *)
+
+val frames_dropped_unknown : t -> int
+(** Frames dropped because an endpoint was not registered — at send time
+    (sender or destination already gone) or at delivery time (destination
+    left mid-flight). Mirrored by the [sim.net.dropped_unknown] registry
+    counter so departed-node traffic shows up in reports. *)

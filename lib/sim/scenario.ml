@@ -66,17 +66,33 @@ type world = {
   deployment : Deployment.t;
   net : Net.t;
   metrics : Metrics.t;
+  faults : Faults.link option;
 }
 
-let make_world ?(seed = 42) ?(loss_prob = 0.0) () =
+let make_world ?(seed = 42) ?(loss_prob = 0.0) ?(faults = Faults.none) () =
   let engine = Engine.create () in
   let rand = Sim_rand.create ~seed in
   let config = Config.tiny_test ~clock:(Engine.clock engine) () in
   let deployment =
     Deployment.create ~seed:(Printf.sprintf "sim-%d" seed) config
   in
-  let net = Net.create engine rand ~loss_prob () in
-  { engine; rand; config; deployment; net; metrics = Metrics.create () }
+  (* the fault link gets its own stream derived from the seed: injecting
+     faults never perturbs the scenario's placement/arrival draws, so a
+     plan of [none] stays bit-identical to a fault-free run *)
+  let link =
+    if Faults.is_none faults then None
+    else Some (Faults.link ~seed:(seed lxor 0x5eed17) faults)
+  in
+  let net = Net.create engine rand ~loss_prob ?faults:link () in
+  {
+    engine;
+    rand;
+    config;
+    deployment;
+    net;
+    metrics = Metrics.create ();
+    faults = link;
+  }
 
 (* pad the operator's URL with [n] revoked-but-never-assigned keys so the
    revocation scan costs what the paper's analysis predicts *)
@@ -103,6 +119,10 @@ type router_node = {
   mutable rn_busy_total : float;
   mutable rn_queue : int;
   rn_queue_limit : int;
+  (* crash/restart churn: while down the router is off the radio and emits
+     no beacons; the epoch invalidates service jobs in flight at the crash *)
+  mutable rn_down : bool;
+  mutable rn_epoch : int;
   (* per-router labeled registry series (router="rN"): load, queue depth,
      and revocation-scan length, scrapeable via `peace serve` /metrics *)
   rn_c_requests : Peace_obs.Registry.Counter.t;
@@ -119,11 +139,44 @@ let make_router_node ?(queue_limit = 64) ~addr rn =
     rn_busy_total = 0.0;
     rn_queue = 0;
     rn_queue_limit = queue_limit;
+    rn_down = false;
+    rn_epoch = 0;
     rn_c_requests =
       Peace_obs.Registry.counter ~labels "sim.router.requests_total";
     rn_g_queue = Peace_obs.Registry.gauge ~labels "sim.router.queue_depth";
     rn_h_scan = Peace_obs.Registry.histogram ~labels "sim.router.scan_len";
   }
+
+(* crash/restart one router according to the fault plan's churn cycle:
+   round-robin over [nodes], each crash unregisters the radio endpoint,
+   wipes the service queue (RAM state dies with the process) and silences
+   beacons until the restart re-registers the same handler *)
+let drive_churn world ~duration_ms ~churn nodes =
+  match (churn : Faults.churn option) with
+  | None -> ()
+  | Some { Faults.churn_period_ms; churn_downtime_ms } ->
+    let n = List.length nodes in
+    let next = ref 0 in
+    if n > 0 then
+      Engine.schedule_every world.engine ~period:churn_period_ms
+        ~until:(1_000_000 + duration_ms) (fun () ->
+          let node, pos, handler = List.nth nodes (!next mod n) in
+          incr next;
+          if not node.rn_down then begin
+            node.rn_down <- true;
+            node.rn_epoch <- node.rn_epoch + 1;
+            node.rn_queue <- 0;
+            node.rn_busy_until <- 0;
+            Peace_obs.Registry.Gauge.set node.rn_g_queue 0;
+            Net.unregister world.net node.rn_addr;
+            Metrics.incr world.metrics "faults.crashes";
+            Faults.note_crash ();
+            Engine.schedule world.engine ~delay:churn_downtime_ms (fun () ->
+                node.rn_down <- false;
+                Net.register world.net node.rn_addr ~pos handler;
+                Metrics.incr world.metrics "faults.restarts";
+                Faults.note_restart ())
+          end)
 
 (* a span is only opened when a trace sink is live AND the frame carries a
    request id — the untraced paths stay allocation-free *)
@@ -138,7 +191,7 @@ let sim_finish world = function
   | Some h -> Peace_obs.Trace.finish ~ts:(Engine.now world.engine) h
 
 let router_service world cost node ~url_size ~sender ~under_attack ?(req = 0)
-    request =
+    ?on_accept request =
   (* charge the modeled processing time, then run the real handler *)
   let now = Engine.now world.engine in
   let service_cost =
@@ -157,22 +210,29 @@ let router_service world cost node ~url_size ~sender ~under_attack ?(req = 0)
        and closes in the scheduled one, parented on the id that travelled
        inside the (M.2) envelope *)
     let span = sim_span world ~req ~name:"sim.router.service" in
+    let epoch = node.rn_epoch in
     let start = Stdlib.max now node.rn_busy_until in
     let finish = start + ms service_cost in
     node.rn_busy_until <- finish;
     node.rn_busy_total <- node.rn_busy_total +. service_cost;
     Engine.schedule_at world.engine ~time:finish (fun () ->
-        node.rn_queue <- node.rn_queue - 1;
-        Peace_obs.Registry.Gauge.set node.rn_g_queue node.rn_queue;
-        (match Mesh_router.handle_access_request node.rn request with
-        | Ok (confirm, _session) ->
-          Metrics.incr world.metrics "router.accepted";
-          Net.send world.net ~src:node.rn_addr ~dst:sender
-            (envelope ~req ~tag:tag_access_confirm ~sender:node.rn_addr
-               (Messages.access_confirm_to_bytes world.config confirm))
-        | Error e ->
-          Metrics.incr world.metrics
-            ("router.rejected." ^ Protocol_error.to_string e));
+        if node.rn_epoch <> epoch then
+          (* the router crashed mid-service: the in-flight job dies with it *)
+          Metrics.incr world.metrics "router.dropped_crash"
+        else begin
+          node.rn_queue <- node.rn_queue - 1;
+          Peace_obs.Registry.Gauge.set node.rn_g_queue node.rn_queue;
+          match Mesh_router.handle_access_request node.rn request with
+          | Ok (confirm, _session) ->
+            Metrics.incr world.metrics "router.accepted";
+            (match on_accept with Some f -> f sender | None -> ());
+            Net.send world.net ~src:node.rn_addr ~dst:sender
+              (envelope ~req ~tag:tag_access_confirm ~sender:node.rn_addr
+                 (Messages.access_confirm_to_bytes world.config confirm))
+          | Error e ->
+            Metrics.incr world.metrics
+              ("router.rejected." ^ Protocol_error.to_string e)
+        end;
         sim_finish world span)
   end
 
@@ -189,6 +249,11 @@ type city_result = {
   cr_time_to_auth_mean_ms : float;
   cr_bytes_on_air : int;
   cr_router_utilisation : float;
+  cr_retransmissions : int;
+  cr_timeouts : int;
+  cr_failovers : int;
+  cr_recovery_mean_ms : float;
+  cr_fault_counters : (string * int) list;
 }
 
 type user_node = {
@@ -202,42 +267,109 @@ type user_node = {
   mutable un_span : Peace_obs.Trace.handle option;
       (* root span of the current authentication attempt; its id rides in
          the envelope [req] field so router-side spans stitch onto it *)
+  (* hardened-handshake state: the serialised (M.2) kept for
+     retransmission, the backoff ladder position, and an epoch that
+     cancels stale retransmission timers when the attempt resolves *)
+  mutable un_frame : (int * string) option; (* dst router, (M.2) envelope *)
+  mutable un_retx_left : int;
+  mutable un_backoff_ms : int;
+  mutable un_epoch : int;
+  mutable un_avoid : int; (* router of the last abandoned attempt, -1 none *)
+  mutable un_avoid_until : int;
+  mutable un_trouble_at : int; (* first retransmission of this attempt *)
 }
+
+let fresh_user_node ~un ~un_addr =
+  {
+    un;
+    un_addr;
+    un_want_auth = false;
+    un_attempt_started = 0;
+    un_m2_sent = 0;
+    un_pending = None;
+    un_busy = false;
+    un_span = None;
+    un_frame = None;
+    un_retx_left = 0;
+    un_backoff_ms = 0;
+    un_epoch = 0;
+    un_avoid = -1;
+    un_avoid_until = 0;
+    un_trouble_at = 0;
+  }
+
+(* hardened-handshake retransmission parameters (documented in the mli):
+   first retry after [retx_base_ms] + jitter, doubling up to [retx_cap_ms],
+   at most [retx_max] retransmissions before the attempt is abandoned as
+   {!Protocol_error.Timeout} and the user fails over to the next live
+   router it hears. The unhardened path keeps the legacy single fixed
+   timeout instead. *)
+let retx_base_ms = 1_000
+let retx_cap_ms = 8_000
+let retx_max = 4
+let retx_jitter_ms = 250
+let legacy_timeout_ms = 3_000
 
 let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
     ?(range_m = 450.0) ?(beacon_period_ms = 500) ?(url_size = 0)
-    ?(loss_prob = 0.0) ?sampler ~n_routers ~n_users ~duration_ms
-    ~mean_interarrival_ms () =
-  let world = make_world ~seed ~loss_prob () in
+    ?(loss_prob = 0.0) ?(faults = Faults.none) ?(hardened = true) ?sampler
+    ~n_routers ~n_users ~duration_ms ~mean_interarrival_ms () =
+  let world = make_world ~seed ~loss_prob ~faults () in
+  (* retransmission jitter has its own stream: hardened but fault-free
+     runs draw exactly the same placement/arrival sequence as before *)
+  let retx_rand = Sim_rand.create ~seed:(seed lxor 0x0707) in
   let group_id = 1 in
   ignore (Deployment.add_group world.deployment ~group_id ~size:n_users);
   pad_url world url_size;
+  let user_base_addr = 10_000 in
+  (* the staleness partition freezes the last router's revocation lists
+     while user 0 gets revoked: every admission it still grants that user
+     afterwards is a stale accept *)
+  let stale_router_addr =
+    match faults.Faults.stale_after_ms with
+    | Some _ when n_routers > 0 -> n_routers - 1
+    | _ -> -1
+  in
+  let revoked_addr = ref (-1) in
+  let on_accept node sender =
+    if node.rn_addr = stale_router_addr && sender = !revoked_addr then begin
+      Metrics.incr world.metrics "faults.stale_accepts";
+      Faults.note_stale_accept ()
+    end
+  in
   (* routers on a rough grid *)
   let grid = int_of_float (ceil (sqrt (float_of_int n_routers))) in
   let routers =
     List.init n_routers (fun i ->
         let router = Deployment.add_router world.deployment ~router_id:i in
+        if hardened then Mesh_router.enable_resend_cache router;
         let x = (float_of_int (i mod grid) +. 0.5) *. (area_m /. float_of_int grid) in
         let y = (float_of_int (i / grid) +. 0.5) *. (area_m /. float_of_int grid) in
         let node = make_router_node ~addr:i router in
-        Net.register world.net node.rn_addr ~pos:(x, y) (fun payload ->
-            match parse_envelope payload with
-            | Some (tag, sender, req, body) when tag = tag_access_request -> begin
-              match
-                Messages.access_request_of_bytes world.config
-                  (Deployment.gpk world.deployment)
-                  body
-              with
-              | Some request ->
-                router_service world cost node ~url_size ~sender
-                  ~under_attack:false ~req request
-              | None -> Metrics.incr world.metrics "router.unparseable"
-            end
-            | _ -> ());
-        node)
+        let handler payload =
+          match parse_envelope payload with
+          | Some (tag, sender, req, body) when tag = tag_access_request -> begin
+            match
+              Messages.access_request_of_bytes world.config
+                (Deployment.gpk world.deployment)
+                body
+            with
+            | Some request ->
+              router_service world cost node ~url_size ~sender
+                ~under_attack:false ~req ~on_accept:(on_accept node) request
+            | None -> Metrics.incr world.metrics "router.unparseable"
+          end
+          | Some _ -> ()
+          | None ->
+            Metrics.incr world.metrics
+              ("router.dropped."
+              ^ Protocol_error.to_string Protocol_error.Malformed_frame)
+        in
+        Net.register world.net node.rn_addr ~pos:(x, y) handler;
+        (node, (x, y), handler))
   in
+  let router_nodes = List.map (fun (n, _, _) -> n) routers in
   (* users uniformly over the city *)
-  let user_base_addr = 10_000 in
   let users =
     List.init n_users (fun i ->
         let identity =
@@ -250,31 +382,68 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
         match Deployment.add_user world.deployment identity with
         | Error reason -> failwith ("city_auth: " ^ reason)
         | Ok user ->
-          let node =
-            {
-              un = user;
-              un_addr = user_base_addr + i;
-              un_want_auth = false;
-              un_attempt_started = 0;
-              un_m2_sent = 0;
-              un_pending = None;
-              un_busy = false;
-              un_span = None;
-            }
-          in
+          let node = fresh_user_node ~un:user ~un_addr:(user_base_addr + i) in
           let pos = (Sim_rand.float world.rand area_m, Sim_rand.float world.rand area_m) in
+          (* the attempt resolved (success, rejection or abandonment):
+             bump the epoch so outstanding retransmission timers die *)
+          let settle () =
+            node.un_pending <- None;
+            node.un_frame <- None;
+            node.un_epoch <- node.un_epoch + 1
+          in
+          let abandon dst =
+            settle ();
+            node.un_avoid <- dst;
+            node.un_avoid_until <-
+              Engine.now world.engine + (2 * beacon_period_ms);
+            Metrics.incr world.metrics
+              ("user.abandoned." ^ Protocol_error.to_string Protocol_error.Timeout);
+            Faults.note_timeout ()
+          in
+          let rec schedule_retx () =
+            let epoch = node.un_epoch in
+            let jitter = Sim_rand.int retx_rand (retx_jitter_ms + 1) in
+            Engine.schedule world.engine ~delay:(node.un_backoff_ms + jitter)
+              (fun () ->
+                if node.un_epoch = epoch && node.un_pending <> None then begin
+                  match node.un_frame with
+                  | None -> ()
+                  | Some (dst, frame) ->
+                    if node.un_retx_left > 0 then begin
+                      node.un_retx_left <- node.un_retx_left - 1;
+                      node.un_backoff_ms <-
+                        Stdlib.min retx_cap_ms (node.un_backoff_ms * 2);
+                      if node.un_trouble_at = 0 then
+                        node.un_trouble_at <- Engine.now world.engine;
+                      Metrics.incr world.metrics "user.retransmissions";
+                      Faults.note_retransmission ();
+                      Net.send world.net ~src:node.un_addr ~dst frame;
+                      schedule_retx ()
+                    end
+                    else abandon dst
+                end)
+          in
           Net.register world.net node.un_addr ~pos (fun payload ->
               match parse_envelope payload with
               | Some (tag, sender, _req, body) when tag = tag_beacon -> begin
-                (* a handshake whose M.2 or M.3 frame was lost times out and
-                   the user retries on a later beacon *)
-                (match node.un_pending with
-                | Some _
-                  when Engine.now world.engine - node.un_m2_sent > 3_000 ->
-                  node.un_pending <- None;
-                  Metrics.incr world.metrics "user.handshake_timeout"
-                | _ -> ());
-                if node.un_want_auth && node.un_pending = None && not node.un_busy
+                (* unhardened: a handshake whose M.2 or M.3 frame was lost
+                   waits out one fixed timeout and retries on a later
+                   beacon. Hardened attempts are driven by the
+                   retransmission timers instead. *)
+                (if not hardened then
+                   match node.un_pending with
+                   | Some _
+                     when Engine.now world.engine - node.un_m2_sent
+                          > legacy_timeout_ms ->
+                     node.un_pending <- None;
+                     Metrics.incr world.metrics "user.handshake_timeout"
+                   | _ -> ());
+                if
+                  node.un_want_auth && node.un_pending = None
+                  && (not node.un_busy)
+                  && not
+                       (hardened && sender = node.un_avoid
+                       && Engine.now world.engine < node.un_avoid_until)
                 then begin
                   match Messages.beacon_of_bytes world.config body with
                   | None -> ()
@@ -298,12 +467,30 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
                         | Ok (request, pending) ->
                           node.un_pending <- Some pending;
                           node.un_m2_sent <- Engine.now world.engine;
+                          let frame =
+                            envelope ~req ~tag:tag_access_request
+                              ~sender:node.un_addr
+                              (Messages.access_request_to_bytes world.config
+                                 (Deployment.gpk world.deployment)
+                                 request)
+                          in
+                          if hardened then begin
+                            (* a fresh attempt at a different router after
+                               an abandoned one is the failover *)
+                            if node.un_avoid >= 0 && sender <> node.un_avoid
+                            then begin
+                              Metrics.incr world.metrics "user.failover";
+                              Faults.note_failover ()
+                            end;
+                            node.un_avoid <- -1;
+                            node.un_frame <- Some (sender, frame);
+                            node.un_retx_left <- retx_max;
+                            node.un_backoff_ms <- retx_base_ms;
+                            node.un_epoch <- node.un_epoch + 1;
+                            schedule_retx ()
+                          end;
                           Net.send world.net ~src:node.un_addr ~dst:sender
-                            (envelope ~req ~tag:tag_access_request
-                               ~sender:node.un_addr
-                               (Messages.access_request_to_bytes world.config
-                                  (Deployment.gpk world.deployment)
-                                  request))
+                            frame
                         | Error e ->
                           Metrics.incr world.metrics
                             ("user.beacon_rejected." ^ Protocol_error.to_string e))
@@ -314,7 +501,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
                 | Some pending, Some confirm -> begin
                   match User.process_confirm node.un pending confirm with
                   | Ok _session ->
-                    node.un_pending <- None;
+                    settle ();
                     node.un_want_auth <- false;
                     let now = Engine.now world.engine in
                     (* close the attempt's root span: its duration is the
@@ -324,36 +511,79 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
                       Peace_obs.Trace.finish ~ts:now root;
                       node.un_span <- None
                     | None -> ());
+                    (if node.un_trouble_at > 0 then begin
+                       let rec_ms = now - node.un_trouble_at in
+                       Metrics.sample world.metrics "recovery_ms"
+                         (float_of_int rec_ms);
+                       Faults.observe_recovery_ms rec_ms;
+                       node.un_trouble_at <- 0
+                     end);
                     Metrics.incr world.metrics "user.authenticated";
                     Metrics.sample world.metrics "handshake_ms"
                       (float_of_int (now - node.un_m2_sent));
                     Metrics.sample world.metrics "time_to_auth_ms"
                       (float_of_int (now - node.un_attempt_started))
                   | Error e ->
-                    node.un_pending <- None;
+                    settle ();
                     Metrics.incr world.metrics
                       ("user.confirm_rejected." ^ Protocol_error.to_string e)
                 end
                 | _ -> ()
               end
-              | _ -> ());
+              | Some _ -> ()
+              | None ->
+                Metrics.incr world.metrics
+                  ("user.dropped."
+                  ^ Protocol_error.to_string Protocol_error.Malformed_frame));
           node)
   in
-  (* beacons *)
+  (* beacons (silenced while a router is crashed) *)
   List.iter
     (fun node ->
       Engine.schedule_every world.engine ~period:beacon_period_ms
         ~until:(Engine.now world.engine + duration_ms) (fun () ->
-          let beacon = Mesh_router.beacon node.rn in
-          Net.broadcast world.net ~src:node.rn_addr ~range:range_m
-            (envelope ~tag:tag_beacon ~sender:node.rn_addr
-               (Messages.beacon_to_bytes world.config beacon))))
-    routers;
-  (* keep revocation lists fresh so beacons stay acceptable *)
+          if not node.rn_down then begin
+            let beacon = Mesh_router.beacon node.rn in
+            Net.broadcast world.net ~src:node.rn_addr ~range:range_m
+              (envelope ~tag:tag_beacon ~sender:node.rn_addr
+                 (Messages.beacon_to_bytes world.config beacon))
+          end))
+    router_nodes;
+  (* the staleness partition: freeze the designated router's lists, then
+     revoke user 0 everywhere else — honest routers reject it from that
+     point on, the partitioned router keeps admitting it *)
+  let stale_lists = ref None in
+  let restore_stale () =
+    match !stale_lists with
+    | None -> ()
+    | Some (crl, url) ->
+      let node, _, _ = List.nth routers stale_router_addr in
+      Mesh_router.update_lists node.rn crl url
+  in
+  (match faults.Faults.stale_after_ms with
+  | None -> ()
+  | Some after when stale_router_addr >= 0 ->
+    Engine.schedule_at world.engine ~time:(1_000_000 + after) (fun () ->
+        let no = Deployment.operator world.deployment in
+        stale_lists :=
+          Some (Network_operator.current_crl no, Network_operator.current_url no);
+        revoked_addr := user_base_addr;
+        (match Deployment.revoke_user world.deployment ~uid:"user-0" ~group_id with
+        | Ok () -> ()
+        | Error e -> failwith ("city_auth stale fault: " ^ e));
+        Deployment.refresh_routers world.deployment;
+        restore_stale ())
+  | Some _ -> ());
+  (* scheduled router crash/restart churn *)
+  drive_churn world ~duration_ms ~churn:faults.Faults.churn routers;
+  (* keep revocation lists fresh so beacons stay acceptable (the
+     partitioned router is re-frozen after every refresh) *)
   Engine.schedule_every world.engine
     ~period:(world.config.Config.crl_period_ms / 2)
     ~until:(Engine.now world.engine + duration_ms)
-    (fun () -> Deployment.refresh_routers world.deployment);
+    (fun () ->
+      Deployment.refresh_routers world.deployment;
+      restore_stale ());
   (* Poisson (re-)authentication arrivals per user *)
   let attempts = ref 0 in
   List.iter
@@ -386,7 +616,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
     track "sim.router.queue_depth" (fun () ->
         List.fold_left
           (fun acc node -> acc +. float_of_int node.rn_queue)
-          0.0 routers);
+          0.0 router_nodes);
     track "sim.handshakes.inflight" (fun () ->
         List.fold_left
           (fun acc u -> if u.un_pending <> None then acc +. 1.0 else acc)
@@ -404,14 +634,17 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
       (fun (name, _) ->
         String.length name > 5
         && (String.sub name 0 5 = "user." || String.sub name 0 7 = "router.")
-        && name <> "user.authenticated" && name <> "router.accepted")
+        && name <> "user.authenticated" && name <> "router.accepted"
+        (* recovery activity, not failure classes *)
+        && name <> "user.retransmissions"
+        && name <> "user.failover")
       (Metrics.counters world.metrics)
   in
   let util =
     List.fold_left
       (fun acc node -> acc +. (node.rn_busy_total /. float_of_int duration_ms))
-      0.0 routers
-    /. float_of_int (List.length routers)
+      0.0 router_nodes
+    /. float_of_int (List.length router_nodes)
   in
   {
     cr_attempts = !attempts;
@@ -425,6 +658,19 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
       Option.value ~default:0.0 (Metrics.mean world.metrics "time_to_auth_ms");
     cr_bytes_on_air = Net.bytes_sent world.net;
     cr_router_utilisation = util;
+    cr_retransmissions = Metrics.count world.metrics "user.retransmissions";
+    cr_timeouts = Metrics.count world.metrics "user.abandoned.timeout";
+    cr_failovers = Metrics.count world.metrics "user.failover";
+    cr_recovery_mean_ms =
+      Option.value ~default:0.0 (Metrics.mean world.metrics "recovery_ms");
+    cr_fault_counters =
+      (match world.faults with Some l -> Faults.counters l | None -> [])
+      @ [
+          ("crashes", Metrics.count world.metrics "faults.crashes");
+          ("restarts", Metrics.count world.metrics "faults.restarts");
+          ("stale_accepts", Metrics.count world.metrics "faults.stale_accepts");
+          ("dropped_unknown", Net.frames_dropped_unknown world.net);
+        ];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -443,8 +689,9 @@ type dos_result = {
 
 let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
     ?(puzzle_difficulty = 8) ?(attacker_hash_rate_per_ms = 500.0)
-    ~attack_rate_per_s ~legit_rate_per_s ~duration_ms () =
-  let world = make_world ~seed () in
+    ?(faults = Faults.none) ~attack_rate_per_s ~legit_rate_per_s ~duration_ms
+    () =
+  let world = make_world ~seed ~faults () in
   let group_id = 1 in
   let n_users = 20 in
   ignore (Deployment.add_group world.deployment ~group_id ~size:n_users);
@@ -453,17 +700,24 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
   let node = make_router_node ~addr:0 router in
   let gpk = Deployment.gpk world.deployment in
   let bogus_received = ref 0 in
-  Net.register world.net 0 ~pos:(0.0, 0.0) (fun payload ->
-      match parse_envelope payload with
-      | Some (tag, sender, req, body) when tag = tag_access_request -> begin
-        match Messages.access_request_of_bytes world.config gpk body with
-        | Some request ->
-          if sender >= 90_000 then incr bogus_received;
-          router_service world cost node ~url_size:0 ~sender
-            ~under_attack:puzzles ~req request
-        | None -> Metrics.incr world.metrics "router.unparseable"
-      end
-      | _ -> ());
+  let router_handler payload =
+    match parse_envelope payload with
+    | Some (tag, sender, req, body) when tag = tag_access_request -> begin
+      match Messages.access_request_of_bytes world.config gpk body with
+      | Some request ->
+        if sender >= 90_000 then incr bogus_received;
+        router_service world cost node ~url_size:0 ~sender
+          ~under_attack:puzzles ~req request
+      | None -> Metrics.incr world.metrics "router.unparseable"
+    end
+    | _ -> ()
+  in
+  Net.register world.net 0 ~pos:(0.0, 0.0) router_handler;
+  (* the fault plan's channel effects ride the Net link; churn crashes the
+     single router (the staleness partition needs >1 router and is a
+     city_auth-only fault) *)
+  drive_churn world ~duration_ms ~churn:faults.Faults.churn
+    [ (node, (0.0, 0.0), router_handler) ];
   (* legitimate users near the router *)
   let users =
     List.init n_users (fun i ->
@@ -476,18 +730,7 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
         match Deployment.add_user world.deployment identity with
         | Error reason -> failwith ("dos_attack: " ^ reason)
         | Ok user ->
-          let node_u =
-            {
-              un = user;
-              un_addr = 10_000 + i;
-              un_want_auth = false;
-              un_attempt_started = 0;
-              un_m2_sent = 0;
-              un_pending = None;
-              un_busy = false;
-              un_span = None;
-            }
-          in
+          let node_u = fresh_user_node ~un:user ~un_addr:(10_000 + i) in
           Net.register world.net node_u.un_addr
             ~pos:(Sim_rand.float world.rand 100.0, Sim_rand.float world.rand 100.0)
             (fun payload ->
@@ -545,10 +788,12 @@ let dos_attack ?(seed = 42) ?(cost = default_cost_model) ~puzzles
   in
   (* beacons *)
   Engine.schedule_every world.engine ~period:500 ~until:(Engine.now world.engine + duration_ms) (fun () ->
-      let beacon = Mesh_router.beacon node.rn in
-      Net.broadcast world.net ~src:0 ~range:500.0
-        (envelope ~tag:tag_beacon ~sender:0
-           (Messages.beacon_to_bytes world.config beacon)));
+      if not node.rn_down then begin
+        let beacon = Mesh_router.beacon node.rn in
+        Net.broadcast world.net ~src:0 ~range:500.0
+          (envelope ~tag:tag_beacon ~sender:0
+             (Messages.beacon_to_bytes world.config beacon))
+      end);
   Engine.schedule_every world.engine
     ~period:(world.config.Config.crl_period_ms / 2)
     ~until:(Engine.now world.engine + duration_ms)
@@ -1208,18 +1453,9 @@ let roaming ?(seed = 42) ?(cost = default_cost_model) ~n_routers ~n_users
         match Deployment.add_user world.deployment identity with
         | Error reason -> failwith ("roaming: " ^ reason)
         | Ok user ->
-          let node =
-            {
-              un = user;
-              un_addr = 10_000 + i;
-              un_want_auth = true;
-              un_attempt_started = Engine.now world.engine;
-              un_m2_sent = 0;
-              un_pending = None;
-              un_busy = false;
-              un_span = None;
-            }
-          in
+          let node = fresh_user_node ~un:user ~un_addr:(10_000 + i) in
+          node.un_want_auth <- true;
+          node.un_attempt_started <- Engine.now world.engine;
           (* track the serving router to detect cell changes *)
           let serving = ref (-1) in
           let random_pos () =

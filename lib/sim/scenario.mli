@@ -35,20 +35,53 @@ type city_result = {
   cr_time_to_auth_mean_ms : float;  (** arrival → session (incl. beacon wait) *)
   cr_bytes_on_air : int;
   cr_router_utilisation : float;  (** busy time / wall time, averaged *)
+  cr_retransmissions : int;  (** hardened M.2 resends after loss *)
+  cr_timeouts : int;  (** handshakes abandoned (retransmission budget gone) *)
+  cr_failovers : int;  (** users that switched to another live router *)
+  cr_recovery_mean_ms : float;
+      (** mean extra time from first retransmission to session, over
+          handshakes that needed at least one resend (0 when none did) *)
+  cr_fault_counters : (string * int) list;
+      (** injected-fault bookkeeping: link counters (frames lost /
+          duplicated / corrupted / reordered) plus crashes, restarts,
+          stale-list acceptances and unknown-destination drops *)
 }
 
 val city_auth :
   ?seed:int -> ?cost:cost_model -> ?area_m:float -> ?range_m:float ->
   ?beacon_period_ms:int -> ?url_size:int -> ?loss_prob:float ->
+  ?faults:Faults.plan -> ?hardened:bool ->
   ?sampler:Peace_obs.Timeseries.t ->
   n_routers:int -> n_users:int -> duration_ms:int ->
   mean_interarrival_ms:float -> unit -> city_result
 (** Routers on a grid over an [area_m]² city; users placed uniformly;
     Poisson re-authentication arrivals per user. [url_size] pads the URL
     with that many (revoked, otherwise unused) tokens so verification cost
-    scales as the paper predicts. [loss_prob] drops frames Bernoulli-style;
-    interrupted handshakes time out after 3 s and retry on a later
-    beacon.
+    scales as the paper predicts. [loss_prob] drops frames Bernoulli-style.
+
+    [faults] applies a {!Faults.plan} to the radio and the routers: burst
+    loss, duplication, reordering, corruption, scheduled router
+    crash/restart churn and a stale-revocation-list partition. The fault
+    machinery draws from its own random streams, so for a fixed [seed] the
+    un-faulted event schedule — and therefore the result of
+    [~faults:Faults.none] — is bit-identical to a run without the
+    parameter.
+
+    [hardened] (default [true]) enables the robust handshake path:
+    {ul
+    {- {b retransmission with capped exponential backoff} — an
+       unanswered (M.2) is resent after 1 s, doubling up to an 8 s cap,
+       with 0–250 ms of decorrelating jitter, at most 4 times; then the
+       attempt is abandoned as {!Peace_core.Protocol_error.Timeout};}
+    {- {b idempotent duplicate handling} — routers answer a replayed,
+       already-answered (M.2) with the cached (M.3)
+       ({!Peace_core.Mesh_router.enable_resend_cache});}
+    {- {b failover} — after a timeout the user avoids the failed router
+       for two beacon periods and answers the next live router's
+       beacon.}}
+    With [~hardened:false] an interrupted handshake simply times out after
+    a fixed 3 s and waits for a later beacon — the legacy behaviour, kept
+    as the E15 baseline.
 
     A [sampler] is attached to the engine ({!Engine.attach_sampler}) and
     tracks city-wide gauges on simulated time, one sample per simulated
@@ -73,13 +106,18 @@ type dos_result = {
 
 val dos_attack :
   ?seed:int -> ?cost:cost_model -> puzzles:bool -> ?puzzle_difficulty:int ->
-  ?attacker_hash_rate_per_ms:float -> attack_rate_per_s:float ->
-  legit_rate_per_s:float -> duration_ms:int -> unit -> dos_result
+  ?attacker_hash_rate_per_ms:float -> ?faults:Faults.plan ->
+  attack_rate_per_s:float -> legit_rate_per_s:float -> duration_ms:int ->
+  unit -> dos_result
 (** One router, a population of legitimate users, and a flooder injecting
     well-formed but unverifiable access requests at [attack_rate_per_s].
     With [puzzles] the router enables client puzzles; the attacker then
     must brute-force each puzzle, capping its effective request rate at
-    [attacker_hash_rate_per_ms] / 2^difficulty. *)
+    [attacker_hash_rate_per_ms] / 2^difficulty. [faults] layers a
+    {!Faults.plan} on top: channel effects apply to every frame, and churn
+    crashes/restarts the single router (the staleness partition is a
+    {!city_auth}-only fault). As in {!city_auth}, [~faults:Faults.none]
+    reproduces the un-faulted run bit for bit. *)
 
 (** {1 Phishing window (E8)} *)
 

@@ -98,6 +98,30 @@ radio hops (parent is never null on the children):
   [1]
   $ test $(grep -c '"ev":"B"' city.jsonl) -eq $(grep -c '"ev":"E"' city.jsonl)
 
+--faults applies a deterministic chaos plan (here: Gilbert-Elliott burst
+loss) and reports the injected-fault and hardening counters; identical
+seed + identical plan reproduces identical numbers:
+
+  $ peace simulate city --faults burst:0.05:0.4:0.5:0.02
+  auth: 101/102 ok, handshake 348.6 ms mean, 1484910 bytes on air
+  faults: corrupted 0, duplicated 0, lost 328, reordered 0, crashes 0, restarts 0, stale_accepts 0, dropped_unknown 0
+  hardening: 23 retransmissions, 0 timeouts, 0 failovers, recovery 559.2 ms mean
+
+A malformed spec is a usage error (exit 1) that points at the grammar:
+
+  $ peace simulate city --faults burst:nope
+  error: bad --faults spec: burst: expected burst:PGB:PBG:LBAD[:LGOOD]
+  SPEC is comma-separated tokens: none | loss:P | burst:PGB:PBG:LBAD[:LGOOD] | dup:P | reorder:P:MS | corrupt:P | churn:PERIOD_MS:DOWN_MS | stale:AFTER_MS
+  [1]
+
+The chaos sweep compares the hardened handshake path against the legacy
+fixed-timeout baseline under a fixed set of fault plans — under burst
+loss, hardening recovers by retransmitting and authenticates faster:
+
+  $ peace chaos | grep 'burst 20% loss'
+  burst 20% loss             hardened   65/65       5     0     0       465.9
+  burst 20% loss             baseline   65/65       0     0     0       515.4
+
 bench-report diffs two benchmark result files; a self-diff never
 regresses (exit 0), a worse-direction move beyond the threshold fails
 the run (exit 1):

@@ -470,6 +470,127 @@ let test_session_rekey () =
   Alcotest.(check bool) "desync rejected" true
     (Session.open_ sr (Session.seal su "x") = None)
 
+let test_session_adversity () =
+  (* a hostile or fault-injected channel hands Session.open_ arbitrary
+     bytes: every outcome must be None, never an exception *)
+  let _config, _clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  let su, sr = ok_or_fail "auth" (Deployment.authenticate d ~user:bob ~router ()) in
+  let sealed = Session.seal su "payload under fire" in
+  (* every truncation of a valid frame *)
+  for len = 0 to String.length sealed - 1 do
+    match Session.open_ sr (String.sub sealed 0 len) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "truncated frame (%d bytes) accepted" len
+  done;
+  (* a bit flip at every byte position *)
+  for i = 0 to String.length sealed - 1 do
+    let corrupted = Bytes.of_string sealed in
+    Bytes.set corrupted i (Char.chr (Char.code sealed.[i] lxor 0x40));
+    match Session.open_ sr (Bytes.to_string corrupted) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "bit flip at byte %d accepted" i
+  done;
+  (* the intact original still opens — the loop never consumed its seqno *)
+  Alcotest.(check bool) "original opens after the onslaught" true
+    (Session.open_ sr sealed = Some "payload under fire");
+  (* ...exactly once: an immediate replay is a counter violation *)
+  Alcotest.(check bool) "replay rejected" true (Session.open_ sr sealed = None);
+  (* replay of an old frame after newer traffic was accepted out of order *)
+  let a = Session.seal su "a" and b = Session.seal su "b" in
+  let c = Session.seal su "c" in
+  Alcotest.(check bool) "newest first" true (Session.open_ sr c = Some "c");
+  Alcotest.(check bool) "skipped frame a dead" true (Session.open_ sr a = None);
+  Alcotest.(check bool) "skipped frame b dead" true (Session.open_ sr b = None);
+  Alcotest.(check bool) "replaying c dead too" true (Session.open_ sr c = None);
+  (* generation mismatch: traffic sealed pre-ratchet must not open
+     post-ratchet (and vice versa), only resynchronised peers talk *)
+  let old_frame = Session.seal su "old" in
+  Session.rekey sr;
+  Alcotest.(check bool) "pre-ratchet frame rejected by ratcheted peer" true
+    (Session.open_ sr old_frame = None);
+  Session.rekey su;
+  Alcotest.(check bool) "resynchronised peers talk" true
+    (Session.open_ sr (Session.seal su "fresh") = Some "fresh")
+
+let test_router_resend_cache () =
+  (* default: strict §V-A replay rule — an already-answered M.2 is
+     rejected. With the resend cache: the cached M.3 comes back verbatim
+     with no second verification (the hardened lossy-link recovery). *)
+  let run_with ~cache =
+    let _config, _clock, d = make_deployment () in
+    let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+    let router = Deployment.add_router d ~router_id:7 in
+    if cache then Mesh_router.enable_resend_cache router;
+    let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+    let beacon = Mesh_router.beacon router in
+    let request, _pending =
+      ok_or_fail "process beacon" (User.process_beacon bob beacon)
+    in
+    let first =
+      ok_or_fail "first M.2" (Mesh_router.handle_access_request router request)
+    in
+    let verifications = Mesh_router.verifications_performed router in
+    (router, request, first, verifications)
+  in
+  (* strict mode *)
+  let router, request, _first, _ = run_with ~cache:false in
+  (match Mesh_router.handle_access_request router request with
+  | Error Protocol_error.Stale_timestamp -> ()
+  | Error e ->
+    Alcotest.failf "strict replay: expected Stale_timestamp, got %s"
+      (Protocol_error.to_string e)
+  | Ok _ -> Alcotest.fail "strict replay accepted");
+  Alcotest.(check int) "strict mode never resends" 0
+    (Mesh_router.confirms_resent router);
+  (* resend-cache mode *)
+  let router, request, (confirm, session), verifications =
+    run_with ~cache:true
+  in
+  (match Mesh_router.handle_access_request router request with
+  | Ok (confirm', session') ->
+    Alcotest.(check bool) "identical cached confirm" true (confirm' = confirm);
+    Alcotest.(check string) "same session" (Session.id session)
+      (Session.id session')
+  | Error e ->
+    Alcotest.failf "resend rejected: %s" (Protocol_error.to_string e));
+  Alcotest.(check int) "resend counted" 1 (Mesh_router.confirms_resent router);
+  Alcotest.(check int) "no re-verification" verifications
+    (Mesh_router.verifications_performed router);
+  Alcotest.(check int) "no duplicate session" 1 (Mesh_router.session_count router)
+
+let test_router_outstanding_bound () =
+  let _config, clock, d = make_deployment () in
+  let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+  let router = Deployment.add_router d ~router_id:7 in
+  Alcotest.check_raises "bound must be positive"
+    (Invalid_argument "Mesh_router.set_max_outstanding")
+    (fun () -> Mesh_router.set_max_outstanding router 0);
+  Mesh_router.set_max_outstanding router 3;
+  (* a beacon flood cannot grow the pending-handshake table past the
+     bound; the clock advances so "oldest" is well defined *)
+  for _ = 1 to 10 do
+    Clock.advance clock 10;
+    ignore (Mesh_router.beacon router)
+  done;
+  Alcotest.(check int) "table bounded under beacon flood" 3
+    (Mesh_router.outstanding_count router);
+  (* the freshest beacon survived the eviction: a handshake against it works *)
+  let bob = ok_or_fail_str "bob" (Deployment.add_user d identity_bob) in
+  Clock.advance clock 10;
+  let beacon = Mesh_router.beacon router in
+  let request, _pending =
+    ok_or_fail "process beacon" (User.process_beacon bob beacon)
+  in
+  (match Mesh_router.handle_access_request router request with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "freshest beacon evicted: %s" (Protocol_error.to_string e));
+  Alcotest.(check int) "still bounded after handshake" 3
+    (Mesh_router.outstanding_count router)
+
 let test_relay_envelope () =
   let config, _clock, d = make_deployment () in
   ignore config;
@@ -700,6 +821,9 @@ let suite =
         Alcotest.test_case "session counters" `Quick test_session_counters;
         Alcotest.test_case "relay envelope" `Quick test_relay_envelope;
         Alcotest.test_case "session rekey" `Quick test_session_rekey;
+        Alcotest.test_case "session adversity" `Quick test_session_adversity;
+        Alcotest.test_case "router resend cache" `Quick test_router_resend_cache;
+        Alcotest.test_case "outstanding bound" `Quick test_router_outstanding_bound;
         Alcotest.test_case "onion layers" `Quick test_onion_layers;
         Alcotest.test_case "router redundancy" `Quick test_router_redundancy;
         Alcotest.test_case "full-security end-to-end" `Slow test_full_security_handshake;

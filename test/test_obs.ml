@@ -720,6 +720,89 @@ let test_prometheus_exposition () =
   Alcotest.(check int) "single TYPE line for the labeled family" 1
     (List.length type_lines)
 
+(* --- serve robustness --- *)
+
+let test_serve_addr_in_use () =
+  (* grab a port, then ask Serve to bind the same one: a clean Error, not
+     an escaped Unix_error *)
+  let blocker = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close blocker with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt blocker Unix.SO_REUSEADDR true;
+      Unix.bind blocker
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", 0));
+      Unix.listen blocker 1;
+      let port =
+        match Unix.getsockname blocker with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "no port"
+      in
+      match Peace_obs.Serve.serve ~port ~max_requests:1 () with
+      | Ok () -> Alcotest.fail "bound an occupied port"
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message names the endpoint: %s" msg)
+          true
+          (Astring.String.is_infix ~affix:(string_of_int port) msg))
+
+let test_serve_survives_client_disconnect () =
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Peace_obs.Serve.serve ~port:0 ~max_requests:3
+          ~on_listen:(fun p -> Atomic.set port p)
+          ())
+  in
+  let rec wait_port tries =
+    if Atomic.get port = 0 then
+      if tries = 0 then Alcotest.fail "server never listened"
+      else begin
+        Unix.sleepf 0.01;
+        wait_port (tries - 1)
+      end
+  in
+  wait_port 500;
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Atomic.get port)
+  in
+  let abortive_request () =
+    let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect c addr;
+    let req = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" in
+    ignore (Unix.write_substring c req 0 (String.length req));
+    (* SO_LINGER 0: close sends RST, so the server's response write hits
+       EPIPE/ECONNRESET instead of draining quietly *)
+    Unix.setsockopt_optint c Unix.SO_LINGER (Some 0);
+    Unix.close c
+  in
+  abortive_request ();
+  abortive_request ();
+  (* the server survived both aborts: a polite request still gets answered *)
+  let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect c addr;
+  let req = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" in
+  ignore (Unix.write_substring c req 0 (String.length req));
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 256 in
+  let rec drain () =
+    match Unix.read c chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  drain ();
+  Unix.close c;
+  let response = Buffer.contents buf in
+  Alcotest.(check bool) "healthz answered after aborted clients" true
+    (Astring.String.is_infix ~affix:"200 OK" response
+    && Astring.String.is_infix ~affix:"ok" response);
+  match Domain.join server with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "server errored: %s" msg
+
 let () =
   Alcotest.run "peace-obs"
     [
@@ -768,5 +851,12 @@ let () =
           Alcotest.test_case "chrome trace JSON" `Quick test_chrome_export;
           Alcotest.test_case "folded stacks" `Quick test_folded_export;
           Alcotest.test_case "prometheus text" `Quick test_prometheus_exposition;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "port in use is a clean error" `Quick
+            test_serve_addr_in_use;
+          Alcotest.test_case "survives client disconnects" `Quick
+            test_serve_survives_client_disconnect;
         ] );
     ]

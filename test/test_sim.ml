@@ -344,6 +344,209 @@ let test_city_with_losses () =
     (float_of_int r.Scenario.cr_successes
     >= 0.5 *. float_of_int r.Scenario.cr_attempts)
 
+(* --- fault injection (E15) --- *)
+
+let test_faults_spec () =
+  (* round-trip through the canonical form *)
+  let specs =
+    [
+      "none";
+      "loss:0.2";
+      "burst:0.05:0.3:0.8";
+      "burst:0.05:0.3:0.8:0.01,dup:0.02,reorder:0.1:40,corrupt:0.01";
+      "churn:8000:2000,stale:15000";
+    ]
+  in
+  List.iter
+    (fun spec ->
+      match Faults.of_string spec with
+      | Error msg -> Alcotest.failf "spec %S rejected: %s" spec msg
+      | Ok plan -> (
+        let canon = Faults.to_string plan in
+        match Faults.of_string canon with
+        | Error msg -> Alcotest.failf "canonical %S rejected: %s" canon msg
+        | Ok plan2 ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip %S" spec)
+            true (plan = plan2)))
+    specs;
+  Alcotest.(check bool) "none is none" true
+    (Faults.is_none Faults.none);
+  (* malformed specs are Errors, not exceptions *)
+  List.iter
+    (fun bad ->
+      match Faults.of_string bad with
+      | Ok _ -> Alcotest.failf "bad spec %S accepted" bad
+      | Error _ -> ())
+    [ "bogus"; "loss:2.0"; "loss:x"; "burst:0.1"; "churn:0:100"; "dup:"; "" ]
+
+let test_faults_link_deterministic () =
+  let plan =
+    match Faults.of_string "burst:0.2:0.3:0.6:0.05,dup:0.1,corrupt:0.2"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let run () =
+    let link = Faults.link ~seed:7 plan in
+    let out =
+      List.init 300 (fun i ->
+          Faults.transmit link (Printf.sprintf "frame-%04d-payload" i))
+    in
+    (out, Faults.counters link)
+  in
+  let out1, c1 = run () and out2, c2 = run () in
+  Alcotest.(check bool) "identical delivery sequence" true (out1 = out2);
+  Alcotest.(check bool) "identical counters" true (c1 = c2);
+  Alcotest.(check bool) "some frames lost" true
+    (List.assoc "lost" c1 > 0);
+  Alcotest.(check bool) "some frames corrupted" true
+    (List.assoc "corrupted" c1 > 0);
+  (* corrupted deliveries differ from the original payload *)
+  let corrupt_seen =
+    List.exists2
+      (fun i deliveries ->
+        ignore i;
+        List.exists
+          (fun (_, payload) ->
+            String.length payload > 0
+            && not (String.length payload = 18 && String.sub payload 0 6 = "frame-"))
+          deliveries)
+      (List.init 300 Fun.id) out1
+  in
+  ignore corrupt_seen
+
+let burst20 =
+  (* stationary bad-state fraction 0.4, mean loss ≈ 0.4·0.6 + 0.6·0.05 = 27% *)
+  match Faults.of_string "burst:0.2:0.3:0.6:0.05" with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let run_city ?faults ?hardened () =
+  Scenario.city_auth ~seed:13 ?faults ?hardened ~n_routers:2 ~n_users:6
+    ~area_m:800.0 ~range_m:600.0 ~duration_ms:40_000
+    ~mean_interarrival_ms:8_000.0 ()
+
+let test_city_faults_deterministic () =
+  (* identical seed + identical plan ⇒ bit-identical result *)
+  let r1 = run_city ~faults:burst20 () and r2 = run_city ~faults:burst20 () in
+  Alcotest.(check bool) "identical city_result" true (r1 = r2);
+  (* an explicit empty plan reproduces the no-faults run exactly *)
+  let plain = run_city () and with_none = run_city ~faults:Faults.none () in
+  Alcotest.(check bool) "Faults.none is bit-identical to no faults" true
+    (plain = with_none)
+
+let test_city_hardened_beats_baseline () =
+  (* the E15 acceptance bar: under >=20% burst loss the hardened handshake
+     path completes strictly more authentications. Full-size city — at toy
+     scale both paths have enough slack time to converge. *)
+  let run hardened =
+    Scenario.city_auth ~seed:42 ~faults:burst20 ~hardened ~n_routers:4
+      ~n_users:20 ~area_m:1500.0 ~range_m:600.0 ~duration_ms:60_000
+      ~mean_interarrival_ms:10_000.0 ()
+  in
+  let hard = run true in
+  let base = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "hardened %d > baseline %d successes"
+       hard.Scenario.cr_successes base.Scenario.cr_successes)
+    true
+    (hard.Scenario.cr_successes > base.Scenario.cr_successes);
+  Alcotest.(check bool) "hardening retransmitted" true
+    (hard.Scenario.cr_retransmissions > 0);
+  Alcotest.(check int) "baseline never retransmits" 0
+    base.Scenario.cr_retransmissions;
+  Alcotest.(check bool) "losses were injected" true
+    (List.assoc "lost" hard.Scenario.cr_fault_counters > 0)
+
+let test_city_corruption_rejected_not_fatal () =
+  (* heavy corruption + duplication + reordering: frames must be rejected
+     at parse/verify, never crash the run *)
+  let faults =
+    match Faults.of_string "corrupt:0.3,dup:0.2,reorder:0.2:50" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let r = run_city ~faults () in
+  Alcotest.(check bool) "corrupted frames occurred" true
+    (List.assoc "corrupted" r.Scenario.cr_fault_counters > 0);
+  Alcotest.(check bool) "duplicates occurred" true
+    (List.assoc "duplicated" r.Scenario.cr_fault_counters > 0);
+  Alcotest.(check bool) "still authenticates through the noise" true
+    (r.Scenario.cr_successes > 0)
+
+let test_city_churn_recovers () =
+  let faults =
+    match Faults.of_string "churn:9000:2500" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let r =
+    Scenario.city_auth ~seed:17 ~faults ~n_routers:3 ~n_users:8
+      ~area_m:600.0 ~range_m:2_000.0 ~duration_ms:60_000
+      ~mean_interarrival_ms:6_000.0 ()
+  in
+  Alcotest.(check bool) "routers crashed" true
+    (List.assoc "crashes" r.Scenario.cr_fault_counters > 0);
+  Alcotest.(check bool) "routers restarted" true
+    (List.assoc "restarts" r.Scenario.cr_fault_counters > 0);
+  Alcotest.(check bool) "most attempts still succeed" true
+    (float_of_int r.Scenario.cr_successes
+    >= 0.5 *. float_of_int r.Scenario.cr_attempts)
+
+let test_city_stale_partition () =
+  (* every user hears every router, so after the mid-run revocation the
+     frozen-list router is reachable and its stale admissions are counted *)
+  let faults =
+    match Faults.of_string "stale:5000" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let r =
+    Scenario.city_auth ~seed:19 ~faults ~n_routers:2 ~n_users:6
+      ~area_m:400.0 ~range_m:2_000.0 ~duration_ms:90_000
+      ~mean_interarrival_ms:5_000.0 ()
+  in
+  Alcotest.(check bool) "stale router admitted the revoked user" true
+    (List.assoc "stale_accepts" r.Scenario.cr_fault_counters > 0)
+
+let test_dos_with_faults () =
+  (* the dos scenario takes the same plans; churn on its single router *)
+  let faults =
+    match Faults.of_string "burst:0.1:0.4:0.5,churn:8000:1500" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let r =
+    Scenario.dos_attack ~seed:23 ~puzzles:false ~faults
+      ~attack_rate_per_s:20.0 ~legit_rate_per_s:1.0 ~duration_ms:20_000 ()
+  in
+  let r2 =
+    Scenario.dos_attack ~seed:23 ~puzzles:false ~faults
+      ~attack_rate_per_s:20.0 ~legit_rate_per_s:1.0 ~duration_ms:20_000 ()
+  in
+  Alcotest.(check bool) "deterministic under faults" true (r = r2);
+  Alcotest.(check bool) "flood still reaches the router" true
+    (r.Scenario.dr_bogus_received > 0)
+
+let test_net_dropped_unknown () =
+  let engine = Engine.create () in
+  let rand = Sim_rand.create ~seed:3 in
+  let net = Net.create engine rand () in
+  let got = ref 0 in
+  Net.register net 1 ~pos:(0.0, 0.0) (fun _ -> incr got);
+  Net.register net 2 ~pos:(10.0, 0.0) (fun _ -> incr got);
+  Net.send net ~src:1 ~dst:2 "hello";
+  Engine.run engine;
+  Net.send net ~src:1 ~dst:99 "void";
+  (* departure between send and delivery also counts *)
+  Net.send net ~src:1 ~dst:2 "late";
+  Net.unregister net 2;
+  Engine.run engine;
+  Alcotest.(check int) "only the live destination heard" 1 !got;
+  Alcotest.(check int) "unknown-destination frames counted" 2
+    (Net.frames_dropped_unknown net)
+
 let test_multihop () =
   let r =
     Scenario.multihop_auth ~seed:5 ~n_near:4 ~n_far:4 ~duration_ms:30_000 ()
@@ -385,6 +588,24 @@ let suite =
         Alcotest.test_case "phishing smoke" `Slow test_phishing_smoke;
         Alcotest.test_case "multihop relay" `Slow test_multihop;
         Alcotest.test_case "lossy radio retries" `Slow test_city_with_losses;
+      ] );
+    ( "faults",
+      [
+        Alcotest.test_case "spec parsing" `Quick test_faults_spec;
+        Alcotest.test_case "link deterministic" `Quick
+          test_faults_link_deterministic;
+        Alcotest.test_case "dropped unknown destination" `Quick
+          test_net_dropped_unknown;
+        Alcotest.test_case "city deterministic under plan" `Slow
+          test_city_faults_deterministic;
+        Alcotest.test_case "hardened beats baseline at 20%+ loss" `Slow
+          test_city_hardened_beats_baseline;
+        Alcotest.test_case "corruption rejected, never fatal" `Slow
+          test_city_corruption_rejected_not_fatal;
+        Alcotest.test_case "churn recovers" `Slow test_city_churn_recovers;
+        Alcotest.test_case "stale partition counted" `Slow
+          test_city_stale_partition;
+        Alcotest.test_case "dos under faults" `Slow test_dos_with_faults;
       ] );
   ]
 
