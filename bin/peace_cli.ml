@@ -1003,6 +1003,246 @@ let serve_cmd =
           exposition on /metrics, liveness on /healthz)")
     Term.(const serve $ port $ warmup $ announce $ max_requests)
 
+(* --- serve-auth / loadgen / slo --- *)
+
+(* The live authority and its load generator rebuild the same deployment
+   from (params, testbed seed, user count): handing all three the same
+   values IS the key distribution, so the flags are shared. *)
+
+module Service = Peace_service
+
+let addr_conv =
+  let parse s =
+    match Peace_sock.addr_of_string s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Peace_sock.addr_to_string a))
+
+let addr_arg ~default =
+  Arg.(
+    value
+    & opt addr_conv default
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:
+          "Listen/connect address: $(b,tcp:HOST:PORT) (port 0 lets the \
+           kernel pick), $(b,unix:PATH), or bare $(b,HOST:PORT).")
+
+let testbed_seed_arg =
+  Arg.(
+    value
+    & opt string "live-authority"
+    & info [ "testbed-seed" ] ~docv:"SEED"
+        ~doc:
+          "Deployment seed; server and clients must agree on it (and on \
+           --params / --users) to share key material.")
+
+let users_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "users" ] ~docv:"N" ~doc:"Users enrolled in the testbed group.")
+
+let impair_conv =
+  let parse s =
+    match Service.Loadgen.impairments_of_string s with
+    | Ok i -> Ok i
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<impairments>")
+
+let impair_arg =
+  Arg.(
+    value
+    & opt impair_conv Service.Loadgen.no_impairments
+    & info [ "impair" ] ~docv:"SPEC"
+        ~doc:
+          "Client misbehaviour, comma-separated: $(b,jitter:MS), \
+           $(b,drop:P), $(b,malformed:P), $(b,truncate:P) — e.g. \
+           $(b,drop:0.05,malformed:0.1).")
+
+let make_testbed params_src seed n_users =
+  if n_users < 1 then begin
+    prerr_endline "error: --users must be >= 1";
+    exit 2
+  end;
+  Service.Testbed.make ~params:(load_params params_src) ~seed ~n_users ()
+
+let serve_auth params_src testbed_seed n_users addr workers verify_domains
+    beacon_period_ms announce duration =
+  Peace_sock.ignore_sigpipe ();
+  let testbed = make_testbed params_src testbed_seed n_users in
+  let server =
+    or_die
+      (Service.Authority.start ~workers ~verify_domains ~beacon_period_ms
+         ~config:testbed.Service.Testbed.tb_config
+         ~router:testbed.Service.Testbed.tb_router addr)
+  in
+  let bound = Peace_sock.addr_to_string (Service.Authority.bound_addr server) in
+  (match announce with
+  | Some path -> write_file path (bound ^ "\n")
+  | None -> ());
+  Printf.eprintf
+    "peace serve-auth: authority on %s (%d workers, %d verify domains, %d \
+     users; ctrl-c to stop)\n\
+     %!"
+    bound workers verify_domains n_users;
+  let interrupted = Atomic.make false in
+  let on_signal _ = Atomic.set interrupted true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  let deadline =
+    Option.map (fun d -> Unix.gettimeofday () +. d) duration
+  in
+  let expired () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+  in
+  while not (Atomic.get interrupted || expired ()) do
+    Unix.sleepf 0.2
+  done;
+  Printf.eprintf "peace serve-auth: draining and shutting down\n%!";
+  Service.Authority.stop server
+
+let serve_auth_cmd =
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Connection worker domains.")
+  in
+  let verify_domains =
+    Arg.(
+      value & opt int 0
+      & info [ "verify-domains" ] ~docv:"N"
+          ~doc:
+            "Extra domains for group-signature verification (0 = verify \
+             inline on the connection worker).")
+  in
+  let beacon_period =
+    Arg.(
+      value & opt int 1000
+      & info [ "beacon-period-ms" ] ~docv:"MS"
+          ~doc:"Beacon refresh period (the broadcast (M.1) interval).")
+  in
+  let announce =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "announce" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound address to $(docv) once listening (useful with \
+             tcp port 0).")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Exit after $(docv) seconds (default: serve until a signal).")
+  in
+  Cmd.v
+    (Cmd.info "serve-auth"
+       ~doc:
+         "Run the live PEACE authentication authority (real (M.1)/(M.2)/(M.3) \
+          handshakes over TCP or Unix-domain sockets)")
+    Term.(
+      const serve_auth $ params_arg $ testbed_seed_arg $ users_arg
+      $ addr_arg ~default:(Peace_sock.Tcp ("127.0.0.1", 7464))
+      $ workers $ verify_domains $ beacon_period $ announce $ duration)
+
+let concurrency_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "concurrency" ] ~docv:"N"
+        ~doc:"Worker domains, one user and one connection each.")
+
+let rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rate" ] ~docv:"R"
+        ~doc:
+          "Open-loop Poisson arrival rate (handshakes/s). Omit for the \
+           closed-loop saturation probe.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+
+let lg_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Load-generator randomness (arrivals, impairments).")
+
+let report_or_die = function
+  | Error e ->
+    prerr_endline ("error: " ^ e);
+    exit 1
+  | Ok report ->
+    Service.Loadgen.print_report report;
+    (* a run that never completed one handshake is a failed measurement *)
+    if report.Service.Loadgen.lr_ok = 0 then exit 1
+
+let loadgen params_src testbed_seed n_users addr concurrency rate duration
+    impair seed timeout =
+  Peace_sock.ignore_sigpipe ();
+  let testbed = make_testbed params_src testbed_seed n_users in
+  report_or_die
+    (Service.Loadgen.run ~connect:addr ~testbed ~concurrency ?rate
+       ~duration_s:duration ~impair ~seed ~timeout_s:timeout ())
+
+let loadgen_cmd =
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-read receive timeout.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive real PEACE handshakes against a running serve-auth and \
+          report p50/p95/p99 latency, throughput, and the error breakdown")
+    Term.(
+      const loadgen $ params_arg $ testbed_seed_arg $ users_arg
+      $ addr_arg ~default:(Peace_sock.Tcp ("127.0.0.1", 7464))
+      $ concurrency_arg $ rate_arg $ duration_arg $ impair_arg $ lg_seed_arg
+      $ timeout)
+
+let slo params_src n_users workers verify_domains concurrency rate duration
+    impair seed =
+  Peace_sock.ignore_sigpipe ();
+  match
+    Service.Slo.run ~params:(load_params params_src) ~n_users ~workers
+      ~verify_domains ~concurrency ?rate ~duration_s:duration ~impair ~seed ()
+  with
+  | Error e ->
+    prerr_endline ("error: " ^ e);
+    exit 1
+  | Ok r ->
+    Service.Slo.print r;
+    if r.Service.Slo.slo_report.Service.Loadgen.lr_ok = 0 then exit 1
+
+let slo_cmd =
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Server connection worker domains.")
+  in
+  let verify_domains =
+    Arg.(
+      value & opt int 0
+      & info [ "verify-domains" ] ~docv:"N"
+          ~doc:"Extra server domains for signature verification.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Self-driving SLO probe: boot the authority on a private socket, \
+          load it, and report latency percentiles plus server counters")
+    Term.(
+      const slo $ params_arg $ users_arg $ workers $ verify_domains
+      $ concurrency_arg $ rate_arg $ duration_arg $ impair_arg $ lg_seed_arg)
+
 (* --- validate-params --- *)
 
 let validate_params params_src =
@@ -1042,4 +1282,7 @@ let () =
             bench_report_cmd;
             stats_cmd;
             serve_cmd;
+            serve_auth_cmd;
+            loadgen_cmd;
+            slo_cmd;
           ]))

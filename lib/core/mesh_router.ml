@@ -315,18 +315,42 @@ let conclude t (m : Messages.access_request) ob transcript = function
   | Group_sig.Revoked -> Error Protocol_error.User_revoked
   | Group_sig.Valid -> finalize t m ob transcript
 
-let handle_access_request t (m : Messages.access_request) =
+(* the three-phase split, exposed so a caller that serialises router state
+   behind a lock (the live Authority server) can run the expensive
+   signature check outside it: [access_precheck] and [access_finish] touch
+   router state and must be called under the caller's lock; the
+   verification between them only needs the immutable transcript, gpk and
+   URL snapshot. *)
+
+type access_ticket = {
+  at_beacon : outstanding_beacon;
+  at_transcript : string;
+}
+
+let access_precheck t (m : Messages.access_request) =
   Obs.Counter.incr c_requests;
   match Obs.Histogram.time h_precheck (fun () -> precheck t m) with
-  | Rejected err -> Error err
-  | Resend (confirm, session) -> Ok (confirm, session)
+  | Rejected err -> `Reject err
+  | Resend (confirm, session) -> `Resend (confirm, session)
   | Ready (ob, transcript) ->
     let url = url_tokens t in
     Obs.Histogram.observe h_url_scan (List.length url);
+    `Verify ({ at_beacon = ob; at_transcript = transcript }, transcript, url)
+
+let access_finish t (m : Messages.access_request) ticket verdict =
+  Obs.Histogram.time h_finalize (fun () ->
+      conclude t m ticket.at_beacon ticket.at_transcript verdict)
+
+let current_gpk t = t.gpk
+
+let handle_access_request t (m : Messages.access_request) =
+  match access_precheck t m with
+  | `Reject err -> Error err
+  | `Resend (confirm, session) -> Ok (confirm, session)
+  | `Verify (ticket, transcript, url) ->
     Obs.Histogram.time h_verify (fun () ->
         Group_sig.verify t.gpk ~url ~msg:transcript m.Messages.gsig)
-    |> fun verdict ->
-    Obs.Histogram.time h_finalize (fun () -> conclude t m ob transcript verdict)
+    |> access_finish t m ticket
 
 let handle_access_requests_batch ?(domains = 1) t ms =
   (* prechecks run in arrival order (they mutate the replay cache and the

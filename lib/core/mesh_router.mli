@@ -49,6 +49,42 @@ val handle_access_request :
 (** Processes (M.2): freshness, puzzle (when under attack), group-signature
     verification with URL revocation scan, then key agreement and (M.3). *)
 
+(** {2 Split (M.2) handling}
+
+    {!handle_access_request} in three phases, for callers that serialise
+    router state behind a lock but want the expensive group-signature
+    check outside it (the live {!Peace_service.Authority} server: cheap
+    phases under its router mutex, verification on the
+    {!Peace_parallel.Batch_verify} farm). {!access_precheck} and
+    {!access_finish} mutate router state (replay cache, sessions, audit
+    log) and must run under whatever lock guards the router; the verify
+    inputs they hand over — transcript, URL snapshot, {!current_gpk} —
+    are immutable and safe to use from any domain. *)
+
+type access_ticket
+(** Pass-through state between {!access_precheck} and {!access_finish}. *)
+
+val access_precheck :
+  t -> Messages.access_request ->
+  [ `Reject of Protocol_error.t
+  | `Resend of Messages.access_confirm * Session.t
+  | `Verify of access_ticket * string * Group_sig.revocation_token list ]
+(** Freshness, beacon matching, replay cache, puzzle. [`Verify (ticket,
+    transcript, url)] means the request survived the cheap checks: verify
+    [transcript]'s group signature against [url] (e.g.
+    [Group_sig.verify (current_gpk t) ~url ~msg:transcript m.gsig]) and
+    hand the verdict to {!access_finish}. *)
+
+val access_finish :
+  t -> Messages.access_request -> access_ticket ->
+  Group_sig.verify_result ->
+  (Messages.access_confirm * Session.t, Protocol_error.t) result
+(** Key agreement, audit log and (M.3) on [Valid]; the matching protocol
+    error otherwise. *)
+
+val current_gpk : t -> Group_sig.gpk
+(** The group public key this router currently verifies against. *)
+
 val handle_access_requests_batch :
   ?domains:int -> t -> Messages.access_request list ->
   (Messages.access_confirm * Session.t, Protocol_error.t) result list

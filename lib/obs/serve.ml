@@ -66,17 +66,6 @@ let parse_request head =
       Some (meth, path)
     | _ -> None)
 
-let write_all fd s =
-  let len = String.length s in
-  let rec go off =
-    if off < len then
-      match Unix.write_substring fd s off (len - off) with
-      | 0 -> ()
-      | n -> go (off + n)
-      | exception Unix.Unix_error _ -> ()
-  in
-  go 0
-
 let handle_client fd =
   let head = read_head fd in
   let response =
@@ -85,38 +74,21 @@ let handle_client fd =
     | Some _ -> http_response ~status:"405 Method Not Allowed" "GET only\n"
     | None -> http_response ~status:"400 Bad Request" "bad request\n"
   in
-  write_all fd response
-
-(* a scraper that disconnects mid-response must not kill the server: on
-   POSIX a write to a closed socket raises SIGPIPE, whose default action
-   terminates the process before write_all's EPIPE handler ever runs *)
-let ignore_sigpipe () =
-  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
-  | _previous -> ()
-  | exception (Invalid_argument _ | Sys_error _) -> ()
+  (* a scraper that hung up mid-response costs only that response *)
+  ignore (Peace_sock.write_all fd response)
 
 let serve ?(host = "127.0.0.1") ?max_requests ?on_listen ~port () =
-  ignore_sigpipe ();
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-    (fun () ->
-      match
-        Unix.setsockopt sock Unix.SO_REUSEADDR true;
-        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-        Unix.listen sock 16
-      with
-      | exception Unix.Unix_error (err, _, _) ->
-        Error
-          (Printf.sprintf "cannot listen on %s:%d: %s" host port
-             (Unix.error_message err))
-      | exception Failure _ ->
-        Error (Printf.sprintf "cannot listen on %s:%d: invalid address" host port)
-      | () ->
+  (* all the socket hardening — SIGPIPE, EADDRINUSE-as-result, port-0
+     resolution — lives in Peace_sock, shared with the authority server *)
+  Peace_sock.ignore_sigpipe ();
+  match Peace_sock.listen (Peace_sock.Tcp (host, port)) with
+  | Error _ as e -> e
+  | Ok (sock, bound) ->
+    Fun.protect
+      ~finally:(fun () -> Peace_sock.close_noerr sock)
+      (fun () ->
         let bound_port =
-          match Unix.getsockname sock with
-          | Unix.ADDR_INET (_, p) -> p
-          | _ -> port
+          match bound with Peace_sock.Tcp (_, p) -> p | _ -> port
         in
         (match on_listen with Some f -> f bound_port | None -> ());
         let served = ref 0 in
@@ -132,7 +104,7 @@ let serve ?(host = "127.0.0.1") ?max_requests ?on_listen ~port () =
             ()
           | client, _ ->
             (try handle_client client with _ -> ());
-            (try Unix.close client with Unix.Unix_error _ -> ());
+            Peace_sock.close_noerr client;
             incr served
         done;
         Ok ())

@@ -1,5 +1,6 @@
-(** A minimal zero-dependency HTTP listener (Unix sockets only) exposing
-    the live registry — the first externally scrapeable surface:
+(** A minimal HTTP listener (socket plumbing from {!Peace_sock}, no web
+    framework) exposing the live registry — the first externally
+    scrapeable surface:
 
     - [GET /metrics]: Prometheus text exposition ({!Expo.prometheus})
     - [GET /healthz]: ["ok"]

@@ -1,0 +1,255 @@
+open Peace_core
+module Obs = Peace_obs.Registry
+module Trace = Peace_obs.Trace
+module Bq = Peace_parallel.Bounded_queue
+
+(* service.* observability: connection lifecycle, per-frame outcomes, and
+   the latency of each phase of (M.2) handling as seen by the server *)
+let c_connections = Obs.counter "service.connections_total"
+let g_active = Obs.gauge "service.connections_active"
+let c_requests = Obs.counter "service.requests_total"
+let c_confirms = Obs.counter "service.confirms_total"
+let c_beacons = Obs.counter "service.beacons_total"
+let h_request = Obs.histogram "service.request_ns"
+let h_decode = Obs.histogram "service.decode_ns"
+let h_verify = Obs.histogram "service.verify_ns"
+let h_encode = Obs.histogram "service.encode_ns"
+
+let count_error kind =
+  Obs.Counter.incr (Obs.counter ~labels:[ ("kind", kind) ] "service.errors_total")
+
+type t = {
+  listener : Unix.file_descr;
+  bound : Peace_sock.addr;
+  stop_flag : bool Atomic.t;
+  conns : Unix.file_descr Bq.t;
+  config : Config.t;
+  router : Mesh_router.t;
+  router_mu : Mutex.t;
+  pool : Peace_parallel.Domain_pool.t option;
+  beacon_period_ms : int;
+  mutable cached_beacon : (int * Messages.beacon) option;
+  mutable acceptor : unit Domain.t option;
+  mutable workers : unit Domain.t list;
+  stopped : bool Atomic.t; (* stop() ran to completion (idempotence) *)
+}
+
+let bound_addr t = t.bound
+
+let with_router t f =
+  Mutex.lock t.router_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.router_mu) f
+
+(* the broadcast beacon: one (M.1) serves every handshake inside the
+   refresh period — the paper's periodic-broadcast model, and what keeps
+   the router's outstanding-beacon table from growing per request *)
+let current_beacon t =
+  with_router t (fun () ->
+      let now = Clock.now t.config.Config.clock in
+      match t.cached_beacon with
+      | Some (issued, b) when now - issued < t.beacon_period_ms -> b
+      | _ ->
+        let b = Mesh_router.beacon t.router in
+        t.cached_beacon <- Some (now, b);
+        b)
+
+let reply_rejected fd err =
+  let code = Frames.error_code err in
+  count_error (Frames.error_name code);
+  Frames.write fd Frames.Rejected
+    (Frames.rejected_payload ~code ~detail:(Protocol_error.to_string err))
+
+(* one (M.2): decode, cheap phases under the router mutex, signature check
+   off-lock (inline or on the verify farm), finalize under the mutex *)
+let handle_access t fd payload =
+  let gpk = Mesh_router.current_gpk t.router in
+  let request =
+    Trace.with_span "service.decode" (fun () ->
+        Obs.Histogram.time h_decode (fun () ->
+            Messages.access_request_of_bytes t.config gpk payload))
+  in
+  match request with
+  | None ->
+    count_error "decode";
+    Frames.write fd Frames.Rejected
+      (Frames.rejected_payload ~code:14 ~detail:"unparseable access request")
+  | Some m -> (
+    match with_router t (fun () -> Mesh_router.access_precheck t.router m) with
+    | `Reject err -> reply_rejected fd err
+    | `Resend (confirm, _session) ->
+      Obs.Counter.incr c_confirms;
+      Frames.write fd Frames.Confirm (Messages.access_confirm_to_bytes t.config confirm)
+    | `Verify (ticket, transcript, url) -> (
+      let verdict =
+        Trace.with_span "service.verify" (fun () ->
+            Obs.Histogram.time h_verify (fun () ->
+                match t.pool with
+                | None ->
+                  Peace_groupsig.Group_sig.verify gpk ~url ~msg:transcript
+                    m.Messages.gsig
+                | Some pool -> (
+                  match
+                    Peace_parallel.Batch_verify.verify_batch_in ~url pool gpk
+                      [ { Peace_parallel.Batch_verify.msg = transcript;
+                          gsig = m.Messages.gsig;
+                        } ]
+                  with
+                  | [ v ] -> v
+                  | _ -> assert false)))
+      in
+      match with_router t (fun () -> Mesh_router.access_finish t.router m ticket verdict) with
+      | Error err -> reply_rejected fd err
+      | Ok (confirm, _session) ->
+        Obs.Counter.incr c_confirms;
+        let bytes =
+          Trace.with_span "service.encode" (fun () ->
+              Obs.Histogram.time h_encode (fun () ->
+                  Messages.access_confirm_to_bytes t.config confirm))
+        in
+        Frames.write fd Frames.Confirm bytes))
+
+(* returns [true] to keep the connection open *)
+let handle_frame t fd tag payload =
+  Obs.Counter.incr c_requests;
+  Trace.with_span "service.request" @@ fun () ->
+  Obs.Histogram.time h_request @@ fun () ->
+  let write_result =
+    match tag with
+    | Frames.Ping -> Frames.write fd Frames.Pong ""
+    | Frames.Get_beacon ->
+      Obs.Counter.incr c_beacons;
+      Frames.write fd Frames.Beacon
+        (Messages.beacon_to_bytes t.config (current_beacon t))
+    | Frames.Access -> handle_access t fd payload
+    | Frames.Beacon | Frames.Confirm | Frames.Rejected | Frames.Pong ->
+      count_error "bad-tag";
+      Frames.write fd Frames.Rejected
+        (Frames.rejected_payload ~code:0 ~detail:"response tag in request direction")
+  in
+  match write_result with
+  | Ok () -> true
+  | Error _ ->
+    (* the client went away mid-response (EPIPE/ECONNRESET) *)
+    count_error "write";
+    false
+
+let serve_conn t fd =
+  (* the receive timeout is what lets an idle connection notice the stop
+     flag: a parked read wakes every 250 ms and re-checks *)
+  Peace_sock.set_timeout fd 0.25;
+  Obs.Counter.incr c_connections;
+  Obs.Gauge.incr g_active;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Gauge.decr g_active;
+      Peace_sock.close_noerr fd)
+    (fun () ->
+      let rec loop () =
+        if not (Atomic.get t.stop_flag) then begin
+          match Frames.read fd with
+          | Error `Timeout -> loop ()
+          | Error `Eof -> ()
+          | Error (`Err _reason) ->
+            (* the stream has lost frame sync — count it and hang up; the
+               server itself keeps serving everyone else *)
+            count_error "frame"
+          | Ok (tag, payload) -> if handle_frame t fd tag payload then loop ()
+        end
+      in
+      loop ())
+
+let worker_loop t () =
+  let rec next () =
+    match Bq.pop t.conns with
+    | None -> ()
+    | Some fd ->
+      if Atomic.get t.stop_flag then Peace_sock.close_noerr fd
+      else begin
+        (* serve_conn's Fun.protect owns the close — never close here, or
+           a racing accept could reuse the fd number and lose a socket *)
+        try serve_conn t fd with _ -> count_error "internal"
+      end;
+      next ()
+  in
+  next ()
+
+let acceptor_loop t () =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ t.listener ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept t.listener with
+        | exception
+            Unix.Unix_error
+              ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                | Unix.EWOULDBLOCK ),
+                _,
+                _ ) ->
+          ()
+        | exception Unix.Unix_error _ -> Atomic.set t.stop_flag true
+        | client, _ -> (
+          try Bq.push t.conns client
+          with Bq.Closed -> Peace_sock.close_noerr client))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(workers = 2) ?(verify_domains = 0) ?(beacon_period_ms = 1000)
+    ?queue_capacity ~config ~router addr =
+  if workers < 1 then invalid_arg "Authority.start: workers must be >= 1";
+  if verify_domains < 0 then
+    invalid_arg "Authority.start: verify_domains must be >= 0";
+  if beacon_period_ms < 1 then
+    invalid_arg "Authority.start: beacon_period_ms must be >= 1";
+  match Peace_sock.listen addr with
+  | Error _ as e -> e
+  | Ok (listener, bound) ->
+    Unix.set_nonblock listener;
+    let capacity =
+      match queue_capacity with Some c -> Stdlib.max 1 c | None -> 4 * workers
+    in
+    let t =
+      {
+        listener;
+        bound;
+        stop_flag = Atomic.make false;
+        conns = Bq.create ~capacity;
+        config;
+        router;
+        router_mu = Mutex.create ();
+        pool =
+          (if verify_domains > 0 then
+             Some (Peace_parallel.Domain_pool.create ~domains:verify_domains ())
+           else None);
+        beacon_period_ms;
+        cached_beacon = None;
+        acceptor = None;
+        workers = [];
+        stopped = Atomic.make false;
+      }
+    in
+    t.acceptor <- Some (Domain.spawn (acceptor_loop t));
+    t.workers <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+    Ok t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stop_flag true;
+    Bq.close t.conns;
+    (match t.acceptor with Some d -> Domain.join d | None -> ());
+    List.iter Domain.join t.workers;
+    (match t.pool with
+    | Some pool -> Peace_parallel.Domain_pool.shutdown pool
+    | None -> ());
+    Peace_sock.close_noerr t.listener;
+    match t.bound with
+    | Peace_sock.Unix_path path -> Peace_sock.unlink_noerr path
+    | Peace_sock.Tcp _ -> ()
+  end
+
+let service_counters () =
+  let keep (name, _) = String.length name >= 8 && String.sub name 0 8 = "service." in
+  List.filter keep (Obs.counters ()) @ List.filter keep (Obs.gauges ())

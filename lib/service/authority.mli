@@ -1,0 +1,71 @@
+(** The live PEACE authentication authority.
+
+    A long-lived server that terminates real user<->router handshakes over
+    TCP or Unix-domain sockets: clients fetch the router's current (M.1)
+    beacon, send (M.2) access requests, and receive genuine (M.3) access
+    confirms — the exact {!Peace_core.Mesh_router} code paths the
+    simulator exercises, now under wall-clock load.
+
+    {2 Architecture}
+
+    One {e acceptor} domain multiplexes [accept] against a stop flag and
+    feeds accepted connections into a {!Peace_parallel.Bounded_queue}
+    (blocking push: a saturated server throttles its accept loop instead
+    of queueing without bound). [workers] connection domains each pop a
+    connection and serve its frames to completion. Router state is
+    serialised behind one mutex, but only the {e cheap} phases of (M.2)
+    handling hold it ({!Mesh_router.access_precheck} /
+    [access_finish]); the group-signature verification between them runs
+    lock-free — inline on the connection worker, or fanned out through a
+    {!Peace_parallel.Batch_verify} farm of [verify_domains] extra domains.
+
+    {2 Observability}
+
+    Frame handling is wrapped in [service.request] spans with
+    [service.decode] / [service.verify] / [service.encode] children, and
+    the registry carries [service.connections_total],
+    [service.connections_active], [service.requests_total],
+    [service.confirms_total], [service.beacons_total], labelled
+    [service.errors_total{kind=...}] counters and
+    [service.request_ns]/[decode_ns]/[verify_ns]/[encode_ns] histograms —
+    all scrapeable through the existing {!Peace_obs.Serve} listener.
+
+    {2 Shutdown}
+
+    {!stop} is graceful: the acceptor quits, queued-but-unserved
+    connections are closed, and every worker answers the request it is
+    currently processing before closing its connection; all domains are
+    joined before {!stop} returns. *)
+
+open Peace_core
+
+type t
+
+val start :
+  ?workers:int ->
+  ?verify_domains:int ->
+  ?beacon_period_ms:int ->
+  ?queue_capacity:int ->
+  config:Config.t ->
+  router:Mesh_router.t ->
+  Peace_sock.addr ->
+  (t, string) result
+(** Binds [addr] and begins serving. Defaults: 2 connection workers, 0
+    verify domains (verification inline on the connection worker), a
+    1000 ms beacon refresh period (one broadcast beacon serves every
+    handshake inside the period, as in the paper's §IV-B broadcast
+    model), queue capacity [4 * workers]. A bind failure (e.g.
+    [EADDRINUSE]) is [Error].
+    @raise Invalid_argument if [workers < 1] or [verify_domains < 0]. *)
+
+val bound_addr : t -> Peace_sock.addr
+(** The resolved listen address (kernel-assigned port filled in). *)
+
+val stop : t -> unit
+(** Graceful shutdown as described above. Idempotent and safe to call
+    from any domain; foreground callers ([peace serve-auth]) typically
+    poll a signal flag and call it from their main loop. *)
+
+val service_counters : unit -> (string * int) list
+(** Current [service.*] counters and gauges from the registry, sorted by
+    name — the post-run report surface for examples and [peace slo]. *)

@@ -1,0 +1,127 @@
+open Peace_core
+
+type tag = Get_beacon | Access | Ping | Beacon | Confirm | Rejected | Pong
+
+let tag_to_int = function
+  | Get_beacon -> 0x01
+  | Access -> 0x02
+  | Ping -> 0x03
+  | Beacon -> 0x81
+  | Confirm -> 0x82
+  | Rejected -> 0x83
+  | Pong -> 0x84
+
+let tag_of_int = function
+  | 0x01 -> Some Get_beacon
+  | 0x02 -> Some Access
+  | 0x03 -> Some Ping
+  | 0x81 -> Some Beacon
+  | 0x82 -> Some Confirm
+  | 0x83 -> Some Rejected
+  | 0x84 -> Some Pong
+  | _ -> None
+
+let max_frame = 4 * 1024 * 1024
+
+let write fd tag payload =
+  if 1 + String.length payload > max_frame then Error "frame too large"
+  else begin
+    let w = Wire.writer () in
+    Wire.u32 w (1 + String.length payload);
+    Wire.u8 w (tag_to_int tag);
+    Wire.raw w payload;
+    Peace_sock.write_all fd (Wire.contents w)
+  end
+
+(* read exactly [n] bytes; [`Eof] is reported only when EOF arrives before
+   the first byte (so callers can tell a closed-between-frames peer from a
+   frame cut short) *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Ok (Bytes.unsafe_to_string buf)
+    else begin
+      match Peace_sock.read_into fd buf off (n - off) with
+      | Ok 0 -> if off = 0 then Error `Eof else Error (`Err "truncated frame")
+      | Ok k -> go (off + k)
+      | Error `Timeout when off = 0 -> Error `Timeout
+      | Error `Timeout -> Error (`Err "timed out mid-frame")
+      | Error (`Err _) as e -> e
+    end
+  in
+  go 0
+
+let read fd =
+  match read_exact fd 4 with
+  | Error _ as e -> e
+  | Ok header -> (
+    match Wire.read_u32 (Wire.reader header) with
+    | Error e -> Error (`Err e)
+    | Ok len when len < 1 || len > max_frame ->
+      Error (`Err (Printf.sprintf "bad frame length %d" len))
+    | Ok len -> (
+      match read_exact fd len with
+      | Ok body -> (
+        match tag_of_int (Char.code body.[0]) with
+        | Some tag -> Ok (tag, String.sub body 1 (len - 1))
+        | None ->
+          Error (`Err (Printf.sprintf "unknown frame tag 0x%02x" (Char.code body.[0]))))
+      | Error `Eof -> Error (`Err "truncated frame")
+      | Error (`Timeout | `Err _) as e -> e))
+
+(* --- rejection payloads --- *)
+
+let error_code =
+  let open Protocol_error in
+  function
+  | Stale_timestamp -> 1
+  | Bad_router_certificate _ -> 2
+  | Router_revoked -> 3
+  | Bad_beacon_signature -> 4
+  | Bad_revocation_list -> 5
+  | Invalid_group_signature -> 6
+  | User_revoked -> 7
+  | Puzzle_required -> 8
+  | Bad_puzzle_solution -> 9
+  | Unknown_session -> 10
+  | Decryption_failed -> 11
+  | No_group_key -> 12
+  | Timeout -> 13
+  | Malformed_frame -> 14
+  | Malformed _ -> 14
+
+let error_name = function
+  | 0 -> "transport"
+  | 1 -> "stale-timestamp"
+  | 2 -> "bad-router-certificate"
+  | 3 -> "router-revoked"
+  | 4 -> "bad-beacon-signature"
+  | 5 -> "bad-revocation-list"
+  | 6 -> "invalid-group-signature"
+  | 7 -> "user-revoked"
+  | 8 -> "puzzle-required"
+  | 9 -> "bad-puzzle-solution"
+  | 10 -> "unknown-session"
+  | 11 -> "decryption-failed"
+  | 12 -> "no-group-key"
+  | 13 -> "timeout"
+  | 14 -> "malformed"
+  | _ -> "?"
+
+let rejected_payload ~code ~detail =
+  let w = Wire.writer () in
+  Wire.u8 w code;
+  Wire.bytes w detail;
+  Wire.contents w
+
+let parse_rejected payload =
+  let open Wire in
+  let r = reader payload in
+  match
+    let* code = read_u8 r in
+    let* detail = read_bytes r in
+    let* () = expect_end r in
+    Ok (code, detail)
+  with
+  | Ok v -> Some v
+  | Error _ -> None

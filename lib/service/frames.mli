@@ -1,0 +1,56 @@
+(** The authority's frame protocol: every message on a connection is one
+    length-prefixed frame
+
+    {v u32 length | u8 tag | payload (length - 1 bytes) v}
+
+    reusing {!Peace_core.Wire} for the integers, so both ends share the
+    simulator's codec. The request payloads are the PEACE protocol
+    messages serialised by {!Peace_core.Messages} — the server terminates
+    {e real} (M.1)/(M.2)/(M.3) exchanges, not a mock.
+
+    One request frame always produces exactly one response frame, so a
+    client may pipeline. A frame that fails to parse at this layer is not
+    recoverable (the stream has lost sync) and the server closes the
+    connection after counting it; a payload that fails to parse one layer
+    up ({!Peace_core.Messages} decoders) is answered with {!Rejected} and
+    the connection continues. *)
+
+(** Frame tags. Requests are client->server; responses server->client. *)
+type tag =
+  | Get_beacon  (** request the router's current (M.1); empty payload *)
+  | Access  (** payload: (M.2) access request bytes *)
+  | Ping  (** liveness probe; empty payload *)
+  | Beacon  (** payload: (M.1) beacon bytes *)
+  | Confirm  (** payload: (M.3) access confirm bytes *)
+  | Rejected  (** payload: u8 error code ++ length-prefixed detail string *)
+  | Pong
+
+val tag_to_int : tag -> int
+val tag_of_int : int -> tag option
+
+val max_frame : int
+(** Upper bound on [length] (4 MiB): a lying length prefix cannot make the
+    server allocate without bound. *)
+
+val write : Unix.file_descr -> tag -> string -> (unit, string) result
+
+val read :
+  Unix.file_descr ->
+  (tag * string, [ `Eof | `Timeout | `Err of string ]) result
+(** Blocking read of one frame. [`Eof] only at a clean frame boundary —
+    end-of-file mid-frame is [`Err "truncated frame"], which is how a
+    deliberately truncated frame from the load generator shows up in the
+    server's error counters. [`Timeout] surfaces an {!Peace_sock.set_timeout}
+    deadline with no bytes consumed, so the read can simply be retried. *)
+
+(** {1 Rejection payloads} *)
+
+val error_code : Peace_core.Protocol_error.t -> int
+(** Stable wire code for each protocol error class (1..14; 0 is reserved
+    for transport-level problems reported as {!Rejected} frames). *)
+
+val error_name : int -> string
+(** Human-readable name for a wire code (["?"] when unknown). *)
+
+val rejected_payload : code:int -> detail:string -> string
+val parse_rejected : string -> (int * string) option

@@ -1,0 +1,34 @@
+open Peace_core
+
+type t = {
+  tb_config : Config.t;
+  tb_deployment : Deployment.t;
+  tb_router : Mesh_router.t;
+  tb_users : User.t list;
+}
+
+let make ?params ?(seed = "live-authority") ~n_users () =
+  if n_users < 1 then invalid_arg "Testbed.make: n_users must be >= 1";
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Lazy.force Peace_pairing.Params.tiny
+  in
+  let config = Config.default ~clock:Clock.system params in
+  let deployment = Deployment.create ~seed config in
+  let _gm = Deployment.add_group deployment ~group_id:1 ~size:n_users in
+  let router = Deployment.add_router deployment ~router_id:1 in
+  let users =
+    List.init n_users (fun i ->
+        let uid = Printf.sprintf "u%d" i in
+        let identity =
+          Identity.make ~uid
+            ~name:(Printf.sprintf "Load User %d" i)
+            ~national_id:(Printf.sprintf "000-00-%04d" i)
+            [ { Identity.group_id = 1; description = "load-test member" } ]
+        in
+        match Deployment.add_user deployment identity with
+        | Ok user -> user
+        | Error reason -> failwith ("Testbed.make: " ^ uid ^ ": " ^ reason))
+  in
+  { tb_config = config; tb_deployment = deployment; tb_router = router; tb_users = users }

@@ -1,0 +1,34 @@
+(** Deterministic live-service fixture.
+
+    The authority server and the load generator usually run as separate
+    processes, yet the client must hold member keys the server's group
+    public key accepts. {!Deployment} construction is deterministic for a
+    given seed, so both sides simply rebuild the same deployment — same
+    [~params], [~seed] and [~n_users] on both commands — and end up with
+    matching key material without ever shipping secrets: the server keeps
+    the router, the client keeps the users, and everything the protocol
+    needs in between travels inside (M.1).
+
+    Unlike the simulator's fixtures this one runs on {!Clock.system}:
+    live handshakes carry wall-clock timestamps and the replay window is
+    enforced in real time. *)
+
+open Peace_core
+
+type t = {
+  tb_config : Config.t;
+  tb_deployment : Deployment.t;
+  tb_router : Mesh_router.t;  (** certified, lists installed (server side) *)
+  tb_users : User.t list;  (** enrolled members, [n_users] of them *)
+}
+
+val make :
+  ?params:Peace_pairing.Params.t ->
+  ?seed:string ->
+  n_users:int ->
+  unit ->
+  t
+(** Builds operator + TTP + one user group of [n_users] + router 1 + the
+    enrolled users, on the system clock. Defaults: [tiny] params, seed
+    ["live-authority"].
+    @raise Invalid_argument if [n_users < 1]. *)

@@ -1,0 +1,371 @@
+(* Live-service tests: address parsing, the frame codec against hostile
+   streams, the authority end-to-end over real sockets (happy path,
+   malformed payloads, truncated frames, graceful shutdown), and the load
+   generator's statistics. *)
+
+open Peace_core
+module Sock = Peace_sock
+module Frames = Peace_service.Frames
+module Testbed = Peace_service.Testbed
+module Authority = Peace_service.Authority
+module Loadgen = Peace_service.Loadgen
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+(* --- Peace_sock --- *)
+
+let test_addr_parsing () =
+  let round s expect =
+    match Sock.addr_of_string s with
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+    | Ok a -> Alcotest.(check string) s expect (Sock.addr_to_string a)
+  in
+  round "tcp:127.0.0.1:7464" "tcp:127.0.0.1:7464";
+  round "127.0.0.1:0" "tcp:127.0.0.1:0";
+  round "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  List.iter
+    (fun bad ->
+      match Sock.addr_of_string bad with
+      | Ok _ -> Alcotest.failf "%S accepted" bad
+      | Error _ -> ())
+    [ ""; "tcp:"; "tcp:host"; "host:notaport"; "tcp:h:99999"; "unix:" ]
+
+let test_listen_errors () =
+  (* double-bind the same TCP port: the second listen is an Error, not an
+     exception *)
+  let fd, bound =
+    ok_or_fail "first listen" (Sock.listen (Sock.Tcp ("127.0.0.1", 0)))
+  in
+  Fun.protect
+    ~finally:(fun () -> Sock.close_noerr fd)
+    (fun () ->
+      match Sock.listen bound with
+      | Ok (fd2, _) ->
+        Sock.close_noerr fd2;
+        Alcotest.fail "double bind accepted"
+      | Error msg ->
+        Alcotest.(check bool)
+          "mentions the address" true
+          (Astring.String.is_infix ~affix:"127.0.0.1" msg));
+  (* an over-long Unix path is an Error before bind is even attempted *)
+  match Sock.listen (Sock.Unix_path (String.make 200 'p')) with
+  | Ok (fd, _) ->
+    Sock.close_noerr fd;
+    Alcotest.fail "over-long unix path accepted"
+  | Error _ -> ()
+
+(* --- frame codec over a socketpair --- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Sock.close_noerr a;
+      Sock.close_noerr b)
+    (fun () -> f a b)
+
+let test_frame_round_trip () =
+  with_socketpair (fun a b ->
+      List.iter
+        (fun (tag, payload) ->
+          ok_or_fail "write" (Frames.write a tag payload);
+          match Frames.read b with
+          | Ok (tag', payload') ->
+            Alcotest.(check int)
+              "tag" (Frames.tag_to_int tag) (Frames.tag_to_int tag');
+            Alcotest.(check string) "payload" payload payload'
+          | Error _ -> Alcotest.fail "read failed")
+        [
+          (Frames.Ping, "");
+          (Frames.Access, "some payload");
+          (Frames.Rejected, Frames.rejected_payload ~code:3 ~detail:"nope");
+        ])
+
+let test_frame_truncated () =
+  (* half a frame then EOF: mid-frame close is `Err, not `Eof *)
+  with_socketpair (fun a b ->
+      let w = Wire.writer () in
+      Wire.u32 w 100;
+      Wire.u8 w (Frames.tag_to_int Frames.Access);
+      Wire.raw w "only-a-little";
+      ok_or_fail "write" (Sock.write_all a (Wire.contents w));
+      Sock.close_noerr a;
+      match Frames.read b with
+      | Error (`Err _) -> ()
+      | Error `Eof -> Alcotest.fail "mid-frame close reported as clean Eof"
+      | Error `Timeout -> Alcotest.fail "unexpected timeout"
+      | Ok _ -> Alcotest.fail "truncated frame decoded");
+  (* clean close at a frame boundary is `Eof *)
+  with_socketpair (fun a b ->
+      Sock.close_noerr a;
+      match Frames.read b with
+      | Error `Eof -> ()
+      | _ -> Alcotest.fail "boundary close is not Eof")
+
+let test_frame_oversized () =
+  with_socketpair (fun a b ->
+      let w = Wire.writer () in
+      Wire.u32 w (Frames.max_frame + 1);
+      Wire.u8 w 2;
+      ok_or_fail "write" (Sock.write_all a (Wire.contents w));
+      (match Frames.read b with
+      | Error (`Err _) -> ()
+      | _ -> Alcotest.fail "oversized length prefix accepted");
+      (* writing an oversized frame is refused locally too *)
+      match Frames.write a Frames.Access (String.make (Frames.max_frame + 1) 'x') with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "oversized write accepted")
+
+let test_rejected_payload () =
+  (match Frames.parse_rejected (Frames.rejected_payload ~code:7 ~detail:"d") with
+  | Some (7, "d") -> ()
+  | _ -> Alcotest.fail "rejected payload round trip");
+  Alcotest.(check (option (pair int string))) "garbage" None
+    (Frames.parse_rejected "\x07nope");
+  (* every protocol error class maps to a distinct nonzero stable code
+     (Malformed_frame and Malformed deliberately share 14) *)
+  let errs =
+    Protocol_error.
+      [
+        Stale_timestamp; Bad_router_certificate Cert.Expired; Router_revoked;
+        Bad_beacon_signature; Bad_revocation_list; Invalid_group_signature;
+        User_revoked; Puzzle_required; Bad_puzzle_solution; Unknown_session;
+        Decryption_failed; No_group_key; Timeout; Malformed_frame;
+      ]
+  in
+  let codes = List.map Frames.error_code errs in
+  Alcotest.(check int) "codes distinct" (List.length errs)
+    (List.length (List.sort_uniq compare codes));
+  Alcotest.(check int) "Malformed shares 14"
+    (Frames.error_code Protocol_error.Malformed_frame)
+    (Frames.error_code (Protocol_error.Malformed "x"));
+  List.iter (fun c -> Alcotest.(check bool) "nonzero" true (c > 0)) codes
+
+(* --- the authority, end to end --- *)
+
+let fresh_sock_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "peace-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_authority ?(n_users = 2) ?(workers = 2) f =
+  let testbed = Testbed.make ~seed:"service-test" ~n_users () in
+  let server =
+    ok_or_fail "start"
+      (Authority.start ~workers ~config:testbed.Testbed.tb_config
+         ~router:testbed.Testbed.tb_router
+         (Sock.Unix_path (fresh_sock_path ())))
+  in
+  Fun.protect ~finally:(fun () -> Authority.stop server) (fun () -> f testbed server)
+
+let connect_to server =
+  let fd = ok_or_fail "connect" (Sock.connect (Authority.bound_addr server)) in
+  Sock.set_timeout fd 5.0;
+  fd
+
+let request fd tag payload =
+  ok_or_fail "write" (Frames.write fd tag payload);
+  match Frames.read fd with
+  | Ok reply -> reply
+  | Error `Eof -> Alcotest.fail "server closed unexpectedly"
+  | Error `Timeout -> Alcotest.fail "server did not answer in time"
+  | Error (`Err e) -> Alcotest.failf "frame error: %s" e
+
+let full_handshake testbed fd ~user =
+  let config = testbed.Testbed.tb_config in
+  let gpk = Mesh_router.current_gpk testbed.Testbed.tb_router in
+  let beacon =
+    match request fd Frames.Get_beacon "" with
+    | Frames.Beacon, bytes -> (
+      match Messages.beacon_of_bytes config bytes with
+      | Some b -> b
+      | None -> Alcotest.fail "undecodable beacon")
+    | _ -> Alcotest.fail "expected Beacon"
+  in
+  let req, pending =
+    match User.process_beacon user beacon with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "process_beacon: %s" (Protocol_error.to_string e)
+  in
+  match
+    request fd Frames.Access (Messages.access_request_to_bytes config gpk req)
+  with
+  | Frames.Confirm, bytes -> (
+    match Messages.access_confirm_of_bytes config bytes with
+    | Some confirm -> (
+      match User.process_confirm user pending confirm with
+      | Ok session -> session
+      | Error e ->
+        Alcotest.failf "process_confirm: %s" (Protocol_error.to_string e))
+    | None -> Alcotest.fail "undecodable confirm")
+  | Frames.Rejected, payload ->
+    let detail =
+      match Frames.parse_rejected payload with
+      | Some (code, d) -> Frames.error_name code ^ ": " ^ d
+      | None -> "?"
+    in
+    Alcotest.failf "rejected: %s" detail
+  | _ -> Alcotest.fail "expected Confirm"
+
+let test_authority_handshake () =
+  with_authority (fun testbed server ->
+      let fd = connect_to server in
+      Fun.protect
+        ~finally:(fun () -> Sock.close_noerr fd)
+        (fun () ->
+          (match request fd Frames.Ping "" with
+          | Frames.Pong, _ -> ()
+          | _ -> Alcotest.fail "expected Pong");
+          let user = List.hd testbed.Testbed.tb_users in
+          let _session = full_handshake testbed fd ~user in
+          (* same connection still serves after a completed handshake *)
+          match request fd Frames.Ping "" with
+          | Frames.Pong, _ -> ()
+          | _ -> Alcotest.fail "connection dead after handshake"))
+
+let test_authority_malformed () =
+  with_authority (fun testbed server ->
+      let fd = connect_to server in
+      Fun.protect
+        ~finally:(fun () -> Sock.close_noerr fd)
+        (fun () ->
+          (* garbage (M.2): Rejected, and the connection survives *)
+          (match request fd Frames.Access "complete garbage" with
+          | Frames.Rejected, payload ->
+            (match Frames.parse_rejected payload with
+            | Some (code, _) ->
+              Alcotest.(check string) "decode error code" "malformed"
+                (Frames.error_name code)
+            | None -> Alcotest.fail "unparseable Rejected payload")
+          | _ -> Alcotest.fail "garbage not Rejected");
+          (* a response-direction tag is Rejected too *)
+          (match request fd Frames.Confirm "" with
+          | Frames.Rejected, _ -> ()
+          | _ -> Alcotest.fail "response tag not Rejected");
+          (* and real work still succeeds on the very same connection *)
+          let user = List.hd testbed.Testbed.tb_users in
+          let _session = full_handshake testbed fd ~user in
+          ()))
+
+let test_authority_truncated_frame () =
+  with_authority (fun testbed server ->
+      (* connection 1 sends half a frame and hangs up: the server drops it
+         without taking anyone else down *)
+      let fd1 = connect_to server in
+      let w = Wire.writer () in
+      Wire.u32 w 500;
+      Wire.u8 w (Frames.tag_to_int Frames.Access);
+      Wire.raw w "half";
+      ok_or_fail "write" (Sock.write_all fd1 (Wire.contents w));
+      Sock.close_noerr fd1;
+      (* connection 2 is unaffected *)
+      let fd2 = connect_to server in
+      Fun.protect
+        ~finally:(fun () -> Sock.close_noerr fd2)
+        (fun () ->
+          let user = List.hd testbed.Testbed.tb_users in
+          let _session = full_handshake testbed fd2 ~user in
+          ()))
+
+let test_authority_stop_idempotent () =
+  let testbed = Testbed.make ~seed:"service-test" ~n_users:1 () in
+  let path = fresh_sock_path () in
+  let server =
+    ok_or_fail "start"
+      (Authority.start ~config:testbed.Testbed.tb_config
+         ~router:testbed.Testbed.tb_router (Sock.Unix_path path))
+  in
+  Authority.stop server;
+  Authority.stop server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+  (* the address is free for the next server immediately *)
+  let server2 =
+    ok_or_fail "restart"
+      (Authority.start ~config:testbed.Testbed.tb_config
+         ~router:testbed.Testbed.tb_router (Sock.Unix_path path))
+  in
+  Authority.stop server2
+
+(* --- loadgen statistics --- *)
+
+let test_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Loadgen.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Loadgen.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.5 (Loadgen.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Loadgen.percentile [||] 99.0);
+  Alcotest.(check (float 1e-9)) "single" 7.0 (Loadgen.percentile [| 7.0 |] 95.0)
+
+let test_impairment_parsing () =
+  (match Loadgen.impairments_of_string "jitter:2.5,drop:0.05,malformed:0.1,truncate:0" with
+  | Ok i ->
+    Alcotest.(check (float 1e-9)) "jitter" 2.5 i.Loadgen.im_jitter_ms;
+    Alcotest.(check (float 1e-9)) "drop" 0.05 i.Loadgen.im_drop_p;
+    Alcotest.(check (float 1e-9)) "malformed" 0.1 i.Loadgen.im_malformed_p;
+    Alcotest.(check bool) "not empty" false (Loadgen.is_no_impairments i)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Loadgen.impairments_of_string bad with
+      | Ok _ -> Alcotest.failf "%S accepted" bad
+      | Error _ -> ())
+    [ "drop:1.5"; "drop:-0.1"; "jitter:-1"; "wat:3"; "drop" ]
+
+let test_loadgen_against_authority () =
+  with_authority ~n_users:2 (fun testbed server ->
+      match
+        Loadgen.run
+          ~connect:(Authority.bound_addr server)
+          ~testbed ~concurrency:2 ~duration_s:0.5
+          ~impair:
+            { Loadgen.no_impairments with Loadgen.im_malformed_p = 0.2 }
+          ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        Alcotest.(check bool) "made progress" true (r.Loadgen.lr_ok > 0);
+        Alcotest.(check int)
+          "latencies = ok" r.Loadgen.lr_ok
+          (Array.length r.Loadgen.lr_latencies_ms);
+        Alcotest.(check bool)
+          "throughput > 0" true (r.Loadgen.lr_throughput_rps > 0.0))
+
+let suite =
+  [
+    ( "sock",
+      [
+        Alcotest.test_case "address parsing" `Quick test_addr_parsing;
+        Alcotest.test_case "listen errors" `Quick test_listen_errors;
+      ] );
+    ( "frames",
+      [
+        Alcotest.test_case "round trip" `Quick test_frame_round_trip;
+        Alcotest.test_case "truncated stream" `Quick test_frame_truncated;
+        Alcotest.test_case "oversized frame" `Quick test_frame_oversized;
+        Alcotest.test_case "rejected payloads" `Quick test_rejected_payload;
+      ] );
+    ( "authority",
+      [
+        Alcotest.test_case "handshake end to end" `Quick test_authority_handshake;
+        Alcotest.test_case "malformed payloads survive" `Quick
+          test_authority_malformed;
+        Alcotest.test_case "truncated frame isolates" `Quick
+          test_authority_truncated_frame;
+        Alcotest.test_case "stop is graceful + idempotent" `Quick
+          test_authority_stop_idempotent;
+      ] );
+    ( "loadgen",
+      [
+        Alcotest.test_case "percentiles" `Quick test_percentile;
+        Alcotest.test_case "impairment grammar" `Quick test_impairment_parsing;
+        Alcotest.test_case "against a live authority" `Quick
+          test_loadgen_against_authority;
+      ] );
+  ]
+
+let () = Alcotest.run "peace-service" suite

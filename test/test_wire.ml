@@ -91,6 +91,141 @@ let test_length_prefix_lies () =
   | Ok _ -> Alcotest.fail "lying length accepted"
   | Error _ -> ()
 
+(* --- adversarial input through every Messages decoder ---
+
+   Real encodings of all six protocol messages, then every mutilation a
+   hostile client can produce: truncation at each byte, trailing garbage,
+   a lying length prefix, single-byte corruption. Decoders must return
+   [None] or a decoded value — never raise — and [expect_end] must make
+   any trailing bytes fatal. *)
+
+type fixture = { fx_label : string; fx_bytes : string; fx_decodes : string -> bool }
+
+let message_fixtures =
+  lazy
+    (let config = Config.tiny_test ~clock:(Clock.manual ~start:1_000_000 ()) () in
+     let d = Deployment.create ~seed:"wire-adversary" config in
+     let _gm = Deployment.add_group d ~group_id:1 ~size:4 in
+     let router = Deployment.add_router d ~router_id:1 in
+     let user uid =
+       let identity =
+         Identity.make ~uid ~name:"N" ~national_id:"x"
+           [ { Identity.group_id = 1; description = "member" } ]
+       in
+       match Deployment.add_user d identity with
+       | Ok u -> u
+       | Error e -> Alcotest.failf "fixture user: %s" e
+     in
+     let alice = user "alice" and bob = user "bob" in
+     let gpk = Mesh_router.current_gpk router in
+     let ok = function
+       | Ok v -> v
+       | Error e -> Alcotest.failf "fixture: %s" (Protocol_error.to_string e)
+     in
+     let beacon = Mesh_router.beacon router in
+     let request, _pending = ok (User.process_beacon alice beacon) in
+     let confirm, _session = ok (Mesh_router.handle_access_request router request) in
+     let hello, pending_peer = ok (User.peer_hello alice ~g:beacon.Messages.g ()) in
+     let response, pending_resp = ok (User.process_peer_hello bob hello) in
+     let peer_confirm, _ = ok (User.process_peer_response alice pending_peer response) in
+     let _ = ok (User.process_peer_confirm bob pending_resp peer_confirm) in
+     let some f s = Option.is_some (f s) in
+     [
+       {
+         fx_label = "beacon";
+         fx_bytes = Messages.beacon_to_bytes config beacon;
+         fx_decodes = some (Messages.beacon_of_bytes config);
+       };
+       {
+         fx_label = "access_request";
+         fx_bytes = Messages.access_request_to_bytes config gpk request;
+         fx_decodes = some (Messages.access_request_of_bytes config gpk);
+       };
+       {
+         fx_label = "access_confirm";
+         fx_bytes = Messages.access_confirm_to_bytes config confirm;
+         fx_decodes = some (Messages.access_confirm_of_bytes config);
+       };
+       {
+         fx_label = "peer_hello";
+         fx_bytes = Messages.peer_hello_to_bytes config gpk hello;
+         fx_decodes = some (Messages.peer_hello_of_bytes config gpk);
+       };
+       {
+         fx_label = "peer_response";
+         fx_bytes = Messages.peer_response_to_bytes config gpk response;
+         fx_decodes = some (Messages.peer_response_of_bytes config gpk);
+       };
+       {
+         fx_label = "peer_confirm";
+         fx_bytes = Messages.peer_confirm_to_bytes config peer_confirm;
+         fx_decodes = some (Messages.peer_confirm_of_bytes config);
+       };
+     ])
+
+let each_fixture f = List.iter f (Lazy.force message_fixtures)
+
+let test_messages_round_trip () =
+  each_fixture (fun fx ->
+      if not (fx.fx_decodes fx.fx_bytes) then
+        Alcotest.failf "%s: pristine encoding does not decode" fx.fx_label)
+
+let test_messages_truncation () =
+  (* every proper prefix must be rejected, without exception *)
+  each_fixture (fun fx ->
+      for cut = 0 to String.length fx.fx_bytes - 1 do
+        match fx.fx_decodes (String.sub fx.fx_bytes 0 cut) with
+        | true -> Alcotest.failf "%s: truncation at %d accepted" fx.fx_label cut
+        | false -> ()
+        | exception e ->
+          Alcotest.failf "%s: truncation at %d raised %s" fx.fx_label cut
+            (Printexc.to_string e)
+      done)
+
+let test_messages_trailing_garbage () =
+  (* expect_end: one extra byte after a perfect encoding is fatal *)
+  each_fixture (fun fx ->
+      List.iter
+        (fun junk ->
+          if fx.fx_decodes (fx.fx_bytes ^ junk) then
+            Alcotest.failf "%s: trailing %S accepted" fx.fx_label junk)
+        [ "\x00"; "x"; "junkjunk" ])
+
+let test_messages_oversized_length () =
+  (* corrupt each 4-byte window into a huge u32: wherever that lands on a
+     length prefix it now lies far past the end of the input *)
+  each_fixture (fun fx ->
+      let n = String.length fx.fx_bytes in
+      let step = Stdlib.max 1 (n / 64) in
+      let i = ref 0 in
+      while !i + 4 <= n do
+        let b = Bytes.of_string fx.fx_bytes in
+        Bytes.set_int32_be b !i 0x7fffffffl;
+        (match fx.fx_decodes (Bytes.to_string b) with
+        | true | false -> ()
+        | exception e ->
+          Alcotest.failf "%s: huge u32 at %d raised %s" fx.fx_label !i
+            (Printexc.to_string e));
+        i := !i + step
+      done)
+
+let test_messages_byte_flip () =
+  (* single corrupted bytes may or may not decode, but must never raise *)
+  each_fixture (fun fx ->
+      let n = String.length fx.fx_bytes in
+      let step = Stdlib.max 1 (n / 128) in
+      let i = ref 0 in
+      while !i < n do
+        let b = Bytes.of_string fx.fx_bytes in
+        Bytes.set b !i (Char.chr (Char.code (Bytes.get b !i) lxor 0xff));
+        (match fx.fx_decodes (Bytes.to_string b) with
+        | true | false -> ()
+        | exception e ->
+          Alcotest.failf "%s: flipped byte %d raised %s" fx.fx_label !i
+            (Printexc.to_string e));
+        i := !i + step
+      done)
+
 let qcheck_tests =
   [
     QCheck.Test.make ~name:"bytes round trip" ~count:200 QCheck.string (fun s ->
@@ -125,6 +260,15 @@ let suite =
         Alcotest.test_case "truncation" `Quick test_truncation;
         Alcotest.test_case "trailing bytes" `Quick test_trailing;
         Alcotest.test_case "lying length prefix" `Quick test_length_prefix_lies;
+      ] );
+    ( "messages-adversarial",
+      [
+        Alcotest.test_case "round trip" `Quick test_messages_round_trip;
+        Alcotest.test_case "truncation sweep" `Quick test_messages_truncation;
+        Alcotest.test_case "trailing garbage" `Quick test_messages_trailing_garbage;
+        Alcotest.test_case "oversized length prefix" `Quick
+          test_messages_oversized_length;
+        Alcotest.test_case "byte flips never raise" `Quick test_messages_byte_flip;
       ] );
     ("wire-properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
   ]
