@@ -1028,6 +1028,70 @@ let experiment_e16 () =
      requests cost their sender, not the server).\n"
 
 (* ================================================================== *)
+(* E17: the cost of watching — trace propagation + flight recorder    *)
+(* ================================================================== *)
+
+(* The E16 closed-loop path, twice: once dark, once with everything the
+   observability layer adds in this PR turned on — per-handshake span
+   trees on both sides of the wire (sink into a memory buffer, so the
+   cost measured is instrumentation + the Traced envelope, not disk),
+   the flight recorder at Debug, and a runtime sample per handshake
+   batch. The acceptance bar is <5% throughput overhead: tracing you
+   cannot afford to leave on is tracing nobody turns on. *)
+
+let experiment_e17 () =
+  hr "E17 Observability overhead: wire tracing + flight recorder on the live path";
+  let module Lg = Peace_service.Loadgen in
+  let module Slo = Peace_service.Slo in
+  let module Trace = Peace_obs.Trace in
+  let module Log = Peace_obs.Log in
+  let duration_s = if quick then 1.0 else 3.0 in
+  let concurrency = if quick then 2 else 4 in
+  let run label =
+    match Slo.run ~n_users:concurrency ~workers:2 ~concurrency ~duration_s () with
+    | Error e -> failwith ("E17 " ^ label ^ ": " ^ e)
+    | Ok { Slo.slo_report = r; _ } -> r
+  in
+  let baseline = run "baseline" in
+  (* the sink serialises under Trace's lock, so a plain Buffer is safe *)
+  let sink_buf = Buffer.create (1 lsl 20) in
+  let traced =
+    Log.set_level Log.Debug;
+    Trace.set_sink (Some (fun line -> Buffer.add_string sink_buf line));
+    Fun.protect
+      ~finally:(fun () -> Trace.set_sink None)
+      (fun () -> run "traced")
+  in
+  let b = baseline.Lg.lr_throughput_rps and t = traced.Lg.lr_throughput_rps in
+  let overhead_pct = if b > 0.0 then 100.0 *. (b -. t) /. b else 0.0 in
+  let p = Lg.percentile in
+  Printf.printf "%-22s %9s %9s %9s %12s\n" "row" "auth/s" "p50 ms" "p99 ms"
+    "spans (B+E)";
+  Printf.printf "%-22s %9.1f %9.2f %9.2f %12s\n" "dark" b
+    (p baseline.Lg.lr_latencies_ms 50.0)
+    (p baseline.Lg.lr_latencies_ms 99.0)
+    "-";
+  let span_lines =
+    (* each span emitted one B and one E line into the buffer *)
+    Buffer.length sink_buf
+  in
+  Printf.printf "%-22s %9.1f %9.2f %9.2f %11dB\n" "traced+flight" t
+    (p traced.Lg.lr_latencies_ms 50.0)
+    (p traced.Lg.lr_latencies_ms 99.0)
+    span_lines;
+  Printf.printf "throughput overhead: %.1f%% (target < 5%%)\n" overhead_pct;
+  Bench_record.add ~better:Bench_record.Higher ~unit_:"ops"
+    "e17.baseline.throughput_rps" b;
+  Bench_record.add ~better:Bench_record.Higher ~unit_:"ops"
+    "e17.traced.throughput_rps" t;
+  Bench_record.add ~unit_:"pct" "e17.overhead_pct" overhead_pct;
+  Printf.printf
+    "\nshape check: the traced row pays one Traced envelope (14 bytes) per\n\
+     request plus four JSONL span events per handshake side; the span\n\
+     budget is dominated by the signature verify either way, so the two\n\
+     rows should sit within run-to-run noise of each other.\n"
+
+(* ================================================================== *)
 (* Ablations (DESIGN.md §6)                                           *)
 (* ================================================================== *)
 
@@ -1179,6 +1243,7 @@ let experiments =
     ("E14", experiment_e14);
     ("E15", experiment_e15);
     ("E16", experiment_e16);
+    ("E17", experiment_e17);
     ("ABL", ablations);
   ]
 

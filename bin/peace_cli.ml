@@ -630,7 +630,7 @@ let bench_verify_cmd =
 
 module J = Peace_obs.Obs_json
 
-let bench_report old_path new_path threshold json_out =
+let bench_report old_path new_path threshold json_out update_baseline =
   let load path =
     match J.parse (read_file path) with
     | Error e ->
@@ -759,10 +759,17 @@ let bench_report old_path new_path threshold json_out =
         ]
     in
     write_file path (doc ^ "\n"));
+  if update_baseline then begin
+    (* adopt the new run as the reference the next diff compares against;
+       the diff above still prints, but regressions no longer fail — that
+       is the point of re-baselining *)
+    write_file old_path (read_file new_path);
+    Printf.printf "baseline %s updated from %s\n" old_path new_path
+  end;
   if !regressions > 0 then begin
     Printf.printf "%d metric(s) regressed beyond %.1f%%\n" !regressions
       threshold;
-    exit 1
+    if not update_baseline then exit 1
   end
   else print_endline "no regressions"
 
@@ -789,10 +796,21 @@ let bench_report_cmd =
              (schema 1: per-row status/old/new/pct_worse/verdict plus a \
              regression count) so CI can post regressions.")
   in
+  let update_baseline =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "After printing the diff, overwrite $(b,OLD.json) with \
+             $(b,NEW.json)'s contents and exit 0 even on regressions — the \
+             one-step way to adopt a new run as the committed baseline.")
+  in
   Cmd.v
     (Cmd.info "bench-report"
        ~doc:"Diff two benchmark result files and fail on regressions")
-    Term.(const bench_report $ old_path $ new_path $ threshold $ json_out)
+    Term.(
+      const bench_report $ old_path $ new_path $ threshold $ json_out
+      $ update_baseline)
 
 (* --- stats --- *)
 
@@ -1067,9 +1085,10 @@ let make_testbed params_src seed n_users =
   end;
   Service.Testbed.make ~params:(load_params params_src) ~seed ~n_users ()
 
-let serve_auth params_src testbed_seed n_users addr workers verify_domains
-    beacon_period_ms announce duration =
+let serve_auth trace params_src testbed_seed n_users addr workers verify_domains
+    beacon_period_ms announce duration metrics_port metrics_announce =
   Peace_sock.ignore_sigpipe ();
+  with_trace trace @@ fun () ->
   let testbed = make_testbed params_src testbed_seed n_users in
   let server =
     or_die
@@ -1081,6 +1100,48 @@ let serve_auth params_src testbed_seed n_users addr workers verify_domains
   (match announce with
   | Some path -> write_file path (bound ^ "\n")
   | None -> ());
+  (* --metrics-port brings up the whole ops surface next to the
+     authority: the HTTP listener (metrics, health, flight recorder,
+     series), a runtime sampler feeding a Timeseries behind /series, and
+     a sampling loop. All of it lives on daemon domains that die with
+     the process — the authority's own lifecycle stays untouched. *)
+  (match metrics_port with
+  | None -> ()
+  | Some port ->
+    let sampler = Peace_obs.Timeseries.create () in
+    Peace_obs.Runtime.track sampler;
+    List.iter
+      (fun g -> ignore (Peace_obs.Timeseries.track_gauge sampler g))
+      [
+        "service.connections_active";
+        "service.conn_queue_depth";
+        "service.workers_busy";
+      ];
+    Peace_obs.Serve.set_series_source (Some sampler);
+    ignore
+      (Domain.spawn (fun () ->
+           while true do
+             Peace_obs.Runtime.sample ();
+             Peace_obs.Timeseries.sample sampler;
+             Unix.sleepf 0.5
+           done));
+    ignore
+      (Domain.spawn (fun () ->
+           match
+             Peace_obs.Serve.serve ~port
+               ~on_listen:(fun p ->
+                 (match metrics_announce with
+                 | Some path -> write_file path (string_of_int p ^ "\n")
+                 | None -> ());
+                 Printf.eprintf
+                   "peace serve-auth: metrics on http://127.0.0.1:%d (GET \
+                    /metrics, /healthz, /flight, /series)\n\
+                    %!"
+                   p)
+               ()
+           with
+           | Ok () -> ()
+           | Error msg -> Printf.eprintf "metrics listener: %s\n%!" msg)));
   Printf.eprintf
     "peace serve-auth: authority on %s (%d workers, %d verify domains, %d \
      users; ctrl-c to stop)\n\
@@ -1138,15 +1199,36 @@ let serve_auth_cmd =
       & info [ "duration" ] ~docv:"SECONDS"
           ~doc:"Exit after $(docv) seconds (default: serve until a signal).")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"N"
+          ~doc:
+            "Also run the ops HTTP listener on this TCP port (0 = kernel \
+             pick): /metrics, /healthz with the authority's health checks, \
+             /flight, /series with runtime + service gauges sampled twice a \
+             second.")
+  in
+  let metrics_announce =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-announce" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound metrics port to $(docv) once listening (useful \
+             with --metrics-port 0).")
+  in
   Cmd.v
     (Cmd.info "serve-auth"
        ~doc:
          "Run the live PEACE authentication authority (real (M.1)/(M.2)/(M.3) \
           handshakes over TCP or Unix-domain sockets)")
     Term.(
-      const serve_auth $ params_arg $ testbed_seed_arg $ users_arg
+      const serve_auth $ trace_arg $ params_arg $ testbed_seed_arg $ users_arg
       $ addr_arg ~default:(Peace_sock.Tcp ("127.0.0.1", 7464))
-      $ workers $ verify_domains $ beacon_period $ announce $ duration)
+      $ workers $ verify_domains $ beacon_period $ announce $ duration
+      $ metrics_port $ metrics_announce)
 
 let concurrency_arg =
   Arg.(
@@ -1183,10 +1265,13 @@ let report_or_die = function
     (* a run that never completed one handshake is a failed measurement *)
     if report.Service.Loadgen.lr_ok = 0 then exit 1
 
-let loadgen params_src testbed_seed n_users addr concurrency rate duration
+let loadgen trace params_src testbed_seed n_users addr concurrency rate duration
     impair seed timeout =
   Peace_sock.ignore_sigpipe ();
   let testbed = make_testbed params_src testbed_seed n_users in
+  (* with a sink installed, every handshake emits a span tree AND sends
+     its trace context over the wire, so the server's spans join it *)
+  with_trace trace @@ fun () ->
   report_or_die
     (Service.Loadgen.run ~connect:addr ~testbed ~concurrency ?rate
        ~duration_s:duration ~impair ~seed ~timeout_s:timeout ())
@@ -1203,23 +1288,44 @@ let loadgen_cmd =
          "Drive real PEACE handshakes against a running serve-auth and \
           report p50/p95/p99 latency, throughput, and the error breakdown")
     Term.(
-      const loadgen $ params_arg $ testbed_seed_arg $ users_arg
+      const loadgen $ trace_arg $ params_arg $ testbed_seed_arg $ users_arg
       $ addr_arg ~default:(Peace_sock.Tcp ("127.0.0.1", 7464))
       $ concurrency_arg $ rate_arg $ duration_arg $ impair_arg $ lg_seed_arg
       $ timeout)
 
 let slo params_src n_users workers verify_domains concurrency rate duration
-    impair seed =
+    impair seed json_out trace_out rev =
   Peace_sock.ignore_sigpipe ();
+  (* --trace-out captures BOTH sides of every handshake: client and
+     server live in this one process, so one sink sees the loadgen root
+     spans and the authority's remote-continued service.request spans,
+     already stitched by trace id *)
+  let with_trace_out f =
+    match trace_out with
+    | None -> f ()
+    | Some path -> Peace_obs.Trace.with_file path f
+  in
   match
-    Service.Slo.run ~params:(load_params params_src) ~n_users ~workers
-      ~verify_domains ~concurrency ?rate ~duration_s:duration ~impair ~seed ()
+    with_trace_out (fun () ->
+        Service.Slo.run ~params:(load_params params_src) ~n_users ~workers
+          ~verify_domains ~concurrency ?rate ~duration_s:duration ~impair ~seed
+          ())
   with
   | Error e ->
     prerr_endline ("error: " ^ e);
     exit 1
   | Ok r ->
     Service.Slo.print r;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let date =
+        let t = Unix.gmtime (Unix.gettimeofday ()) in
+        Printf.sprintf "%04d-%02d-%02d" (t.Unix.tm_year + 1900)
+          (t.Unix.tm_mon + 1) t.Unix.tm_mday
+      in
+      write_file path (Service.Slo.bench_json ~rev ~date r);
+      Printf.printf "\nwrote schema-1 bench JSON to %s\n" path);
     if r.Service.Slo.slo_report.Service.Loadgen.lr_ok = 0 then exit 1
 
 let slo_cmd =
@@ -1234,6 +1340,32 @@ let slo_cmd =
       & info [ "verify-domains" ] ~docv:"N"
           ~doc:"Extra server domains for signature verification.")
   in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the results as schema-1 bench JSON (slo.throughput_rps, \
+             .p50_ms, .p95_ms, .p99_ms, .ok_total, .errors_total) so two \
+             runs diff with $(b,peace bench-report).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the distributed span trace (JSONL) of the whole run: \
+             client and server spans of each handshake stitch into one \
+             tree via the wire trace context.")
+  in
+  let rev =
+    Arg.(
+      value & opt string "workdir"
+      & info [ "rev" ] ~docv:"REV"
+          ~doc:"Provenance tag recorded in the --json document.")
+  in
   Cmd.v
     (Cmd.info "slo"
        ~doc:
@@ -1241,7 +1373,220 @@ let slo_cmd =
           load it, and report latency percentiles plus server counters")
     Term.(
       const slo $ params_arg $ users_arg $ workers $ verify_domains
-      $ concurrency_arg $ rate_arg $ duration_arg $ impair_arg $ lg_seed_arg)
+      $ concurrency_arg $ rate_arg $ duration_arg $ impair_arg $ lg_seed_arg
+      $ json_out $ trace_out $ rev)
+
+(* --- watch --- *)
+
+(* A polling console dashboard over /metrics: scrape, diff against the
+   previous scrape, print one row of rates/latencies/GC deltas. All the
+   state lives server-side in the registry, so watch needs nothing but
+   the Prometheus text — including the latency percentiles, which come
+   out of service_request_ns _bucket series deltas (the same log-bucket
+   math Registry.Histogram.quantile does, over the interval's delta). *)
+
+let prom_parse text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.rindex_opt line ' ' with
+           | None -> None
+           | Some i ->
+             Option.map
+               (fun v -> (String.sub line 0 i, v))
+               (float_of_string_opt
+                  (String.sub line (i + 1) (String.length line - i - 1))))
+
+let prom_value snap name = List.assoc_opt name snap
+
+let prom_sum_prefix snap prefix =
+  List.fold_left
+    (fun acc (name, v) ->
+      if String.starts_with ~prefix name then acc +. v else acc)
+    0.0 snap
+
+(* cumulative le -> count pairs of one histogram family, sorted by le *)
+let prom_buckets snap fam =
+  let prefix = fam ^ "_bucket{le=\"" in
+  List.filter_map
+    (fun (name, v) ->
+      if String.starts_with ~prefix name then begin
+        let le =
+          String.sub name (String.length prefix)
+            (String.length name - String.length prefix - 2)
+        in
+        let le =
+          if le = "+Inf" then infinity else Option.value ~default:nan (float_of_string_opt le)
+        in
+        if Float.is_nan le then None else Some (le, v)
+      end
+      else None)
+    snap
+  |> List.sort compare
+
+(* interval quantile: diff the cumulative buckets between two scrapes and
+   interpolate inside the bucket the rank falls into *)
+let bucket_quantile ~old_snap ~new_snap fam p =
+  let old_b = prom_buckets old_snap fam and new_b = prom_buckets new_snap fam in
+  let delta =
+    List.map
+      (fun (le, v) ->
+        let before =
+          match List.assoc_opt le old_b with Some b -> b | None -> 0.0
+        in
+        (le, v -. before))
+      new_b
+  in
+  match List.rev delta with
+  | [] -> None
+  | (_, total) :: _ when total <= 0.0 -> None
+  | (_, total) :: _ ->
+    let target = p /. 100.0 *. total in
+    let rec find prev_le prev_cum = function
+      | [] -> None
+      | (le, cum) :: rest ->
+        if cum >= target then
+          if Float.is_finite le then begin
+            let frac =
+              if cum > prev_cum then (target -. prev_cum) /. (cum -. prev_cum)
+              else 1.0
+            in
+            Some (prev_le +. (frac *. (le -. prev_le)))
+          end
+          else Some prev_le (* the +Inf bucket has no upper edge *)
+        else find le cum rest
+    in
+    find 0.0 0.0 delta
+
+let watch_row ~dt old_snap new_snap =
+  let d name =
+    match (prom_value new_snap name, prom_value old_snap name) with
+    | Some a, Some b -> a -. b
+    | Some a, None -> a
+    | _ -> 0.0
+  in
+  let cur name = Option.value ~default:0.0 (prom_value new_snap name) in
+  let req_s = d "peace_service_requests_total" /. dt in
+  let conf_s = d "peace_service_confirms_total" /. dt in
+  let err_s =
+    (prom_sum_prefix new_snap "peace_service_errors_total"
+    -. prom_sum_prefix old_snap "peace_service_errors_total")
+    /. dt
+  in
+  let q p =
+    match bucket_quantile ~old_snap ~new_snap "peace_service_request_ns" p with
+    | Some ns -> ns /. 1e6
+    | None -> 0.0
+  in
+  let alloc_mb_s =
+    (d "peace_runtime_gc_minor_words" +. d "peace_runtime_gc_major_words")
+    *. 8.0 /. 1e6 /. dt
+  in
+  let heap_mb = cur "peace_runtime_gc_heap_words" *. 8.0 /. 1e6 in
+  Printf.printf "%8.1f %8.1f %7.1f %8.2f %8.2f %9.2f %8.1f %6.0f %6.0f\n%!"
+    req_s conf_s err_s (q 50.0) (q 99.0) alloc_mb_s heap_mb
+    (cur "peace_service_conn_queue_depth")
+    (cur "peace_service_connections_active")
+
+let watch host port interval once count get_path =
+  match get_path with
+  | Some path -> (
+    (* raw one-shot scrape: print the body, exit by status class — the
+       scriptable face of watch (the CI smoke uses it on /healthz and
+       /flight) *)
+    match Peace_obs.Serve.http_get ~host ~port path with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok (code, body) ->
+      print_string body;
+      if code < 200 || code > 299 then exit 1)
+  | None ->
+    let scrape () =
+      match Peace_obs.Serve.http_get ~host ~port "/metrics" with
+      | Ok (200, body) -> Some (prom_parse body)
+      | Ok (code, _) ->
+        Printf.eprintf "error: /metrics returned %d\n" code;
+        None
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        None
+    in
+    let interval = if once then 0.4 else interval in
+    let rows = if once then Some 1 else count in
+    (match scrape () with
+    | None -> exit 1
+    | Some first ->
+      Printf.printf
+        "peace watch: http://%s:%d/metrics every %.1fs (rates per second, \
+         latencies from interval deltas)\n"
+        host port interval;
+      Printf.printf "%8s %8s %7s %8s %8s %9s %8s %6s %6s\n" "req/s" "conf/s"
+        "err/s" "p50ms" "p99ms" "allocMB/s" "heapMB" "queue" "conns";
+      let rec loop prev t_prev remaining =
+        match remaining with
+        | Some 0 -> ()
+        | _ -> (
+          Unix.sleepf interval;
+          match scrape () with
+          | None -> exit 1
+          | Some snap ->
+            let now = Unix.gettimeofday () in
+            watch_row ~dt:(Stdlib.max 1e-9 (now -. t_prev)) prev snap;
+            loop snap now (Option.map (fun n -> n - 1) remaining))
+      in
+      loop first (Unix.gettimeofday ()) rows)
+
+let watch_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Metrics endpoint host.")
+  in
+  let port =
+    Arg.(
+      value & opt int 9464
+      & info [ "port" ] ~docv:"N"
+          ~doc:"Metrics endpoint port (peace serve / serve-auth \
+                --metrics-port).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between scrapes.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Take two quick scrapes 0.4 s apart, print a single row, and \
+             exit — the smoke-test mode.")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Exit after $(docv) rows (default: run until interrupted).")
+  in
+  let get_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "get" ] ~docv:"PATH"
+          ~doc:
+            "Instead of the dashboard, GET $(docv) once, print the body, \
+             and exit 0 iff the status is 2xx (e.g. --get /healthz).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Live console dashboard over a /metrics endpoint: request/confirm/\
+          error rates, interval latency percentiles, GC and queue pressure")
+    Term.(
+      const watch $ host $ port $ interval $ once $ count $ get_path)
 
 (* --- validate-params --- *)
 
@@ -1285,4 +1630,5 @@ let () =
             serve_auth_cmd;
             loadgen_cmd;
             slo_cmd;
+            watch_cmd;
           ]))

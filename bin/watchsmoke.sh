@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the live ops surface: boot serve-auth with tracing
+# and the metrics listener, drive it with a traced loadgen burst, scrape
+# /healthz and /flight through `peace watch --get`, render one dashboard
+# row with `peace watch --once`, and check the client and server traces
+# stitch on the wire trace ids. Driven by `dune build @watchsmoke`.
+set -euo pipefail
+
+PEACE=${1:?usage: watchsmoke.sh PATH_TO_PEACE_CLI}
+case "$PEACE" in /*) ;; *) PEACE="$PWD/$PEACE" ;; esac
+DIR=$(mktemp -d /tmp/peace-watchsmoke.XXXXXX)
+SERVER_PID=
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+SOCK="unix:$DIR/auth.sock"
+
+"$PEACE" serve-auth --addr "$SOCK" --users 2 --duration 20 \
+  --metrics-port 0 --metrics-announce "$DIR/port.txt" \
+  --trace "$DIR/server-trace.jsonl" 2>"$DIR/server.log" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$DIR/port.txt" ] && break
+  sleep 0.1
+done
+[ -s "$DIR/port.txt" ] || { echo "watchsmoke: metrics port never announced"; cat "$DIR/server.log"; exit 1; }
+PORT=$(cat "$DIR/port.txt")
+
+# a short traced burst so the flight recorder, counters, and both span
+# streams have something to show
+"$PEACE" loadgen --addr "$SOCK" --users 2 --concurrency 2 --duration 1 \
+  --trace "$DIR/client-trace.jsonl"
+
+# healthy authority: watch --get exits 0 and prints the verdict
+HEALTH=$("$PEACE" watch --port "$PORT" --get /healthz)
+[ "$HEALTH" = "ok" ] || { echo "watchsmoke: /healthz said '$HEALTH'"; exit 1; }
+
+# the flight recorder saw the authority start up
+"$PEACE" watch --port "$PORT" --get /flight > "$DIR/flight.jsonl"
+grep -q '"msg":"authority listening"' "$DIR/flight.jsonl" \
+  || { echo "watchsmoke: no lifecycle event in /flight"; cat "$DIR/flight.jsonl"; exit 1; }
+
+# the runtime sampler feeds /metrics and /series
+"$PEACE" watch --port "$PORT" --get /metrics | grep -q '^peace_runtime_gc_heap_words ' \
+  || { echo "watchsmoke: no runtime gauges in /metrics"; exit 1; }
+"$PEACE" watch --port "$PORT" --get /series | grep -q '"series":"runtime.gc.heap_words"' \
+  || { echo "watchsmoke: no runtime series in /series"; exit 1; }
+
+# one dashboard frame renders (req/s, latency quantiles, gc columns)
+"$PEACE" watch --port "$PORT" --once | grep -q 'req/s' \
+  || { echo "watchsmoke: watch --once rendered no header"; exit 1; }
+
+# distributed tracing: client spans carry trace ids, server spans join
+# them via remote_parent — the wire propagation worked end to end
+grep -q '"name":"loadgen.handshake"' "$DIR/client-trace.jsonl" \
+  || { echo "watchsmoke: no client root spans"; exit 1; }
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+grep -q '"name":"service.request".*"remote_parent":' "$DIR/server-trace.jsonl" \
+  || { echo "watchsmoke: no stitched server spans"; exit 1; }
+
+# every trace id on a server request span must appear in the client trace
+for t in $(grep -o '"trace":[0-9]*' "$DIR/server-trace.jsonl" | sort -u | head -5); do
+  grep -q "$t" "$DIR/client-trace.jsonl" \
+    || { echo "watchsmoke: server $t missing from the client trace"; exit 1; }
+done
+
+echo "watchsmoke: ok (healthz, flight, metrics, series, watch, trace stitching)"

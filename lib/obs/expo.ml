@@ -55,7 +55,7 @@ let chrome ?(ts_div = 1e3) evs =
   List.iter
     (fun (ev, dom) ->
       match ev with
-      | Trace.Begin { name; id; parent; ts } when Hashtbl.mem ends id ->
+      | Trace.Begin { name; id; parent; ts; _ } when Hashtbl.mem ends id ->
         sep ();
         Buffer.add_string buf
           (Printf.sprintf

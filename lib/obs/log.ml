@@ -1,0 +1,156 @@
+(* Structured, leveled logging with a flight recorder.
+
+   The flight recorder is the point: a fixed-capacity ring of the last N
+   events that is always on, so when something goes wrong the recent
+   past is already captured — no need to have had a sink attached. The
+   record path is lock-free (one atomic threshold read to reject, one
+   fetch-and-add to claim a slot, one atomic store to publish), so any
+   domain can log without contending beyond the cache line.
+
+   Readers snapshot the ring without stopping writers. A slot being
+   overwritten during a snapshot yields either the old or the new entry
+   — both are real events, so a torn *ring* (not a torn entry: entries
+   are immutable once built) is acceptable for a diagnostics surface. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type entry = {
+  e_ts : int;  (* wall nanoseconds *)
+  e_level : level;
+  e_msg : string;
+  e_attrs : (string * string) list;
+  e_dom : int;  (* domain that emitted it *)
+}
+
+let threshold = Atomic.make (severity Debug)
+let set_level l = Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let default_capacity = 1024
+
+type ring = { slots : entry option Atomic.t array; cursor : int Atomic.t }
+
+let make_ring n =
+  let n = Stdlib.max 1 n in
+  { slots = Array.init n (fun _ -> Atomic.make None); cursor = Atomic.make 0 }
+
+let ring = Atomic.make (make_ring default_capacity)
+let set_capacity n = Atomic.set ring (make_ring n)
+let capacity () = Array.length (Atomic.get ring).slots
+
+let clear () = set_capacity (capacity ())
+
+(* optional JSONL sink, same contract as Trace's: one line per event,
+   no trailing newline, serialised under a lock *)
+let sink_lock = Mutex.create ()
+let sink : (string -> unit) option ref = ref None
+
+let set_sink s =
+  Mutex.lock sink_lock;
+  sink := s;
+  Mutex.unlock sink_lock
+
+let sink_active () = !sink <> None
+
+let events_total = Registry.counter_family ~label:"level" "log.events_total"
+
+let entry_json e =
+  let attrs =
+    match e.e_attrs with
+    | [] -> ""
+    | attrs ->
+      let fields =
+        List.map (fun (k, v) -> Obs_json.str k ^ ":" ^ Obs_json.str v) attrs
+      in
+      ",\"attrs\":{" ^ String.concat "," fields ^ "}"
+  in
+  Printf.sprintf "{\"ts_ns\":%d,\"level\":%s,\"msg\":%s,\"dom\":%d%s}" e.e_ts
+    (Obs_json.str (level_to_string e.e_level))
+    (Obs_json.str e.e_msg) e.e_dom attrs
+
+let event ?(attrs = []) lvl msg =
+  if severity lvl >= Atomic.get threshold then begin
+    let e =
+      {
+        e_ts = Registry.now_ns ();
+        e_level = lvl;
+        e_msg = msg;
+        e_attrs = attrs;
+        e_dom = (Domain.self () :> int);
+      }
+    in
+    let r = Atomic.get ring in
+    let i = Atomic.fetch_and_add r.cursor 1 in
+    Atomic.set r.slots.(i mod Array.length r.slots) (Some e);
+    Registry.Counter.incr (events_total (level_to_string lvl));
+    if sink_active () then begin
+      Mutex.lock sink_lock;
+      (match !sink with
+      | None -> ()
+      | Some write -> ( try write (entry_json e) with _ -> ()));
+      Mutex.unlock sink_lock
+    end
+  end
+
+let debug ?attrs msg = event ?attrs Debug msg
+let info ?attrs msg = event ?attrs Info msg
+let warn ?attrs msg = event ?attrs Warn msg
+let error ?attrs msg = event ?attrs Error msg
+
+let ts e = e.e_ts
+let entry_level e = e.e_level
+let msg e = e.e_msg
+let attrs e = e.e_attrs
+
+let recent ?n () =
+  let r = Atomic.get ring in
+  let cap = Array.length r.slots in
+  let cur = Atomic.get r.cursor in
+  let want = match n with Some n -> Stdlib.min n cap | None -> cap in
+  let lo = Stdlib.max 0 (cur - want) in
+  let out = ref [] in
+  (* newest first while scanning backwards, then reverse to oldest-first *)
+  for i = cur - 1 downto lo do
+    match Atomic.get r.slots.(i mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let recent_jsonl ?n () =
+  String.concat "" (List.map (fun e -> entry_json e ^ "\n") (recent ?n ()))
+
+let with_file path f =
+  let oc = open_out path in
+  set_sink
+    (Some
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n';
+         flush oc));
+  Fun.protect
+    ~finally:(fun () ->
+      set_sink None;
+      close_out oc)
+    f

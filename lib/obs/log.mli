@@ -1,0 +1,78 @@
+(** Leveled, labeled, domain-safe logging with a flight recorder.
+
+    Every accepted event lands in a fixed-capacity lock-free ring — the
+    flight recorder — so the last N events are always available for a
+    post-hoc look ({!recent}, the authority's [/flight] endpoint) without
+    any sink having been attached in advance. The record path is a
+    threshold check (one atomic read) on rejection and three atomic
+    operations on acceptance; no locks, safe from any domain.
+
+    Each accepted event also bumps the registry counter
+    [log.events_total{level="..."}], and — when a JSONL sink is installed
+    — emits one JSON object per line:
+
+    {v
+    {"ts_ns":...,"level":"warn","msg":"queue full","dom":3,"attrs":{...}}
+    v} *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+(** Minimum level recorded (ring, counters, and sink all honour it).
+    Default: [Debug] — the flight recorder wants everything. *)
+
+val level : unit -> level
+
+val event : ?attrs:(string * string) list -> level -> string -> unit
+(** Record one event. Below-threshold events cost one atomic read. *)
+
+val debug : ?attrs:(string * string) list -> string -> unit
+val info : ?attrs:(string * string) list -> string -> unit
+val warn : ?attrs:(string * string) list -> string -> unit
+val error : ?attrs:(string * string) list -> string -> unit
+
+(** {1 The flight recorder} *)
+
+type entry
+
+val ts : entry -> int
+(** Wall-clock nanoseconds at emission. *)
+
+val entry_level : entry -> level
+val msg : entry -> string
+val attrs : entry -> (string * string) list
+
+val recent : ?n:int -> unit -> entry list
+(** The most recent events, oldest first ([n] caps the count; default is
+    the whole ring). Snapshots without stopping writers: under heavy
+    concurrent logging an event racing the snapshot may or may not
+    appear, but every returned entry is a real, complete event. *)
+
+val recent_jsonl : ?n:int -> unit -> string
+(** {!recent} rendered as JSONL (each line newline-terminated) — the
+    body of the [/flight] endpoint. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Resize the ring. Discards current contents. Default capacity 1024. *)
+
+val clear : unit -> unit
+
+(** {1 JSONL sink} *)
+
+val entry_json : entry -> string
+(** One event as a JSON object (no trailing newline). *)
+
+val set_sink : (string -> unit) option -> unit
+(** Install (or remove) the line sink; called under a lock, one JSON
+    line per event without the trailing newline. *)
+
+val sink_active : unit -> bool
+
+val with_file : string -> (unit -> 'a) -> 'a
+(** Write events to a file (one line each, flushed) while the thunk
+    runs, then remove the sink and close the file. *)

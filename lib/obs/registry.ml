@@ -196,6 +196,28 @@ let gauge ?(labels = []) name =
 let histogram ?(labels = []) name =
   get_or_create histograms_tbl Histogram.make (name ^ encode_labels labels)
 
+(* A counter family memoizes the per-label-value lookup: [counter] pays a
+   string concatenation plus the registry mutex on every call, which is
+   wasteful on hot error paths that bump the same few series forever. The
+   family keeps an immutable assoc list in an [Atomic]; hits are one
+   atomic read and a pointer walk over a handful of entries, misses fall
+   back to [counter] and publish via CAS (losing a race just re-reads). *)
+let counter_family ~label name =
+  let cache : (string * Counter.t) list Atomic.t = Atomic.make [] in
+  fun value ->
+    match List.assoc_opt value (Atomic.get cache) with
+    | Some c -> c
+    | None ->
+      let c = counter ~labels:[ (label, value) ] name in
+      let rec publish () =
+        let cur = Atomic.get cache in
+        if List.mem_assoc value cur then ()
+        else if not (Atomic.compare_and_set cache cur ((value, c) :: cur))
+        then publish ()
+      in
+      publish ();
+      c
+
 let dump tbl value =
   with_lock (fun () ->
       Hashtbl.fold (fun name m acc -> (name, value m) :: acc) tbl [])

@@ -1,24 +1,128 @@
 (* Minimal HTTP/1.1 listener over Unix sockets — no web framework, no
    threads: one request at a time, close after each response. That is all
-   a Prometheus scraper (or curl) needs, and it keeps peace.obs
-   dependency-free beyond the unix library it already uses.
+   a Prometheus scraper (or curl, or `peace watch`) needs, and it keeps
+   peace.obs dependency-free beyond the unix library it already uses.
 
    Routes:
-     GET /metrics  -> Prometheus text exposition of the live registry
-     GET /healthz  -> "ok" *)
+     GET /metrics            -> Prometheus text exposition of the live registry
+     GET /healthz[?verbose]  -> evaluate registered health checks; 503 when any fails
+     GET /flight[?n=K]       -> the flight-recorder ring (Log.recent) as JSONL
+     GET /series[?name=S]    -> the attached Timeseries sampler as JSONL *)
 
 let http_response ?(status = "200 OK") ?(content_type = "text/plain") body =
   Printf.sprintf
     "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     status content_type (String.length body) body
 
-let route path =
+(* --- health checks ---
+
+   A check is a named thunk: [Ok ()] healthy, [Error reason] degraded.
+   The authority registers queue-saturation and error-rate checks on
+   start and removes them on stop; /healthz re-evaluates on every
+   scrape. Registration replaces by name, so a restarted component does
+   not accumulate stale checks. The list lives in an Atomic (CAS
+   update), so checks can be (de)registered from any domain while the
+   serve loop reads. *)
+
+type health_check = { hc_name : string; hc_run : unit -> (unit, string) result }
+
+let health_checks : health_check list Atomic.t = Atomic.make []
+
+let rec update_checks f =
+  let cur = Atomic.get health_checks in
+  if not (Atomic.compare_and_set health_checks cur (f cur)) then update_checks f
+
+let register_health name run =
+  update_checks (fun cs ->
+      { hc_name = name; hc_run = run }
+      :: List.filter (fun c -> c.hc_name <> name) cs)
+
+let unregister_health name =
+  update_checks (List.filter (fun c -> c.hc_name <> name))
+
+let health_results () =
+  List.rev_map
+    (fun c ->
+      let r = try c.hc_run () with e -> Error (Printexc.to_string e) in
+      (c.hc_name, r))
+    (Atomic.get health_checks)
+
+(* --- the timeseries surface ---
+
+   /series exposes whatever sampler the host process attaches (the
+   authority attaches the one its Runtime sampler feeds). None -> 404,
+   so a bare `peace serve` behaves exactly as before. *)
+
+let series_source : Timeseries.t option Atomic.t = Atomic.make None
+let set_series_source s = Atomic.set series_source s
+
+let query_get q key = List.assoc_opt key q
+
+let query_int q key =
+  match query_get q key with None -> None | Some v -> int_of_string_opt v
+
+let healthz_body ~verbose =
+  let results = health_results () in
+  let failures =
+    List.filter_map
+      (function n, Error e -> Some (n ^ ": " ^ e) | _, Ok () -> None)
+      results
+  in
+  let ok = failures = [] in
+  let body =
+    if verbose then
+      String.concat ""
+        (List.map
+           (function
+             | n, Ok () -> Printf.sprintf "ok %s\n" n
+             | n, Error e -> Printf.sprintf "fail %s: %s\n" n e)
+           results)
+      ^ (if ok then "ok\n" else "degraded\n")
+    else if ok then "ok\n"
+    else "degraded\n" ^ String.concat "\n" failures ^ "\n"
+  in
+  (ok, body)
+
+let route path query =
   match path with
   | "/metrics" ->
     http_response
       ~content_type:"text/plain; version=0.0.4; charset=utf-8"
       (Expo.prometheus ())
-  | "/healthz" -> http_response "ok\n"
+  | "/healthz" ->
+    let verbose = query_get query "verbose" <> None in
+    let ok, body = healthz_body ~verbose in
+    if ok then http_response body
+    else http_response ~status:"503 Service Unavailable" body
+  | "/flight" ->
+    let n = query_int query "n" in
+    http_response
+      ~content_type:"application/jsonl"
+      (Log.recent_jsonl ?n ())
+  | "/series" -> (
+    match Atomic.get series_source with
+    | None -> http_response ~status:"404 Not Found" "no series source\n"
+    | Some ts ->
+      let buf = Buffer.create 1024 in
+      let want =
+        match query_get query "name" with
+        | None -> fun _ -> true
+        | Some n -> fun s -> Timeseries.Series.name s = n
+      in
+      List.iter
+        (fun s ->
+          if want s then begin
+            let name = Obs_json.str (Timeseries.Series.name s) in
+            List.iter
+              (fun (t, v) ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "{\"kind\":\"sample\",\"series\":%s,\"ts\":%d,\"v\":%s}\n"
+                     name t (Obs_json.num_to_string v)))
+              (Timeseries.Series.points s)
+          end)
+        (Timeseries.series ts);
+      http_response ~content_type:"application/jsonl" (Buffer.contents buf))
   | _ -> http_response ~status:"404 Not Found" "not found\n"
 
 (* read until the end of the request head (or EOF); we only need the
@@ -51,26 +155,70 @@ let read_head fd =
   go ();
   Buffer.contents buf
 
+(* %XX decoding for query values; bad escapes pass through verbatim *)
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match (hex s.[!i + 1], hex s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char buf (Char.chr ((h * 16) + l));
+        i := !i + 2
+      | _ -> Buffer.add_char buf '%')
+    | '+' -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    List.filter_map
+      (fun kv ->
+        if kv = "" then None
+        else
+          match String.index_opt kv '=' with
+          | None -> Some (percent_decode kv, "")
+          | Some i ->
+            Some
+              ( percent_decode (String.sub kv 0 i),
+                percent_decode
+                  (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+      (String.split_on_char '&' qs)
+
 let parse_request head =
   match String.index_opt head '\r' with
   | None -> None
   | Some eol -> (
     match String.split_on_char ' ' (String.sub head 0 eol) with
     | [ meth; target; _version ] ->
-      (* strip any query string: the routes take no parameters *)
-      let path =
+      let path, query =
         match String.index_opt target '?' with
-        | None -> target
-        | Some q -> String.sub target 0 q
+        | None -> (target, [])
+        | Some q ->
+          ( String.sub target 0 q,
+            parse_query
+              (String.sub target (q + 1) (String.length target - q - 1)) )
       in
-      Some (meth, path)
+      Some (meth, path, query)
     | _ -> None)
 
 let handle_client fd =
   let head = read_head fd in
   let response =
     match parse_request head with
-    | Some ("GET", path) -> route path
+    | Some ("GET", path, query) -> route path query
     | Some _ -> http_response ~status:"405 Method Not Allowed" "GET only\n"
     | None -> http_response ~status:"400 Bad Request" "bad request\n"
   in
@@ -108,3 +256,58 @@ let serve ?(host = "127.0.0.1") ?max_requests ?on_listen ~port () =
             incr served
         done;
         Ok ())
+
+(* --- a matching one-shot client ---
+
+   `peace watch`, the smoke scripts, and the tests all need "GET a path,
+   give me status + body" against the serve loop above; keeping the
+   client next to the server avoids three ad-hoc copies. HTTP/1.0-style:
+   one request, read to EOF. *)
+
+let http_get ?(host = "127.0.0.1") ~port path =
+  match Peace_sock.connect (Peace_sock.Tcp (host, port)) with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> Peace_sock.close_noerr fd)
+      (fun () ->
+        let req =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+            path host
+        in
+        match Peace_sock.write_all fd req with
+        | Error e -> Error e
+        | Ok () -> (
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 4096 in
+          let rec drain () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+          in
+          (try drain () with Unix.Unix_error _ -> ());
+          let raw = Buffer.contents buf in
+          (* status line: HTTP/1.1 NNN reason *)
+          let status =
+            match String.index_opt raw ' ' with
+            | Some i when String.length raw >= i + 4 ->
+              int_of_string_opt (String.sub raw (i + 1) 3)
+            | _ -> None
+          in
+          match status with
+          | None -> Error "malformed HTTP response"
+          | Some code ->
+            let body =
+              let rec find i =
+                if i + 3 >= String.length raw then None
+                else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+                else find (i + 1)
+              in
+              match find 0 with
+              | None -> ""
+              | Some i -> String.sub raw i (String.length raw - i)
+            in
+            Ok (code, body)))

@@ -1,9 +1,15 @@
 (** A minimal HTTP listener (socket plumbing from {!Peace_sock}, no web
-    framework) exposing the live registry — the first externally
-    scrapeable surface:
+    framework) exposing the live registry — the externally scrapeable
+    ops surface:
 
     - [GET /metrics]: Prometheus text exposition ({!Expo.prometheus})
-    - [GET /healthz]: ["ok"]
+    - [GET /healthz]: evaluates the registered health checks — [200 "ok"]
+      when all pass, [503] listing the failures when any is degraded;
+      [?verbose] reports every check's verdict
+    - [GET /flight]: the {!Log} flight-recorder ring as JSONL ([?n=K]
+      caps the event count)
+    - [GET /series]: the attached {!Timeseries} sampler as JSONL
+      ([?name=S] selects one series; 404 when no sampler is attached)
 
     Sequential (one request at a time, connection closed per response),
     which is exactly the access pattern of a metrics scraper. *)
@@ -27,3 +33,43 @@ val serve :
     A socket that cannot be bound (e.g. [EADDRINUSE] because the port is
     taken) returns [Error] with a human-readable message instead of
     raising. *)
+
+(** {1 Health checks}
+
+    A check is a named thunk: [Ok ()] healthy, [Error reason] degraded.
+    [/healthz] re-evaluates every registered check per scrape; with no
+    checks registered it reports healthy (a bare [peace serve] behaves
+    as it always did). Registration replaces by name and is safe from
+    any domain. *)
+
+val register_health : string -> (unit -> (unit, string) result) -> unit
+val unregister_health : string -> unit
+
+val health_results : unit -> (string * (unit, string) result) list
+(** Evaluate all checks now (exceptions become [Error]); what [/healthz]
+    renders. *)
+
+val set_series_source : Timeseries.t option -> unit
+(** Attach (or detach) the sampler behind [/series]. *)
+
+(** {1 Plumbing shared with tests and the CLI} *)
+
+val percent_decode : string -> string
+(** [%XX] and [+] decoding; malformed escapes pass through verbatim. *)
+
+val parse_query : string -> (string * string) list
+(** Decode a raw query string ([a=1&b=x%20y]) into pairs; [+] and [%XX]
+    decode, a key without [=] maps to [""]. *)
+
+val parse_request : string -> (string * string * (string * string) list) option
+(** Parse a request head into (method, path, query pairs). *)
+
+val http_response : ?status:string -> ?content_type:string -> string -> string
+(** Build a full HTTP/1.1 response with Content-Length and
+    [Connection: close]. *)
+
+val http_get :
+  ?host:string -> port:int -> string -> (int * string, string) result
+(** One-shot GET returning (status code, body) — the client side of this
+    server, used by [peace watch] and the smoke tests. Reads to EOF, so
+    it pairs with servers that close per response. *)

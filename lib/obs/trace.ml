@@ -18,7 +18,14 @@ let next_id = Atomic.make 1
    must synchronise internally. *)
 
 type event =
-  | Begin of { name : string; id : int; parent : int option; ts : int }
+  | Begin of {
+      name : string;
+      id : int;
+      parent : int option;
+      ts : int;
+      trace : int option;
+      remote_parent : int option;
+    }
   | End of { name : string; id : int; ts : int; dur : int }
 
 let collector : (event -> unit) option Atomic.t = Atomic.make None
@@ -64,11 +71,19 @@ let attrs_json = function
     in
     ",\"attrs\":{" ^ String.concat "," fields ^ "}"
 
-let begin_line ~name ~id ~parent ~attrs ~ts =
-  Printf.sprintf "{\"ev\":\"B\",\"name\":%s,\"id\":%d,\"parent\":%s,\"ts_ns\":%d%s}"
+let opt_field key = function
+  | None -> ""
+  | Some v -> Printf.sprintf ",%s:%d" (Obs_json.str key) v
+
+let begin_line ~name ~id ~parent ?trace ?remote_parent ~attrs ~ts () =
+  Printf.sprintf
+    "{\"ev\":\"B\",\"name\":%s,\"id\":%d,\"parent\":%s,\"ts_ns\":%d%s%s%s}"
     (Obs_json.str name) id
     (match parent with None -> "null" | Some p -> string_of_int p)
-    ts (attrs_json attrs)
+    ts
+    (opt_field "trace" trace)
+    (opt_field "remote_parent" remote_parent)
+    (attrs_json attrs)
 
 let end_line ~name ~id ~ts ~dur =
   Printf.sprintf "{\"ev\":\"E\",\"name\":%s,\"id\":%d,\"ts_ns\":%d,\"dur_ns\":%d}"
@@ -87,8 +102,8 @@ let with_span ?(attrs = []) name f =
     let parent = match stack with [] -> None | p :: _ -> Some p in
     Domain.DLS.set stack_key (id :: stack);
     let t0 = Registry.now_ns () in
-    collect (Begin { name; id; parent; ts = t0 });
-    emit (fun () -> begin_line ~name ~id ~parent ~attrs ~ts:t0);
+    collect (Begin { name; id; parent; ts = t0; trace = None; remote_parent = None });
+    emit (fun () -> begin_line ~name ~id ~parent ~attrs ~ts:t0 ());
     Fun.protect
       ~finally:(fun () ->
         let t1 = Registry.now_ns () in
@@ -112,6 +127,7 @@ type handle = {
   h_name : string;
   h_id : int;
   h_t0 : int;
+  h_trace : int option;
   h_hist : Registry.Histogram.t;
   h_finished : bool Atomic.t;
       (* a compare-and-set guards [finish]: two domains racing to finish
@@ -120,23 +136,51 @@ type handle = {
          read [false] and double-emit) *)
 }
 
-let start ?(attrs = []) ?parent ?ts name =
+let start ?(attrs = []) ?parent ?trace ?remote_parent ?ts name =
   let id = Atomic.fetch_and_add next_id 1 in
   let t0 = match ts with Some t -> t | None -> Registry.now_ns () in
-  collect (Begin { name; id; parent; ts = t0 });
-  emit (fun () -> begin_line ~name ~id ~parent ~attrs ~ts:t0);
+  collect (Begin { name; id; parent; ts = t0; trace; remote_parent });
+  emit (fun () -> begin_line ~name ~id ~parent ?trace ?remote_parent ~attrs ~ts:t0 ());
   {
     h_name = name;
     h_id = id;
     h_t0 = t0;
+    h_trace = trace;
     h_hist = Registry.histogram ("span." ^ name ^ ".dur_ns");
     h_finished = Atomic.make false;
   }
 
 let start_linked ?attrs ?ts ~parent name =
-  start ?attrs ~parent:parent.h_id ?ts name
+  start ?attrs ~parent:parent.h_id ?trace:parent.h_trace ?ts name
+
+let start_remote ?attrs ?ts ~trace ~parent name =
+  start ?attrs ~trace ~remote_parent:parent ?ts name
 
 let id h = h.h_id
+let trace_of h = h.h_trace
+
+(* Run [f] with the handle's id as the innermost parent on this domain's
+   stack, so plain [with_span] calls inside nest under the handle. *)
+let with_parent h f =
+  let stack = Domain.DLS.get stack_key in
+  Domain.DLS.set stack_key (h.h_id :: stack);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set stack_key stack) f
+
+(* Trace ids correlate spans across processes, so a plain counter is not
+   enough: the loadgen and the authority would both start at 1. Mix the
+   pid and the wall clock into a per-process base and count from there —
+   best-effort uniqueness, no coordination. *)
+let trace_base =
+  lazy
+    (let pid = try Unix.getpid () with _ -> 0 in
+     let t = Registry.now_ns () in
+     (t lxor (pid * 0x2545f4914f6cdd1d)) land 0x3fffffffffffffff)
+
+let trace_counter = Atomic.make 0
+
+let fresh_trace_id () =
+  let n = Atomic.fetch_and_add trace_counter 1 in
+  (Lazy.force trace_base + (n * 0x100000001b3)) land 0x3fffffffffffffff
 
 let finish ?ts h =
   if Atomic.compare_and_set h.h_finished false true then begin

@@ -37,21 +37,54 @@ type handle
 (** An open span. Finishing twice is a no-op. *)
 
 val start :
-  ?attrs:(string * string) list -> ?parent:int -> ?ts:int -> string -> handle
+  ?attrs:(string * string) list ->
+  ?parent:int ->
+  ?trace:int ->
+  ?remote_parent:int ->
+  ?ts:int ->
+  string ->
+  handle
 (** Open a span and emit its begin event (when a sink is active).
     [parent] is an explicit span id ([None] = root); the domain-local
-    stack is not consulted. [ts] overrides the begin timestamp —
-    simulation code passes simulated time, so durations come out in
-    simulated units; default is wall {!Registry.now_ns}. Use one time
-    base consistently per trace. *)
+    stack is not consulted. [trace] tags the span with a trace id that
+    correlates spans across processes; [remote_parent] names a parent
+    span that lives in {e another} process (it does not affect local
+    tree building — renderers join on [(trace, remote_parent)]). [ts]
+    overrides the begin timestamp — simulation code passes simulated
+    time, so durations come out in simulated units; default is wall
+    {!Registry.now_ns}. Use one time base consistently per trace. *)
 
 val start_linked :
   ?attrs:(string * string) list -> ?ts:int -> parent:handle -> string -> handle
-(** [start ~parent:(id parent)] — child of a handle you still hold. *)
+(** [start ~parent:(id parent)] — child of a handle you still hold.
+    Inherits the parent's trace id. *)
+
+val start_remote :
+  ?attrs:(string * string) list ->
+  ?ts:int ->
+  trace:int ->
+  parent:int ->
+  string ->
+  handle
+(** Continue a trace that began in another process: the wire carried
+    [(trace, parent)] (see {!Peace_service.Frames}), and this opens a
+    local root span stamped with that trace id and [remote_parent]. *)
 
 val id : handle -> int
 (** The span id — embed it in a message so a later event (possibly in
     another entity) can open children under it with [start ~parent]. *)
+
+val trace_of : handle -> int option
+(** The trace id the handle was opened with, if any. *)
+
+val with_parent : handle -> (unit -> 'a) -> 'a
+(** Run the thunk with the handle as the innermost parent on this
+    domain's span stack, so plain [with_span] calls inside nest under
+    it — the bridge from an explicit handle to stack-scoped spans. *)
+
+val fresh_trace_id : unit -> int
+(** A new trace id, unique within this process and best-effort unique
+    across processes (pid- and clock-mixed base). Fits in 62 bits. *)
 
 val finish : ?ts:int -> handle -> unit
 (** Emit the end event and record the duration into the
@@ -71,7 +104,16 @@ val sink_active : unit -> bool
     {!Peace_obs.Expo} records it for flamegraph / Chrome-trace export. *)
 
 type event =
-  | Begin of { name : string; id : int; parent : int option; ts : int }
+  | Begin of {
+      name : string;
+      id : int;
+      parent : int option;
+      ts : int;
+      trace : int option;
+          (** cross-process trace id, when the span belongs to one *)
+      remote_parent : int option;
+          (** parent span id in {e another} process (from the wire) *)
+    }
   | End of { name : string; id : int; ts : int; dur : int }
 
 val set_collector : (event -> unit) option -> unit

@@ -1,12 +1,16 @@
 open Peace_core
 module Obs = Peace_obs.Registry
 module Trace = Peace_obs.Trace
+module Log = Peace_obs.Log
+module Serve = Peace_obs.Serve
 module Bq = Peace_parallel.Bounded_queue
 
 (* service.* observability: connection lifecycle, per-frame outcomes, and
    the latency of each phase of (M.2) handling as seen by the server *)
 let c_connections = Obs.counter "service.connections_total"
 let g_active = Obs.gauge "service.connections_active"
+let g_queue_depth = Obs.gauge "service.conn_queue_depth"
+let g_workers_busy = Obs.gauge "service.workers_busy"
 let c_requests = Obs.counter "service.requests_total"
 let c_confirms = Obs.counter "service.confirms_total"
 let c_beacons = Obs.counter "service.beacons_total"
@@ -15,8 +19,20 @@ let h_decode = Obs.histogram "service.decode_ns"
 let h_verify = Obs.histogram "service.verify_ns"
 let h_encode = Obs.histogram "service.encode_ns"
 
-let count_error kind =
-  Obs.Counter.incr (Obs.counter ~labels:[ ("kind", kind) ] "service.errors_total")
+(* error kinds are a small stable set hit on hot paths, so resolve each
+   label's counter once through a memoized family instead of rebuilding
+   the series key (string concat + registry mutex) per error *)
+let error_counter = Obs.counter_family ~label:"kind" "service.errors_total"
+let count_error kind = Obs.Counter.incr (error_counter kind)
+
+(* every service.errors_total{kind=...} series summed — the error-rate
+   health check wants the overall picture, whatever the kinds *)
+let total_errors () =
+  List.fold_left
+    (fun acc (name, v) ->
+      if fst (Obs.split_name name) = "service.errors_total" then acc + v
+      else acc)
+    0 (Obs.counters ())
 
 type t = {
   listener : Unix.file_descr;
@@ -108,23 +124,47 @@ let handle_access t fd payload =
         in
         Frames.write fd Frames.Confirm bytes))
 
-(* returns [true] to keep the connection open *)
-let handle_frame t fd tag payload =
+let handle_request t fd tag payload =
+  match tag with
+  | Frames.Ping -> Frames.write fd Frames.Pong ""
+  | Frames.Get_beacon ->
+    Obs.Counter.incr c_beacons;
+    Frames.write fd Frames.Beacon
+      (Messages.beacon_to_bytes t.config (current_beacon t))
+  | Frames.Access -> handle_access t fd payload
+  | Frames.Traced ->
+    (* unreachable from serve_conn (the envelope is unwrapped there, and
+       unwrap_traced rejects nesting) but keep the protocol total *)
+    count_error "traced";
+    Frames.write fd Frames.Rejected
+      (Frames.rejected_payload ~code:0 ~detail:"nested traced frame")
+  | Frames.Beacon | Frames.Confirm | Frames.Rejected | Frames.Pong ->
+    count_error "bad-tag";
+    Frames.write fd Frames.Rejected
+      (Frames.rejected_payload ~code:0 ~detail:"response tag in request direction")
+
+(* returns [true] to keep the connection open. [ctx] is the trace context
+   the client sent in a Traced envelope: when someone is actually
+   listening (sink or collector), the request span continues the client's
+   trace via start_remote, and with_parent makes the nested decode/verify/
+   encode spans children of it. Without a listener the context costs two
+   physical-equality checks. *)
+let handle_frame ?ctx t fd tag payload =
   Obs.Counter.incr c_requests;
-  Trace.with_span "service.request" @@ fun () ->
-  Obs.Histogram.time h_request @@ fun () ->
+  let body () =
+    Obs.Histogram.time h_request @@ fun () -> handle_request t fd tag payload
+  in
   let write_result =
-    match tag with
-    | Frames.Ping -> Frames.write fd Frames.Pong ""
-    | Frames.Get_beacon ->
-      Obs.Counter.incr c_beacons;
-      Frames.write fd Frames.Beacon
-        (Messages.beacon_to_bytes t.config (current_beacon t))
-    | Frames.Access -> handle_access t fd payload
-    | Frames.Beacon | Frames.Confirm | Frames.Rejected | Frames.Pong ->
-      count_error "bad-tag";
-      Frames.write fd Frames.Rejected
-        (Frames.rejected_payload ~code:0 ~detail:"response tag in request direction")
+    match ctx with
+    | Some { Frames.tc_trace; tc_parent }
+      when Trace.sink_active () || Trace.collector_active () ->
+      let h =
+        Trace.start_remote ~trace:tc_trace ~parent:tc_parent "service.request"
+      in
+      Fun.protect
+        ~finally:(fun () -> Trace.finish h)
+        (fun () -> Trace.with_parent h body)
+    | _ -> Trace.with_span "service.request" body
   in
   match write_result with
   | Ok () -> true
@@ -149,10 +189,28 @@ let serve_conn t fd =
           match Frames.read fd with
           | Error `Timeout -> loop ()
           | Error `Eof -> ()
-          | Error (`Err _reason) ->
+          | Error (`Err reason) ->
             (* the stream has lost frame sync — count it and hang up; the
                server itself keeps serving everyone else *)
-            count_error "frame"
+            count_error "frame";
+            Log.warn ~attrs:[ ("reason", reason) ] "frame sync lost, closing connection"
+          | Ok (Frames.Traced, payload) -> (
+            (* peel the trace envelope here so the dispatch below sees
+               only ordinary request tags; a bad envelope is a payload
+               error: reject and keep the connection *)
+            match Frames.unwrap_traced payload with
+            | Error reason ->
+              Obs.Counter.incr c_requests;
+              count_error "traced";
+              Log.warn ~attrs:[ ("reason", reason) ] "bad traced envelope";
+              (match
+                 Frames.write fd Frames.Rejected
+                   (Frames.rejected_payload ~code:0 ~detail:reason)
+               with
+              | Ok () -> loop ()
+              | Error _ -> count_error "write")
+            | Ok (tag, payload, ctx) ->
+              if handle_frame ~ctx t fd tag payload then loop ())
           | Ok (tag, payload) -> if handle_frame t fd tag payload then loop ()
         end
       in
@@ -163,11 +221,17 @@ let worker_loop t () =
     match Bq.pop t.conns with
     | None -> ()
     | Some fd ->
+      Obs.Gauge.set g_queue_depth (Bq.length t.conns);
       if Atomic.get t.stop_flag then Peace_sock.close_noerr fd
       else begin
+        Obs.Gauge.incr g_workers_busy;
         (* serve_conn's Fun.protect owns the close — never close here, or
            a racing accept could reuse the fd number and lose a socket *)
-        try serve_conn t fd with _ -> count_error "internal"
+        (try serve_conn t fd
+         with _ ->
+           count_error "internal";
+           Log.error "worker crashed serving a connection");
+        Obs.Gauge.decr g_workers_busy
       end;
       next ()
   in
@@ -189,13 +253,52 @@ let acceptor_loop t () =
           ()
         | exception Unix.Unix_error _ -> Atomic.set t.stop_flag true
         | client, _ -> (
-          try Bq.push t.conns client
+          try
+            Bq.push t.conns client;
+            Obs.Gauge.set g_queue_depth (Bq.length t.conns)
           with Bq.Closed -> Peace_sock.close_noerr client))
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
     end
   in
   loop ()
+
+(* The authority's /healthz contribution. Two checks, re-evaluated per
+   scrape:
+
+   - queue saturation: the acceptor's connection queue is at capacity,
+     i.e. producers are blocked and new clients are waiting in the TCP
+     backlog — the first externally visible backpressure signal.
+   - error-rate window: the fraction of errors among requests since the
+     previous evaluation (stateful delta, so a burst of startup errors
+     ages out after one scrape). Degraded above [threshold_pct] once at
+     least [min_events] requests are in the window. *)
+let queue_health t () =
+  let len = Bq.length t.conns and cap = Bq.capacity t.conns in
+  if len >= cap then
+    Error (Printf.sprintf "connection queue saturated (%d/%d)" len cap)
+  else Ok ()
+
+let error_rate_health ?(threshold_pct = 50) ?(min_events = 10) () =
+  let last = ref (Obs.Counter.value c_requests, total_errors ()) in
+  fun () ->
+    let req = Obs.Counter.value c_requests and err = total_errors () in
+    let lreq, lerr = !last in
+    last := (req, err);
+    let dreq = req - lreq and derr = err - lerr in
+    if dreq >= min_events && derr * 100 > dreq * threshold_pct then
+      Error
+        (Printf.sprintf "%d errors in the last %d requests (%d%%)" derr dreq
+           (derr * 100 / dreq))
+    else Ok ()
+
+let register_health_checks t =
+  Serve.register_health "authority.queue" (queue_health t);
+  Serve.register_health "authority.errors" (error_rate_health ())
+
+let unregister_health_checks () =
+  Serve.unregister_health "authority.queue";
+  Serve.unregister_health "authority.errors"
 
 let start ?(workers = 2) ?(verify_domains = 0) ?(beacon_period_ms = 1000)
     ?queue_capacity ~config ~router addr =
@@ -233,10 +336,16 @@ let start ?(workers = 2) ?(verify_domains = 0) ?(beacon_period_ms = 1000)
     in
     t.acceptor <- Some (Domain.spawn (acceptor_loop t));
     t.workers <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+    register_health_checks t;
+    Log.info
+      ~attrs:[ ("addr", Peace_sock.addr_to_string bound) ]
+      "authority listening";
     Ok t
 
 let stop t =
   if not (Atomic.exchange t.stopped true) then begin
+    unregister_health_checks ();
+    Log.info "authority stopping";
     Atomic.set t.stop_flag true;
     Bq.close t.conns;
     (match t.acceptor with Some d -> Domain.join d | None -> ());

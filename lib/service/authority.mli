@@ -24,11 +24,25 @@
     Frame handling is wrapped in [service.request] spans with
     [service.decode] / [service.verify] / [service.encode] children, and
     the registry carries [service.connections_total],
-    [service.connections_active], [service.requests_total],
+    [service.connections_active], [service.conn_queue_depth],
+    [service.workers_busy], [service.requests_total],
     [service.confirms_total], [service.beacons_total], labelled
     [service.errors_total{kind=...}] counters and
     [service.request_ns]/[decode_ns]/[verify_ns]/[encode_ns] histograms —
     all scrapeable through the existing {!Peace_obs.Serve} listener.
+
+    A request that arrives in a {!Frames.Traced} envelope continues the
+    client's trace: its [service.request] span is opened with
+    {!Peace_obs.Trace.start_remote} carrying the wire (trace, parent), so
+    the client's and the server's JSONL spans stitch into one tree per
+    handshake. Lifecycle events (listening, stopping, frame-sync loss,
+    worker crashes) go to the {!Peace_obs.Log} flight recorder.
+
+    While running, the authority registers two {!Peace_obs.Serve} health
+    checks — [authority.queue] (connection queue saturated) and
+    [authority.errors] (error rate over the requests since the previous
+    evaluation above 50%, min 10 requests) — so a colocated [/healthz]
+    returns 503 when the service degrades; {!stop} unregisters them.
 
     {2 Shutdown}
 

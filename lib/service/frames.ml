@@ -1,11 +1,12 @@
 open Peace_core
 
-type tag = Get_beacon | Access | Ping | Beacon | Confirm | Rejected | Pong
+type tag = Get_beacon | Access | Ping | Traced | Beacon | Confirm | Rejected | Pong
 
 let tag_to_int = function
   | Get_beacon -> 0x01
   | Access -> 0x02
   | Ping -> 0x03
+  | Traced -> 0x04
   | Beacon -> 0x81
   | Confirm -> 0x82
   | Rejected -> 0x83
@@ -15,6 +16,7 @@ let tag_of_int = function
   | 0x01 -> Some Get_beacon
   | 0x02 -> Some Access
   | 0x03 -> Some Ping
+  | 0x04 -> Some Traced
   | 0x81 -> Some Beacon
   | 0x82 -> Some Confirm
   | 0x83 -> Some Rejected
@@ -68,6 +70,59 @@ let read fd =
           Error (`Err (Printf.sprintf "unknown frame tag 0x%02x" (Char.code body.[0]))))
       | Error `Eof -> Error (`Err "truncated frame")
       | Error (`Timeout | `Err _) as e -> e))
+
+(* --- trace context envelopes ---
+
+   A [Traced] frame wraps any ordinary request so a client can attach its
+   trace context without disturbing peers that predate the tag: an old
+   server sees an unknown tag (0x04) and fails the whole frame exactly as
+   it would any foreign byte, an old client simply never sends one. The
+   envelope is versioned so the context can grow later without a new tag:
+
+     u8 version (= 1) | u64 trace id | u32 parent span id | u8 inner tag | inner payload
+
+   The parent span id is masked to 32 bits on the wire; renderers join
+   server spans to client spans on (trace, parent), so the id only has to
+   be unique within its trace, not within the process. *)
+
+type trace_ctx = { tc_trace : int; tc_parent : int }
+
+let traced_version = 1
+let mask32 v = v land 0xffffffff
+
+let wrap_traced ~ctx tag payload =
+  let w = Wire.writer () in
+  Wire.u8 w traced_version;
+  Wire.u64 w ctx.tc_trace;
+  Wire.u32 w (mask32 ctx.tc_parent);
+  Wire.u8 w (tag_to_int tag);
+  Wire.raw w payload;
+  Wire.contents w
+
+let unwrap_traced body =
+  let open Wire in
+  let r = reader body in
+  match
+    let* version = read_u8 r in
+    if version <> traced_version then
+      Error (Printf.sprintf "unsupported trace-context version %d" version)
+    else
+      let* trace = read_u64 r in
+      let* parent = read_u32 r in
+      let* tag_byte = read_u8 r in
+      match tag_of_int tag_byte with
+      | None -> Error (Printf.sprintf "unknown inner tag 0x%02x" tag_byte)
+      | Some Traced -> Error "nested traced frame"
+      | Some tag ->
+        let rest =
+          read_raw r (String.length body - 14)
+          (* 1 version + 8 trace + 4 parent + 1 tag consumed *)
+        in
+        let* payload = rest in
+        Ok (tag, payload, { tc_trace = trace; tc_parent = parent })
+  with
+  | Ok v -> Ok v
+  | Error e -> Error e
 
 (* --- rejection payloads --- *)
 

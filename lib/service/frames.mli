@@ -20,6 +20,10 @@ type tag =
   | Get_beacon  (** request the router's current (M.1); empty payload *)
   | Access  (** payload: (M.2) access request bytes *)
   | Ping  (** liveness probe; empty payload *)
+  | Traced
+      (** a request wrapped with a trace context; payload:
+          [u8 version | u64 trace | u32 parent | u8 inner tag | inner payload].
+          See {!wrap_traced}. *)
   | Beacon  (** payload: (M.1) beacon bytes *)
   | Confirm  (** payload: (M.3) access confirm bytes *)
   | Rejected  (** payload: u8 error code ++ length-prefixed detail string *)
@@ -42,6 +46,33 @@ val read :
     deliberately truncated frame from the load generator shows up in the
     server's error counters. [`Timeout] surfaces an {!Peace_sock.set_timeout}
     deadline with no bytes consumed, so the read can simply be retried. *)
+
+(** {1 Trace context envelopes}
+
+    Distributed tracing rides the existing frame shape: a {!Traced} frame
+    wraps any ordinary request together with (u64 trace id, u32 parent
+    span id), so the authority can continue the client's trace
+    ({!Peace_obs.Trace.start_remote}). Compatibility is by tag, not by
+    format change: an old server rejects the unknown tag the way it
+    rejects any foreign byte, and every existing frame is byte-identical
+    to before. The envelope carries its own version byte so the context
+    can grow without burning another tag. *)
+
+type trace_ctx = {
+  tc_trace : int;  (** u64 trace id (62-bit in practice) *)
+  tc_parent : int;  (** client-side parent span id, masked to 32 bits *)
+}
+
+val traced_version : int
+
+val wrap_traced : ctx:trace_ctx -> tag -> string -> string
+(** The {!Traced} payload carrying [ctx] around an inner request frame.
+    Send with [write fd Traced (wrap_traced ~ctx tag payload)]. *)
+
+val unwrap_traced : string -> (tag * string * trace_ctx, string) result
+(** Decode a {!Traced} payload. Errors (unsupported version, unknown or
+    nested inner tag, truncation) are payload-level: the server answers
+    {!Rejected} and keeps the connection. *)
 
 (** {1 Rejection payloads} *)
 

@@ -1,4 +1,5 @@
 open Peace_core
+module Trace = Peace_obs.Trace
 
 type impairments = {
   im_jitter_ms : float;
@@ -120,13 +121,46 @@ let exchange st fd tag payload =
 
 (* the full M.1 -> M.2 -> M.3 exchange; [latency_from] (wall seconds) is
    where the recorded latency clock starts: the scheduled arrival in open
-   loop, the moment (M.2) hits the wire in closed loop *)
+   loop, the moment (M.2) hits the wire in closed loop.
+
+   When anyone is listening to the trace stream, each handshake becomes a
+   span tree: a root [loadgen.handshake] with one child per round trip,
+   and each request ships its child's (trace, span) over the wire in a
+   Traced envelope so the authority's [service.request] span joins the
+   same tree. No listener, no overhead — not even the envelope bytes. *)
+let tracing_on () = Trace.sink_active () || Trace.collector_active ()
+
 let handshake ~config ~gpk ~user ~latency_from st fd tally =
+  let root =
+    if tracing_on () then
+      Some (Trace.start ~trace:(Trace.fresh_trace_id ()) "loadgen.handshake")
+    else None
+  in
+  let exchange' name tag payload =
+    match root with
+    | None -> exchange st fd tag payload
+    | Some root ->
+      let sp = Trace.start_linked ~parent:root name in
+      let ctx =
+        {
+          Frames.tc_trace = Option.value ~default:0 (Trace.trace_of sp);
+          tc_parent = Trace.id sp;
+        }
+      in
+      let r =
+        exchange st fd Frames.Traced (Frames.wrap_traced ~ctx tag payload)
+      in
+      Trace.finish sp;
+      r
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Trace.finish root)
+  @@ fun () ->
   let classify = function
     | `Conn _ -> "conn"
     | `Timeout -> "timeout"
   in
-  match exchange st fd Frames.Get_beacon "" with
+  match exchange' "loadgen.get_beacon" Frames.Get_beacon "" with
   | Error e -> count tally (classify e)
   | Ok (Frames.Beacon, bytes) -> (
     match Messages.beacon_of_bytes config bytes with
@@ -138,7 +172,7 @@ let handshake ~config ~gpk ~user ~latency_from st fd tally =
         let gpk_bytes = Messages.access_request_to_bytes config gpk request in
         let t_sent = Unix.gettimeofday () in
         let from = match latency_from with Some t -> t | None -> t_sent in
-        match exchange st fd Frames.Access gpk_bytes with
+        match exchange' "loadgen.access" Frames.Access gpk_bytes with
         | Error e -> count tally (classify e)
         | Ok (Frames.Confirm, bytes) -> (
           match Messages.access_confirm_of_bytes config bytes with

@@ -30,3 +30,10 @@ val run :
 
 val print : result_ -> unit
 (** {!Loadgen.print_report} followed by the [service.*] counter table. *)
+
+val bench_json : ?prefix:string -> rev:string -> date:string -> result_ -> string
+(** The run as a schema-1 bench JSON document (newline-terminated) —
+    rows [<prefix>.throughput_rps], [.p50_ms], [.p95_ms], [.p99_ms],
+    [.ok_total], [.errors_total] with direction annotations, byte-
+    compatible with what the bench harness emits, so two SLO runs diff
+    with [peace bench-report]. Default [prefix] is ["slo"]. *)

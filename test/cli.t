@@ -195,6 +195,28 @@ zero regressions:
   $ grep -c '"regressions":1' regress.json
   1
 
+--update-baseline adopts the new run as the committed reference: the
+diff still prints (including the regression verdicts), but the run
+exits 0 and the old file is overwritten with the new results, so the
+next diff is clean:
+
+  $ cp old.json base.json
+  $ peace bench-report base.json new.json --threshold 5 --update-baseline
+  bench-report: base.json (aaa) -> new.json (bbb), threshold 5.0%
+    verify_ms                                       100.000 ->    112.000 ms       +12.0%  REGRESSION
+    throughput                                       50.000 ->     49.000 sig/s     -2.0%  ok
+    fresh_ms                                                -      2.000 ms  added
+    gone_ms                                      removed
+  baseline base.json updated from new.json
+  1 metric(s) regressed beyond 5.0%
+  $ cmp base.json new.json
+  $ peace bench-report base.json new.json --threshold 5
+  bench-report: base.json (bbb) -> new.json (bbb), threshold 5.0%
+    verify_ms                                       112.000 ->    112.000 ms        +0.0%  ok
+    throughput                                       49.000 ->     49.000 sig/s     -0.0%  ok
+    fresh_ms                                          2.000 ->      2.000 ms        +0.0%  ok
+  no regressions
+
 --profile-out renders the span stream of a run to a file: a .json path
 gets Chrome trace-event JSON (balanced B/E pairs), anything else gets
 folded stacks (flamegraph.pl grammar, one "path;to;frame N" per line):
@@ -237,5 +259,20 @@ Every non-comment line obeys the exposition grammar (legal metric name,
 optional label set, numeric value):
 
   $ grep -v '^#' metrics.txt | grep -Evc '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? -?[0-9]+$'
+  0
+  [1]
+
+peace watch --get is the scriptable one-shot scrape against the same
+surface — it prints the body and exits by status class, so a degraded
+/healthz fails the scrape; /flight returns the flight-recorder ring
+(JSONL, possibly empty in a fresh process):
+
+  $ peace serve --port 0 --announce port2.txt --max-requests 2 2>/dev/null &
+  $ for i in $(seq 1 100); do [ -s port2.txt ] && break; sleep 0.1; done
+  $ peace watch --port $(cat port2.txt) --get /healthz
+  ok
+  $ peace watch --port $(cat port2.txt) --get /flight > flight.jsonl
+  $ wait
+  $ grep -cv '^{.*}$' flight.jsonl
   0
   [1]

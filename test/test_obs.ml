@@ -803,6 +803,256 @@ let test_serve_survives_client_disconnect () =
   | Ok () -> ()
   | Error msg -> Alcotest.failf "server errored: %s" msg
 
+(* --- flight recorder --- *)
+
+module Log = Peace_obs.Log
+
+let test_log_ring () =
+  Log.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_capacity 1024;
+      Log.set_level Log.Debug)
+    (fun () ->
+      Alcotest.(check int) "capacity applied" 8 (Log.capacity ());
+      for i = 1 to 12 do
+        Log.info ~attrs:[ ("i", string_of_int i) ] "wrap"
+      done;
+      let entries = Log.recent () in
+      Alcotest.(check int) "ring keeps exactly the last capacity events" 8
+        (List.length entries);
+      let nth_i k =
+        List.assoc_opt "i" (Log.attrs (List.nth entries k))
+      in
+      Alcotest.(check (option string)) "oldest surviving event first"
+        (Some "5") (nth_i 0);
+      Alcotest.(check (option string)) "newest event last" (Some "12") (nth_i 7);
+      Alcotest.(check bool) "timestamps monotone" true
+        (let rec mono = function
+           | a :: (b :: _ as rest) -> Log.ts a <= Log.ts b && mono rest
+           | _ -> true
+         in
+         mono entries);
+      (* ?n takes the newest n, still oldest-first *)
+      (match Log.recent ~n:2 () with
+      | [ a; b ] ->
+        Alcotest.(check (option string)) "n caps from the newest end"
+          (Some "11")
+          (List.assoc_opt "i" (Log.attrs a));
+        Alcotest.(check (option string)) "…keeping order" (Some "12")
+          (List.assoc_opt "i" (Log.attrs b))
+      | l -> Alcotest.failf "recent ~n:2 returned %d entries" (List.length l));
+      Log.clear ();
+      Alcotest.(check int) "clear empties the ring" 0
+        (List.length (Log.recent ())))
+
+let test_log_levels_and_counters () =
+  Log.clear ();
+  Fun.protect
+    ~finally:(fun () -> Log.set_level Log.Debug)
+    (fun () ->
+      let c_warn = R.counter ~labels:[ ("level", "warn") ] "log.events_total" in
+      let before = R.Counter.value c_warn in
+      Log.set_level Log.Warn;
+      Log.debug "below threshold";
+      Log.info "also below";
+      Log.warn "recorded";
+      Log.error "also recorded";
+      let entries = Log.recent () in
+      Alcotest.(check int) "threshold filters the ring" 2 (List.length entries);
+      Alcotest.(check (list string)) "levels survive the ring"
+        [ "warn"; "error" ]
+        (List.map (fun e -> Log.level_to_string (Log.entry_level e)) entries);
+      Alcotest.(check int) "accepted events bump the labeled counter"
+        (before + 1) (R.Counter.value c_warn))
+
+let test_log_jsonl_and_sink () =
+  Log.clear ();
+  let sunk = ref [] in
+  Log.set_sink (Some (fun l -> sunk := l :: !sunk));
+  Fun.protect ~finally:(fun () -> Log.set_sink None) (fun () ->
+      Log.warn ~attrs:[ ("q", "a\"b\nc") ] "tricky \"msg\"");
+  (match !sunk with
+  | [ line ] ->
+    (match J.parse line with
+    | Error e -> Alcotest.failf "sink line is not valid JSON: %s" e
+    | Ok doc ->
+      Alcotest.(check bool) "level field" true
+        (J.member "level" doc = Some (J.Str "warn"));
+      Alcotest.(check bool) "msg escaped and round-trips" true
+        (J.member "msg" doc = Some (J.Str "tricky \"msg\""));
+      Alcotest.(check bool) "attrs nested object" true
+        (match J.member "attrs" doc with
+        | Some attrs -> J.member "q" attrs = Some (J.Str "a\"b\nc")
+        | None -> false))
+  | l -> Alcotest.failf "expected 1 sunk line, got %d" (List.length l));
+  let body = Log.recent_jsonl () in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' body) in
+  Alcotest.(check int) "recent_jsonl renders the ring" 1 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "flight lines parse" true
+        (match J.parse l with Ok _ -> true | Error _ -> false))
+    lines
+
+(* --- memoized error-counter families --- *)
+
+let test_counter_family () =
+  let fam = R.counter_family ~label:"kind" "test.obs.fam_total" in
+  let a = fam "decode" in
+  R.Counter.reset a;
+  R.Counter.incr a;
+  Alcotest.(check bool) "family memoizes per value" true (fam "decode" == a);
+  Alcotest.(check bool) "family aliases the labeled registry series" true
+    (R.counter ~labels:[ ("kind", "decode") ] "test.obs.fam_total" == a);
+  Alcotest.(check string) "series name carries the label"
+    "test.obs.fam_total{kind=\"decode\"}" (R.Counter.name a);
+  Alcotest.(check bool) "distinct values, distinct series" false
+    (fam "verify" == a);
+  let racers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              R.Counter.incr (fam "race")
+            done))
+  in
+  List.iter Domain.join racers;
+  Alcotest.(check int) "concurrent first-use loses no increments" 4000
+    (R.Counter.value (fam "race"))
+
+(* --- runtime telemetry --- *)
+
+module Runtime = Peace_obs.Runtime
+
+let test_runtime_sample () =
+  Runtime.sample ();
+  let gauge name = R.Gauge.value (R.gauge name) in
+  Alcotest.(check bool) "heap_words is a live process's heap" true
+    (gauge "runtime.gc.heap_words" > 0);
+  Alcotest.(check bool) "minor_words grows monotonically" true
+    (gauge "runtime.gc.minor_words" > 0);
+  Alcotest.(check bool) "top_heap >= heap" true
+    (gauge "runtime.gc.top_heap_words" >= gauge "runtime.gc.heap_words");
+  Alcotest.(check bool) "uptime is non-negative" true
+    (gauge "runtime.uptime_ms" >= 0);
+  Alcotest.(check int) "gauge_names covers the published set" 10
+    (List.length Runtime.gauge_names);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s registered" n)
+        true
+        (List.mem_assoc n (R.gauges ())))
+    Runtime.gauge_names;
+  (* track: one Timeseries tick records every runtime gauge *)
+  let sampler = Ts.create ~capacity:8 ~now:(fun () -> 42) () in
+  Runtime.track sampler;
+  Runtime.sample ();
+  Ts.sample sampler;
+  List.iter
+    (fun n ->
+      let s =
+        List.find (fun s -> Ts.Series.name s = n) (Ts.series sampler)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s sampled once" n)
+        1
+        (Ts.Series.length s))
+    Runtime.gauge_names
+
+(* --- serve: query parsing and the live ops surface --- *)
+
+module Serve = Peace_obs.Serve
+
+let test_query_parsing () =
+  Alcotest.(check (list (pair string string))) "empty" [] (Serve.parse_query "");
+  Alcotest.(check (list (pair string string))) "pairs and bare keys"
+    [ ("n", "32"); ("verbose", "") ]
+    (Serve.parse_query "n=32&verbose");
+  Alcotest.(check (list (pair string string))) "percent and plus decode"
+    [ ("name", "a b"); ("q", "x&y=z") ]
+    (Serve.parse_query "name=a+b&q=x%26y%3Dz");
+  Alcotest.(check string) "bad escape passes through" "100%"
+    (Serve.percent_decode "100%");
+  (match Serve.parse_request "GET /flight?n=5 HTTP/1.1\r\nHost: x\r\n\r\n" with
+  | Some (meth, path, query) ->
+    Alcotest.(check string) "method" "GET" meth;
+    Alcotest.(check string) "path split off the query" "/flight" path;
+    Alcotest.(check (list (pair string string))) "query decoded"
+      [ ("n", "5") ] query
+  | None -> Alcotest.fail "request head did not parse");
+  Alcotest.(check bool) "garbage head rejected" true
+    (Serve.parse_request "garbage" = None)
+
+let test_live_ops_endpoints () =
+  (* one server, five scrapes: degraded /healthz (plain + verbose), the
+     flight recorder, /series without and with an attached sampler *)
+  Log.clear ();
+  Log.warn ~attrs:[ ("where", "test") ] "flight entry";
+  Serve.register_health "test.always_ok" (fun () -> Ok ());
+  Serve.register_health "test.flaky" (fun () -> Error "broken gyroscope");
+  Serve.register_health "test.throws" (fun () -> failwith "kaboom");
+  Serve.set_series_source None;
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.serve ~port:0 ~max_requests:5
+          ~on_listen:(fun p -> Atomic.set port p)
+          ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.unregister_health "test.always_ok";
+      Serve.unregister_health "test.flaky";
+      Serve.unregister_health "test.throws";
+      Serve.set_series_source None)
+    (fun () ->
+      let rec wait_port tries =
+        if Atomic.get port = 0 then
+          if tries = 0 then Alcotest.fail "server never listened"
+          else begin
+            Unix.sleepf 0.01;
+            wait_port (tries - 1)
+          end
+      in
+      wait_port 500;
+      let get path =
+        match Serve.http_get ~port:(Atomic.get port) path with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "GET %s: %s" path e
+      in
+      let infix a s = Astring.String.is_infix ~affix:a s in
+      let code, body = get "/healthz" in
+      Alcotest.(check int) "failing checks degrade /healthz to 503" 503 code;
+      Alcotest.(check bool) "body leads with the verdict" true
+        (infix "degraded" body && infix "test.flaky: broken gyroscope" body);
+      Alcotest.(check bool) "a throwing check reads as a failure" true
+        (infix "test.throws" body);
+      let code, body = get "/healthz?verbose" in
+      Alcotest.(check int) "verbose keeps the 503" 503 code;
+      Alcotest.(check bool) "verbose lists passing checks too" true
+        (infix "ok test.always_ok" body
+        && infix "fail test.flaky: broken gyroscope" body);
+      let code, body = get "/flight?n=1" in
+      Alcotest.(check int) "/flight answers 200" 200 code;
+      Alcotest.(check bool) "/flight returns the ring as JSONL" true
+        (infix "\"msg\":\"flight entry\"" body && infix "\"where\"" body);
+      let code, body = get "/series" in
+      Alcotest.(check int) "/series without a sampler is 404" 404 code;
+      Alcotest.(check bool) "…and says why" true (infix "no series source" body);
+      let sampler = Ts.create ~capacity:8 ~now:(fun () -> 7) () in
+      let _s = Ts.track sampler "test.live.metric" (fun () -> 3.5) in
+      Ts.sample sampler;
+      Serve.set_series_source (Some sampler);
+      let code, body = get "/series?name=test.live.metric" in
+      Alcotest.(check int) "/series with a sampler answers 200" 200 code;
+      Alcotest.(check bool) "sample lines carry series, ts, value" true
+        (infix "\"series\":\"test.live.metric\"" body
+        && infix "\"ts\":7" body && infix "3.5" body);
+      match Domain.join server with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "server errored: %s" msg)
+
 let () =
   Alcotest.run "peace-obs"
     [
@@ -858,5 +1108,20 @@ let () =
             test_serve_addr_in_use;
           Alcotest.test_case "survives client disconnects" `Quick
             test_serve_survives_client_disconnect;
+          Alcotest.test_case "query parsing" `Quick test_query_parsing;
+          Alcotest.test_case "healthz/flight/series live surface" `Quick
+            test_live_ops_endpoints;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "flight-recorder ring" `Quick test_log_ring;
+          Alcotest.test_case "levels and counters" `Quick
+            test_log_levels_and_counters;
+          Alcotest.test_case "jsonl and sink" `Quick test_log_jsonl_and_sink;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "counter families" `Quick test_counter_family;
+          Alcotest.test_case "gc/memory sampling" `Quick test_runtime_sample;
         ] );
     ]

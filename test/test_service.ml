@@ -143,6 +143,43 @@ let test_rejected_payload () =
     (Frames.error_code (Protocol_error.Malformed "x"));
   List.iter (fun c -> Alcotest.(check bool) "nonzero" true (c > 0)) codes
 
+(* --- the Traced envelope --- *)
+
+let ctx = { Frames.tc_trace = 0x1234_5678_9abc; tc_parent = 77 }
+
+let test_traced_envelope () =
+  (* round trip, for every request tag it may legally wrap *)
+  List.iter
+    (fun (tag, payload) ->
+      match Frames.unwrap_traced (Frames.wrap_traced ~ctx tag payload) with
+      | Ok (tag', payload', ctx') ->
+        Alcotest.(check int) "inner tag survives" (Frames.tag_to_int tag)
+          (Frames.tag_to_int tag');
+        Alcotest.(check string) "payload survives" payload payload';
+        Alcotest.(check bool) "trace context survives" true (ctx' = ctx)
+      | Error e -> Alcotest.failf "unwrap failed: %s" e)
+    [ (Frames.Ping, ""); (Frames.Get_beacon, ""); (Frames.Access, "payload") ];
+  (* the parent span id is masked to 32 bits on the wire *)
+  let wide = { Frames.tc_trace = 5; tc_parent = 0x1_0000_002a } in
+  (match Frames.unwrap_traced (Frames.wrap_traced ~ctx:wide Frames.Ping "") with
+  | Ok (_, _, c) -> Alcotest.(check int) "parent masked" 0x2a c.Frames.tc_parent
+  | Error e -> Alcotest.failf "wide parent: %s" e);
+  (* error cases: truncation, future version, nesting, unknown inner tag *)
+  let reject label body =
+    match Frames.unwrap_traced body with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" label
+  in
+  reject "truncated body" "\x01shrt";
+  reject "empty body" "";
+  let good = Frames.wrap_traced ~ctx Frames.Ping "" in
+  reject "future version" ("\x02" ^ String.sub good 1 (String.length good - 1));
+  reject "nested traced"
+    (Frames.wrap_traced ~ctx Frames.Traced "inner");
+  let bad_tag = Bytes.of_string good in
+  Bytes.set bad_tag 13 '\xee';
+  reject "unknown inner tag" (Bytes.to_string bad_tag)
+
 (* --- the authority, end to end --- *)
 
 let fresh_sock_path =
@@ -291,6 +328,220 @@ let test_authority_stop_idempotent () =
   in
   Authority.stop server2
 
+let test_authority_traced_requests () =
+  with_authority (fun testbed server ->
+      let fd = connect_to server in
+      Fun.protect
+        ~finally:(fun () -> Sock.close_noerr fd)
+        (fun () ->
+          (* a Traced-wrapped Ping answers like a bare Ping *)
+          (match
+             request fd Frames.Traced (Frames.wrap_traced ~ctx Frames.Ping "")
+           with
+          | Frames.Pong, _ -> ()
+          | _ -> Alcotest.fail "traced ping not answered");
+          (* a garbage envelope is Rejected and the connection survives *)
+          (match request fd Frames.Traced "\xff garbage" with
+          | Frames.Rejected, _ -> ()
+          | _ -> Alcotest.fail "garbage envelope not Rejected");
+          (* so is a nested envelope *)
+          (match
+             request fd Frames.Traced
+               (Frames.wrap_traced ~ctx Frames.Traced "inner")
+           with
+          | Frames.Rejected, _ -> ()
+          | _ -> Alcotest.fail "nested envelope not Rejected");
+          (* and a whole handshake still completes on this connection *)
+          let user = List.hd testbed.Testbed.tb_users in
+          let _session = full_handshake testbed fd ~user in
+          ()))
+
+(* --- distributed trace stitching --- *)
+
+(* tiny fixed-order JSONL field scanners (same trick as test_obs) *)
+
+let after line pat =
+  let n = String.length pat in
+  let rec find i =
+    if i + n > String.length line then None
+    else if String.sub line i n = pat then Some (i + n)
+    else find (i + 1)
+  in
+  find 0
+
+let int_field line key =
+  match after line ("\"" ^ key ^ "\":") with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while
+      !j < String.length line
+      && (match line.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j = i then None else Some (int_of_string (String.sub line i (!j - i)))
+
+let str_field line key =
+  match after line ("\"" ^ key ^ "\":\"") with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt line i '"' with
+    | None -> None
+    | Some j -> Some (String.sub line i (j - i)))
+
+module Trace = Peace_obs.Trace
+
+let test_trace_stitching () =
+  (* drive a traced loadgen run against a live authority in-process, then
+     check the combined span stream forms one connected tree per
+     completed handshake: client root -> client round-trip children ->
+     server spans joined on (trace, remote_parent) *)
+  let lines = ref [] in
+  let mu = Mutex.create () in
+  Trace.set_sink
+    (Some
+       (fun l ->
+         Mutex.lock mu;
+         lines := l :: !lines;
+         Mutex.unlock mu));
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Trace.set_sink None)
+      (fun () ->
+        with_authority ~n_users:2 (fun testbed server ->
+            ok_or_fail "loadgen"
+              (Loadgen.run
+                 ~connect:(Authority.bound_addr server)
+                 ~testbed ~concurrency:2 ~duration_s:0.5 ())))
+  in
+  Alcotest.(check bool) "handshakes completed" true (report.Loadgen.lr_ok > 0);
+  let lines = List.rev !lines in
+  let begins = List.filter (fun l -> after l "\"ev\":\"B\"" <> None) lines in
+  let named n = List.filter (fun l -> str_field l "name" = Some n) begins in
+  let roots = named "loadgen.handshake" in
+  Alcotest.(check bool) "one root per attempted handshake" true
+    (List.length roots >= report.Loadgen.lr_ok);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "roots are parentless and trace-stamped" true
+        (after r "\"parent\":null" <> None && int_field r "trace" <> None))
+    roots;
+  let children =
+    named "loadgen.get_beacon" @ named "loadgen.access"
+  in
+  let server_spans = named "service.request" in
+  (* index client spans by (trace, id); server spans must join on it *)
+  let child_keys =
+    List.filter_map
+      (fun c ->
+        match (int_field c "trace", int_field c "id") with
+        | Some t, Some i -> Some (t, i)
+        | _ -> None)
+      children
+  in
+  let joined =
+    List.filter
+      (fun s ->
+        match (int_field s "trace", int_field s "remote_parent") with
+        | Some t, Some rp -> List.mem (t, rp) child_keys
+        | _ -> false)
+      server_spans
+  in
+  (* every completed handshake made 2 round trips; both server spans must
+     land in the client's tree *)
+  Alcotest.(check bool)
+    (Printf.sprintf "server spans join client trees (%d joined, %d ok)"
+       (List.length joined) report.Loadgen.lr_ok)
+    true
+    (List.length joined >= 2 * report.Loadgen.lr_ok);
+  (* each client child hangs off its handshake root, so the tree is
+     connected end to end *)
+  let root_keys =
+    List.filter_map
+      (fun r ->
+        match (int_field r "trace", int_field r "id") with
+        | Some t, Some i -> Some (t, i)
+        | _ -> None)
+      roots
+  in
+  List.iter
+    (fun c ->
+      match (int_field c "trace", int_field c "parent") with
+      | Some t, Some p ->
+        Alcotest.(check bool) "child's parent is its trace's root" true
+          (List.mem (t, p) root_keys)
+      | _ -> Alcotest.fail "client child missing trace or parent")
+    children;
+  (* distinct handshakes get distinct traces *)
+  let traces = List.filter_map (fun r -> int_field r "trace") roots in
+  Alcotest.(check int) "one fresh trace id per handshake"
+    (List.length traces)
+    (List.length (List.sort_uniq compare traces))
+
+(* --- degraded health --- *)
+
+module Serve = Peace_obs.Serve
+
+let test_authority_degraded_health () =
+  with_authority (fun testbed server ->
+      (* healthy at rest: both authority checks are registered and pass *)
+      let names = List.map fst (Serve.health_results ()) in
+      Alcotest.(check bool) "authority checks registered" true
+        (List.mem "authority.queue" names && List.mem "authority.errors" names);
+      let fd = connect_to server in
+      Fun.protect
+        ~finally:(fun () -> Sock.close_noerr fd)
+        (fun () ->
+          (* a burst of garbage: every request errors, tripping the
+             error-rate window (>=10 events, >50% errors) *)
+          for _ = 1 to 12 do
+            match request fd Frames.Access "complete garbage" with
+            | Frames.Rejected, _ -> ()
+            | _ -> Alcotest.fail "garbage not Rejected"
+          done;
+          (* scrape a colocated /healthz: the degraded check turns it 503 *)
+          let port = Atomic.make 0 in
+          let scrape_server =
+            Domain.spawn (fun () ->
+                Serve.serve ~port:0 ~max_requests:1
+                  ~on_listen:(fun p -> Atomic.set port p)
+                  ())
+          in
+          let rec wait_port tries =
+            if Atomic.get port = 0 then
+              if tries = 0 then Alcotest.fail "scrape server never listened"
+              else begin
+                Unix.sleepf 0.01;
+                wait_port (tries - 1)
+              end
+          in
+          wait_port 500;
+          (match Serve.http_get ~port:(Atomic.get port) "/healthz" with
+          | Ok (code, body) ->
+            Alcotest.(check int) "degraded authority answers 503" 503 code;
+            Alcotest.(check bool) "and names the failing check" true
+              (Astring.String.is_infix ~affix:"authority.errors" body
+              && Astring.String.is_infix ~affix:"errors in the last" body)
+          | Error e -> Alcotest.failf "healthz scrape: %s" e);
+          (match Domain.join scrape_server with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "scrape server: %s" e);
+          (* the next window is clean again: health recovers *)
+          let user = List.hd testbed.Testbed.tb_users in
+          let _session = full_handshake testbed fd ~user in
+          List.iter
+            (fun (n, r) ->
+              if n = "authority.errors" then
+                Alcotest.(check bool) "recovers once the burst passes" true
+                  (r = Ok ()))
+            (Serve.health_results ())));
+  (* stop unregisters: no stale checks leak into later tests *)
+  Alcotest.(check bool) "checks unregistered on stop" false
+    (List.exists
+       (fun (n, _) -> n = "authority.queue" || n = "authority.errors")
+       (Serve.health_results ()))
+
 (* --- loadgen statistics --- *)
 
 let test_percentile () =
@@ -348,6 +599,7 @@ let suite =
         Alcotest.test_case "truncated stream" `Quick test_frame_truncated;
         Alcotest.test_case "oversized frame" `Quick test_frame_oversized;
         Alcotest.test_case "rejected payloads" `Quick test_rejected_payload;
+        Alcotest.test_case "traced envelope" `Quick test_traced_envelope;
       ] );
     ( "authority",
       [
@@ -358,6 +610,14 @@ let suite =
           test_authority_truncated_frame;
         Alcotest.test_case "stop is graceful + idempotent" `Quick
           test_authority_stop_idempotent;
+        Alcotest.test_case "traced requests" `Quick test_authority_traced_requests;
+        Alcotest.test_case "degraded health surfaces on /healthz" `Quick
+          test_authority_degraded_health;
+      ] );
+    ( "tracing",
+      [
+        Alcotest.test_case "loadgen<->authority stitching" `Quick
+          test_trace_stitching;
       ] );
     ( "loadgen",
       [
