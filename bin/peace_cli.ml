@@ -274,12 +274,100 @@ let audit gpk_path message sig_hex grt_path =
       Printf.printf "no grt entry matches (or signature invalid)\n";
       exit 1)
 
+(* --- the audit ledger (hash chain + signed checkpoints) --- *)
+
+(* a ledger signer backed by an ECDSA key: algorithm and public key are
+   embedded in the genesis record so verification needs no side channel *)
+let audit_signer curve ~public ~sign =
+  {
+    Peace_obs.Audit.s_algo = "ecdsa-" ^ Peace_ec.Curve.name curve;
+    s_pk = hex_encode (Peace_ec.Curve.encode curve public);
+    s_sign =
+      (fun payload ->
+        hex_encode (Peace_ec.Ecdsa.signature_to_bytes curve (sign payload)));
+  }
+
+(* checkpoint verification from genesis-embedded (algo, pk) alone *)
+let audit_verify_sig ~algo ~pk ~payload ~signature =
+  let curve =
+    match algo with
+    | "ecdsa-secp160r1" -> Some (Lazy.force Peace_ec.Curves.secp160r1)
+    | "ecdsa-secp256r1" -> Some (Lazy.force Peace_ec.Curves.secp256r1)
+    | _ -> None
+  in
+  match curve with
+  | None -> false
+  | Some curve -> (
+    match (hex_decode pk, hex_decode signature) with
+    | Ok pk_bytes, Ok sig_bytes -> (
+      match
+        ( Peace_ec.Curve.decode curve pk_bytes,
+          Peace_ec.Ecdsa.signature_of_bytes curve sig_bytes )
+      with
+      | Some public, Some s -> Peace_ec.Ecdsa.verify curve ~public payload s
+      | _ -> false)
+    | _ -> false)
+
+let audit_verify ledger_path allow_open =
+  let lines =
+    read_file ledger_path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match
+    Peace_obs.Audit.verify ~verify_sig:audit_verify_sig
+      ~require_seal:(not allow_open) lines
+  with
+  | Ok r ->
+    Printf.printf "ok: %d records, %d checkpoints (%s), head seq %d\n"
+      r.Peace_obs.Audit.vr_records r.Peace_obs.Audit.vr_checkpoints
+      (if r.Peace_obs.Audit.vr_signed then "signed" else "unsigned")
+      r.Peace_obs.Audit.vr_last_seq
+  | Error b ->
+    Printf.printf "ledger INVALID at seq %d: %s\n" b.Peace_obs.Audit.br_seq
+      b.Peace_obs.Audit.br_reason;
+    exit 1
+
 let audit_cmd =
   let sig_hex = Arg.(required & opt (some string) None & info [ "s"; "signature" ] ~doc:"Signature (hex).") in
   let grt = Arg.(required & opt (some string) None & info [ "grt" ] ~doc:"Token table: '<token-hex> <label>' per line.") in
-  Cmd.v
-    (Cmd.info "audit" ~doc:"Open a signature against the operator's token table")
-    Term.(const audit $ gpk_arg $ message_arg $ sig_hex $ grt)
+  let open_term = Term.(const audit $ gpk_arg $ message_arg $ sig_hex $ grt) in
+  let open_cmd =
+    Cmd.v
+      (Cmd.info "open"
+         ~doc:"Open a signature against the operator's token table (§IV-D)")
+      open_term
+  in
+  let verify_sub =
+    let ledger =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"LEDGER" ~doc:"Audit ledger file (JSONL).")
+    in
+    let allow_open =
+      Arg.(
+        value & flag
+        & info [ "allow-open" ]
+            ~doc:
+              "Accept a ledger that does not end at a checkpoint (e.g. one \
+               cut short by a crash). Without this flag a missing final \
+               checkpoint — the truncation tell — fails verification.")
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-walk an audit ledger: dense sequence numbers, the \
+            SHA-256 hash chain, and every checkpoint's ECDSA signature \
+            against the genesis-embedded operator key. Exits 1 naming the \
+            first bad record on any break.")
+      Term.(const audit_verify $ ledger $ allow_open)
+  in
+  Cmd.group ~default:open_term
+    (Cmd.info "audit"
+       ~doc:
+         "Signature opening (default) and tamper-evident ledger \
+          verification")
+    [ open_cmd; verify_sub ]
 
 (* --- simulate --- *)
 
@@ -291,7 +379,23 @@ let parse_faults_or_exit spec =
       Peace_sim.Faults.grammar;
     exit 1
 
-let simulate trace profile_out timeline faults_spec no_hardening scenario seed =
+(* a deterministic ledger signer for simulations: the keypair is derived
+   from the scenario seed, so the ledger's genesis pk — and every
+   checkpoint signature — is reproducible run to run *)
+let sim_audit_signer seed =
+  let curve = Lazy.force Peace_ec.Curves.secp160r1 in
+  let rng =
+    Peace_hash.Drbg.bytes_fn
+      (Peace_hash.Drbg.create
+         ~seed:(Printf.sprintf "peace-sim-audit-%d" seed)
+         ())
+  in
+  let key = Peace_ec.Ecdsa.generate curve rng in
+  audit_signer curve ~public:key.Peace_ec.Ecdsa.q ~sign:(fun payload ->
+      Peace_ec.Ecdsa.sign curve ~key payload)
+
+let simulate trace profile_out timeline faults_spec no_hardening invoices
+    audit_path scenario seed =
   with_trace trace @@ fun () ->
   with_profile_out profile_out @@ fun () ->
   let faults =
@@ -304,6 +408,11 @@ let simulate trace profile_out timeline faults_spec no_hardening scenario seed =
   then begin
     Printf.eprintf
       "error: --faults/--no-hardening apply to the city and dos scenarios only\n";
+    exit 1
+  end;
+  if (invoices || audit_path <> None) && scenario <> "city" then begin
+    Printf.eprintf
+      "error: --invoices/--audit apply to the city scenario only\n";
     exit 1
   end;
   let run ?sampler () =
@@ -319,13 +428,22 @@ let simulate trace profile_out timeline faults_spec no_hardening scenario seed =
     | "city" ->
       let r =
         Scenario.city_auth ~seed ?sampler ~faults
-          ~hardened:(not no_hardening) ~n_routers:4 ~n_users:20
+          ~hardened:(not no_hardening) ~invoices ~n_routers:4 ~n_users:20
           ~area_m:1500.0 ~range_m:600.0 ~duration_ms:60_000
           ~mean_interarrival_ms:10_000.0 ()
       in
       Printf.printf "auth: %d/%d ok, handshake %.1f ms mean, %d bytes on air\n"
         r.Scenario.cr_successes r.Scenario.cr_attempts r.Scenario.cr_handshake_mean_ms
         r.Scenario.cr_bytes_on_air;
+      if invoices then begin
+        (* the §IV-D billing table: group-level attribution only — no
+           individual user appears on an invoice *)
+        Printf.printf "%-6s %9s %9s %12s\n" "group" "sessions" "bytes"
+          "duration ms";
+        List.iter
+          (fun (g, s, b, d) -> Printf.printf "%-6d %9d %9d %12d\n" g s b d)
+          r.Scenario.cr_invoices
+      end;
       if have_faults then begin
         Printf.printf "faults: %s\n"
           (String.concat ", "
@@ -380,6 +498,18 @@ let simulate trace profile_out timeline faults_spec no_hardening scenario seed =
         "unknown scenario %S (try: attacks, city, dos, phishing, multihop, roaming)\n"
         other;
       exit 2
+  in
+  let run ?sampler () =
+    match audit_path with
+    | None -> run ?sampler ()
+    | Some path ->
+      Peace_obs.Audit.with_file
+        ~signer:(sim_audit_signer seed)
+        ~meta:
+          [ ("source", "simulate-" ^ scenario); ("seed", string_of_int seed) ]
+        path
+        (fun _ -> run ?sampler ());
+      Printf.eprintf "audit ledger -> %s\n" path
   in
   match timeline with
   | None -> run ()
@@ -449,11 +579,32 @@ let simulate_cmd =
              duplicate resends, router failover) — the pre-E15 baseline \
              behaviour. City and dos scenarios only.")
   in
+  let invoices =
+    Arg.(
+      value & flag
+      & info [ "invoices" ]
+          ~doc:
+            "Meter every accepted session (city only) and print the \
+             per-group invoice table — sessions, bytes and modeled service \
+             duration attributed through the §IV-D group audit. No \
+             individual user is identified.")
+  in
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Record security events (city only) to a tamper-evident audit \
+             ledger at $(docv): hash-chained JSONL with checkpoints signed \
+             by a seed-derived ECDSA key. Check it afterwards with \
+             $(b,peace audit verify).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a WMN simulation scenario")
     Term.(
       const simulate $ trace_arg $ profile_out_arg $ timeline $ faults
-      $ no_hardening $ scenario $ seed)
+      $ no_hardening $ invoices $ audit $ scenario $ seed)
 
 (* --- chaos --- *)
 
@@ -1086,10 +1237,45 @@ let make_testbed params_src seed n_users =
   Service.Testbed.make ~params:(load_params params_src) ~seed ~n_users ()
 
 let serve_auth trace params_src testbed_seed n_users addr workers verify_domains
-    beacon_period_ms announce duration metrics_port metrics_announce =
+    beacon_period_ms announce duration audit_path metrics_port metrics_announce
+    =
   Peace_sock.ignore_sigpipe ();
   with_trace trace @@ fun () ->
   let testbed = make_testbed params_src testbed_seed n_users in
+  (* --audit installs the tamper-evident ledger before the listener comes
+     up, so the very first access decision is already on the chain.
+     Checkpoints are signed with the operator's certificate key — the
+     same NPK every user already holds verifies the ledger offline. *)
+  let audit_teardown =
+    match audit_path with
+    | None -> fun () -> ()
+    | Some path ->
+      let operator =
+        Peace_core.Deployment.operator testbed.Service.Testbed.tb_deployment
+      in
+      let curve = testbed.Service.Testbed.tb_config.Peace_core.Config.curve in
+      let signer =
+        audit_signer curve
+          ~public:(Peace_core.Network_operator.public_key operator)
+          ~sign:(Peace_core.Network_operator.sign_audit operator)
+      in
+      let oc = open_out path in
+      let ledger =
+        Peace_obs.Audit.create ~signer
+          ~sink:(fun line ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc)
+          ~meta:[ ("source", "serve-auth") ]
+          ()
+      in
+      Peace_obs.Audit.install (Some ledger);
+      Printf.eprintf "peace serve-auth: audit ledger -> %s\n%!" path;
+      fun () ->
+        Peace_obs.Audit.seal ledger;
+        Peace_obs.Audit.install None;
+        close_out oc
+  in
   let server =
     or_die
       (Service.Authority.start ~workers ~verify_domains ~beacon_period_ms
@@ -1135,9 +1321,11 @@ let serve_auth trace params_src testbed_seed n_users addr workers verify_domains
                  | None -> ());
                  Printf.eprintf
                    "peace serve-auth: metrics on http://127.0.0.1:%d (GET \
-                    /metrics, /healthz, /flight, /series)\n\
+                    /metrics, /healthz, /flight, /series%s)\n\
                     %!"
-                   p)
+                   p
+                   (if audit_path <> None then ", /audit/head, /audit"
+                    else ""))
                ()
            with
            | Ok () -> ()
@@ -1161,7 +1349,8 @@ let serve_auth trace params_src testbed_seed n_users addr workers verify_domains
     Unix.sleepf 0.2
   done;
   Printf.eprintf "peace serve-auth: draining and shutting down\n%!";
-  Service.Authority.stop server
+  Service.Authority.stop server;
+  audit_teardown ()
 
 let serve_auth_cmd =
   let workers =
@@ -1219,6 +1408,19 @@ let serve_auth_cmd =
             "Write the bound metrics port to $(docv) once listening (useful \
              with --metrics-port 0).")
   in
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Append every security event (access accept/reject, revocation \
+             reissue, audits, session accounting) to a tamper-evident \
+             hash-chained ledger at $(docv), with checkpoints signed by the \
+             operator's certificate key. Verify offline with $(b,peace \
+             audit verify); browse live via /audit on the metrics \
+             listener.")
+  in
   Cmd.v
     (Cmd.info "serve-auth"
        ~doc:
@@ -1228,7 +1430,7 @@ let serve_auth_cmd =
       const serve_auth $ trace_arg $ params_arg $ testbed_seed_arg $ users_arg
       $ addr_arg ~default:(Peace_sock.Tcp ("127.0.0.1", 7464))
       $ workers $ verify_domains $ beacon_period $ announce $ duration
-      $ metrics_port $ metrics_announce)
+      $ audit $ metrics_port $ metrics_announce)
 
 let concurrency_arg =
   Arg.(

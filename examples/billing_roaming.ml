@@ -55,7 +55,7 @@ let () =
     let sid = Session.id router_session in
     Accounting.record_up meter ~session_id:sid ~bytes:upl;
     Accounting.record_down meter ~session_id:sid ~bytes:downl;
-    Accounting.close_session meter ~session_id:sid ~duration_ms:(upl / 10);
+    ignore (Accounting.close_session meter ~session_id:sid ~duration_ms:(upl / 10));
     ignore session
   in
   browse employee1 4_000 48_000;

@@ -22,6 +22,8 @@ let live_of meter session_id =
     Hashtbl.replace meter.live session_id l;
     l
 
+let open_session meter ~session_id = ignore (live_of meter session_id)
+
 let record_up meter ~session_id ~bytes =
   let l = live_of meter session_id in
   l.bytes_up <- l.bytes_up + bytes
@@ -30,17 +32,35 @@ let record_down meter ~session_id ~bytes =
   let l = live_of meter session_id in
   l.bytes_down <- l.bytes_down + bytes
 
+let hex_prefix ?(bytes = 8) s =
+  let n = Stdlib.min bytes (String.length s) in
+  String.concat ""
+    (List.init n (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
 let close_session meter ~session_id ~duration_ms =
-  let l = live_of meter session_id in
-  Hashtbl.remove meter.live session_id;
-  meter.closed <-
-    {
-      u_session_id = session_id;
-      u_bytes_up = l.bytes_up;
-      u_bytes_down = l.bytes_down;
-      u_duration_ms = duration_ms;
-    }
-    :: meter.closed
+  (* only live sessions close: closing an unknown (or already-closed)
+     session is a no-op, so a duplicate or forged close frame can neither
+     invent a billable zero-byte usage record nor double-bill one *)
+  match Hashtbl.find_opt meter.live session_id with
+  | None -> false
+  | Some l ->
+    Hashtbl.remove meter.live session_id;
+    meter.closed <-
+      {
+        u_session_id = session_id;
+        u_bytes_up = l.bytes_up;
+        u_bytes_down = l.bytes_down;
+        u_duration_ms = duration_ms;
+      }
+      :: meter.closed;
+    Peace_obs.Audit.emit ~kind:"session_close"
+      [
+        ("session", hex_prefix session_id);
+        ("bytes_up", string_of_int l.bytes_up);
+        ("bytes_down", string_of_int l.bytes_down);
+        ("duration_ms", string_of_int duration_ms);
+      ];
+    true
 
 let usages meter = meter.closed
 let open_sessions meter = Hashtbl.length meter.live

@@ -21,9 +21,21 @@ type meter
 (** A router-side meter: accumulates per-session counters. *)
 
 val create_meter : unit -> meter
+
+val open_session : meter -> session_id:string -> unit
+(** Start metering a session (idempotent for an already-live session).
+    Recording traffic opens implicitly; an explicit open lets a
+    zero-byte session be closed and billed for its duration. *)
+
 val record_up : meter -> session_id:string -> bytes:int -> unit
 val record_down : meter -> session_id:string -> bytes:int -> unit
-val close_session : meter -> session_id:string -> duration_ms:int -> unit
+
+val close_session : meter -> session_id:string -> duration_ms:int -> bool
+(** Close a live session, moving its counters to {!usages} and emitting
+    an audit-ledger [session_close] event. [false] — and no usage
+    record — when the session is not live: closing an unknown session or
+    closing twice cannot create (or duplicate) billable records. *)
+
 val usages : meter -> usage list
 (** Closed sessions only, most recent first. *)
 

@@ -29,6 +29,14 @@ let trace no ~group_manager_of ~msg signature =
       | Some gm ->
         Group_manager.lookup_uid gm ~index:finding.Network_operator.found_index
     in
+    (* the two-party open is the most privacy-sensitive operation in the
+       system; it must always leave an audit-ledger trace of its own,
+       whether or not the GM could resolve the uid *)
+    Peace_obs.Audit.emit ~kind:"user_open"
+      [
+        ("group", string_of_int group_id);
+        ("resolved", string_of_bool (uid <> None));
+      ];
     Some
       {
         traced_group_id = group_id;

@@ -3,6 +3,7 @@ open Peace_ec
 open Peace_pairing
 open Peace_groupsig
 module Obs = Peace_obs.Registry
+module Audit = Peace_obs.Audit
 
 (* per-request observability: phase latencies of (M.2) handling and the
    length of the revocation scan each verification pays for *)
@@ -11,6 +12,23 @@ let h_precheck = Obs.histogram "router.precheck_ns"
 let h_verify = Obs.histogram "router.verify_ns"
 let h_finalize = Obs.histogram "router.finalize_ns"
 let h_url_scan = Obs.histogram "router.url_scan_len"
+
+(* audit-ledger attribute helpers: session ids are raw bytes, recorded
+   as a short hex prefix (enough to join against the access log without
+   bloating every record) *)
+let hex_prefix ?(bytes = 8) s =
+  let n = Stdlib.min bytes (String.length s) in
+  String.concat ""
+    (List.init n (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let audit_reject router_id err =
+  let code = Protocol_error.wire_code err in
+  Audit.emit ~kind:"access_reject"
+    [
+      ("router", string_of_int router_id);
+      ("code", string_of_int code);
+      ("reason", Protocol_error.code_name code);
+    ]
 
 type log_entry = {
   le_session_id : string;
@@ -206,6 +224,7 @@ let beacon t =
 
 let cheap_reject t err =
   t.cheap_rejections <- t.cheap_rejections + 1;
+  audit_reject t.router_id err;
   err
 
 (* the pre-verification half of (M.2) processing: cheap checks (freshness,
@@ -308,11 +327,21 @@ let finalize t (m : Messages.access_request) ob transcript =
     Hashtbl.replace t.completed
       (Peace_hash.Sha256.digest transcript)
       (m.Messages.ts2, confirm, Session.id session);
+  Audit.emit ~kind:"access_accept"
+    [
+      ("router", string_of_int t.router_id);
+      ("session", hex_prefix (Session.id session));
+      ("ts2", string_of_int m.Messages.ts2);
+    ];
   Ok (confirm, session)
 
 let conclude t (m : Messages.access_request) ob transcript = function
-  | Group_sig.Invalid_proof -> Error Protocol_error.Invalid_group_signature
-  | Group_sig.Revoked -> Error Protocol_error.User_revoked
+  | Group_sig.Invalid_proof ->
+    audit_reject t.router_id Protocol_error.Invalid_group_signature;
+    Error Protocol_error.Invalid_group_signature
+  | Group_sig.Revoked ->
+    audit_reject t.router_id Protocol_error.User_revoked;
+    Error Protocol_error.User_revoked
   | Group_sig.Valid -> finalize t m ob transcript
 
 (* the three-phase split, exposed so a caller that serialises router state

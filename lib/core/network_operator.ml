@@ -2,6 +2,7 @@ open Peace_bigint
 open Peace_ec
 open Peace_pairing
 open Peace_groupsig
+module Audit = Peace_obs.Audit
 
 type gm_share = { index : int; grp_secret : Bigint.t; member_secret : Bigint.t }
 type ttp_share = { ts_group_id : int; ts_index : int; blinded_a : string }
@@ -71,6 +72,10 @@ let create config ~rng =
 let config t = t.config
 let gpk t = t.issuer.Group_sig.gpk
 let public_key t = t.operator_key.Ecdsa.q
+
+let sign_audit t payload =
+  Ecdsa.sign t.config.Config.curve ~key:t.operator_key payload
+
 let group_count t = Hashtbl.length t.groups
 
 let grt_size t =
@@ -185,13 +190,27 @@ let reissue_crl t =
   t.crl_seq <- t.crl_seq + 1;
   t.crl <-
     Cert.issue_crl t.config ~operator_key:t.operator_key ~seq:t.crl_seq
-      ~now:(now t) ~revoked:t.revoked_routers
+      ~now:(now t) ~revoked:t.revoked_routers;
+  Audit.emit ~kind:"revocation_update"
+    [
+      ("list", "crl");
+      ("seq", string_of_int t.crl_seq);
+      ("entries", string_of_int (List.length t.revoked_routers));
+      ("epoch", string_of_int t.epoch);
+    ]
 
 let reissue_url t =
   t.url_seq <- t.url_seq + 1;
   t.url <-
     Url.issue t.config ~operator_key:t.operator_key ~seq:t.url_seq ~now:(now t)
-      ~tokens:(List.map fst t.revoked_tokens)
+      ~tokens:(List.map fst t.revoked_tokens);
+  Audit.emit ~kind:"revocation_update"
+    [
+      ("list", "url");
+      ("seq", string_of_int t.url_seq);
+      ("entries", string_of_int (List.length t.revoked_tokens));
+      ("epoch", string_of_int t.epoch);
+    ]
 
 let register_router t ~router_id ~router_public =
   let cert =
@@ -251,10 +270,14 @@ let audit t ~msg signature =
       t.groups []
   in
   match Group_sig.open_signature (gpk t) ~grt ~msg signature with
-  | None -> None
+  | None ->
+    Audit.emit ~kind:"group_audit" [ ("opened", "false") ];
+    None
   | Some (group_id, index) ->
     let record = Hashtbl.find t.groups group_id in
     let gsk = Hashtbl.find record.keys index in
+    Audit.emit ~kind:"group_audit"
+      [ ("opened", "true"); ("group", string_of_int group_id) ];
     Some
       {
         found_group_id = group_id;

@@ -38,6 +38,11 @@ val gpk : t -> Group_sig.gpk
 val public_key : t -> Curve.point
 (** NPK — pre-distributed to every entity. *)
 
+val sign_audit : t -> string -> Ecdsa.signature
+(** Sign an audit-ledger checkpoint payload with the operator's
+    certificate key; {!public_key} (already distributed as NPK) verifies
+    it, which is what lets anyone re-check a ledger offline. *)
+
 (** {1 User group management} *)
 
 val register_group : t -> group_id:int -> size:int -> group_registration

@@ -26,3 +26,13 @@ type t =
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val equal : t -> t -> bool
+
+val wire_code : t -> int
+(** The stable numeric code of this rejection — what the service layer's
+    rejection frames carry and the audit ledger records. Codes are
+    append-only (1–14 so far; 0 is reserved for transport failure):
+    they must never be renumbered, or archived ledgers would change
+    meaning. *)
+
+val code_name : int -> string
+(** Human label for a {!wire_code} ("?" for an unassigned code). *)

@@ -123,23 +123,25 @@ let entry_level e = e.e_level
 let msg e = e.e_msg
 let attrs e = e.e_attrs
 
-let recent ?n () =
+let recent ?min_level ?n () =
   let r = Atomic.get ring in
   let cap = Array.length r.slots in
   let cur = Atomic.get r.cursor in
   let want = match n with Some n -> Stdlib.min n cap | None -> cap in
+  let floor = match min_level with None -> 0 | Some l -> severity l in
   let lo = Stdlib.max 0 (cur - want) in
   let out = ref [] in
   (* newest first while scanning backwards, then reverse to oldest-first *)
   for i = cur - 1 downto lo do
     match Atomic.get r.slots.(i mod cap) with
-    | Some e -> out := e :: !out
-    | None -> ()
+    | Some e when severity e.e_level >= floor -> out := e :: !out
+    | Some _ | None -> ()
   done;
   !out
 
-let recent_jsonl ?n () =
-  String.concat "" (List.map (fun e -> entry_json e ^ "\n") (recent ?n ()))
+let recent_jsonl ?min_level ?n () =
+  String.concat ""
+    (List.map (fun e -> entry_json e ^ "\n") (recent ?min_level ?n ()))
 
 let with_file path f =
   let oc = open_out path in

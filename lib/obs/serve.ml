@@ -6,8 +6,10 @@
    Routes:
      GET /metrics            -> Prometheus text exposition of the live registry
      GET /healthz[?verbose]  -> evaluate registered health checks; 503 when any fails
-     GET /flight[?n=K]       -> the flight-recorder ring (Log.recent) as JSONL
-     GET /series[?name=S]    -> the attached Timeseries sampler as JSONL *)
+     GET /flight[?n=K][&level=L] -> the flight-recorder ring (Log.recent) as JSONL
+     GET /series[?name=S]    -> the attached Timeseries sampler as JSONL
+     GET /audit/head         -> head of the installed audit ledger as JSON
+     GET /audit[?since=SEQ]  -> buffered audit records after SEQ as JSONL *)
 
 let http_response ?(status = "200 OK") ?(content_type = "text/plain") body =
   Printf.sprintf
@@ -94,11 +96,34 @@ let route path query =
     let ok, body = healthz_body ~verbose in
     if ok then http_response body
     else http_response ~status:"503 Service Unavailable" body
-  | "/flight" ->
+  | "/flight" -> (
     let n = query_int query "n" in
-    http_response
-      ~content_type:"application/jsonl"
-      (Log.recent_jsonl ?n ())
+    match query_get query "level" with
+    | Some l when Log.level_of_string l = None ->
+      http_response ~status:"400 Bad Request" "unknown level\n"
+    | level_raw ->
+      let min_level = Option.bind level_raw Log.level_of_string in
+      http_response
+        ~content_type:"application/jsonl"
+        (Log.recent_jsonl ?min_level ?n ()))
+  | "/audit/head" -> (
+    match Audit.installed () with
+    | None -> http_response ~status:"404 Not Found" "no audit ledger\n"
+    | Some ledger ->
+      http_response ~content_type:"application/json"
+        (Audit.head_json ledger ^ "\n"))
+  | "/audit" -> (
+    match Audit.installed () with
+    | None -> http_response ~status:"404 Not Found" "no audit ledger\n"
+    | Some ledger ->
+      let after = Option.value ~default:(-1) (query_int query "since") in
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        (Audit.since ledger after);
+      http_response ~content_type:"application/jsonl" (Buffer.contents buf))
   | "/series" -> (
     match Atomic.get series_source with
     | None -> http_response ~status:"404 Not Found" "no series source\n"

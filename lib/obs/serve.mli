@@ -7,9 +7,14 @@
       when all pass, [503] listing the failures when any is degraded;
       [?verbose] reports every check's verdict
     - [GET /flight]: the {!Log} flight-recorder ring as JSONL ([?n=K]
-      caps the event count)
+      caps the event count, [?level=L] drops entries below severity [L];
+      an unknown level is a 400)
     - [GET /series]: the attached {!Timeseries} sampler as JSONL
       ([?name=S] selects one series; 404 when no sampler is attached)
+    - [GET /audit/head]: chain head of the installed {!Audit} ledger as
+      JSON; 404 when no ledger is installed
+    - [GET /audit]: the ledger's buffered records as JSONL ([?since=SEQ]
+      returns records with sequence number > SEQ)
 
     Sequential (one request at a time, connection closed per response),
     which is exactly the access pattern of a metrics scraper. *)

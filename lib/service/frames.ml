@@ -126,42 +126,10 @@ let unwrap_traced body =
 
 (* --- rejection payloads --- *)
 
-let error_code =
-  let open Protocol_error in
-  function
-  | Stale_timestamp -> 1
-  | Bad_router_certificate _ -> 2
-  | Router_revoked -> 3
-  | Bad_beacon_signature -> 4
-  | Bad_revocation_list -> 5
-  | Invalid_group_signature -> 6
-  | User_revoked -> 7
-  | Puzzle_required -> 8
-  | Bad_puzzle_solution -> 9
-  | Unknown_session -> 10
-  | Decryption_failed -> 11
-  | No_group_key -> 12
-  | Timeout -> 13
-  | Malformed_frame -> 14
-  | Malformed _ -> 14
-
-let error_name = function
-  | 0 -> "transport"
-  | 1 -> "stale-timestamp"
-  | 2 -> "bad-router-certificate"
-  | 3 -> "router-revoked"
-  | 4 -> "bad-beacon-signature"
-  | 5 -> "bad-revocation-list"
-  | 6 -> "invalid-group-signature"
-  | 7 -> "user-revoked"
-  | 8 -> "puzzle-required"
-  | 9 -> "bad-puzzle-solution"
-  | 10 -> "unknown-session"
-  | 11 -> "decryption-failed"
-  | 12 -> "no-group-key"
-  | 13 -> "timeout"
-  | 14 -> "malformed"
-  | _ -> "?"
+(* the stable code table lives with the error type in core (it is shared
+   with the audit ledger); these aliases keep the service-layer API *)
+let error_code = Protocol_error.wire_code
+let error_name = Protocol_error.code_name
 
 let rejected_payload ~code ~detail =
   let w = Wire.writer () in

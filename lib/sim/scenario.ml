@@ -191,7 +191,7 @@ let sim_finish world = function
   | Some h -> Peace_obs.Trace.finish ~ts:(Engine.now world.engine) h
 
 let router_service world cost node ~url_size ~sender ~under_attack ?(req = 0)
-    ?on_accept request =
+    ?on_accept ?meter request =
   (* charge the modeled processing time, then run the real handler *)
   let now = Engine.now world.engine in
   let service_cost =
@@ -223,12 +223,30 @@ let router_service world cost node ~url_size ~sender ~under_attack ?(req = 0)
           node.rn_queue <- node.rn_queue - 1;
           Peace_obs.Registry.Gauge.set node.rn_g_queue node.rn_queue;
           match Mesh_router.handle_access_request node.rn request with
-          | Ok (confirm, _session) ->
+          | Ok (confirm, session) ->
             Metrics.incr world.metrics "router.accepted";
             (match on_accept with Some f -> f sender | None -> ());
+            let confirm_bytes =
+              Messages.access_confirm_to_bytes world.config confirm
+            in
+            (* billing hook: meter the handshake itself as a (brief)
+               session — M.2 bytes up, M.3 bytes down, the modeled
+               service time as duration — and close it immediately so
+               the run ends with an invoiceable usage table. Draws no
+               randomness: metered runs replay bit-identically. *)
+            (match meter with
+            | None -> ()
+            | Some (m, rx_bytes) ->
+              let session_id = Session.id session in
+              Accounting.record_up m ~session_id ~bytes:rx_bytes;
+              Accounting.record_down m ~session_id
+                ~bytes:(String.length confirm_bytes);
+              ignore
+                (Accounting.close_session m ~session_id
+                   ~duration_ms:(int_of_float service_cost)));
             Net.send world.net ~src:node.rn_addr ~dst:sender
               (envelope ~req ~tag:tag_access_confirm ~sender:node.rn_addr
-                 (Messages.access_confirm_to_bytes world.config confirm))
+                 confirm_bytes)
           | Error e ->
             Metrics.incr world.metrics
               ("router.rejected." ^ Protocol_error.to_string e)
@@ -254,6 +272,7 @@ type city_result = {
   cr_failovers : int;
   cr_recovery_mean_ms : float;
   cr_fault_counters : (string * int) list;
+  cr_invoices : (int * int * int * int) list;
 }
 
 type user_node = {
@@ -312,8 +331,9 @@ let legacy_timeout_ms = 3_000
 
 let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
     ?(range_m = 450.0) ?(beacon_period_ms = 500) ?(url_size = 0)
-    ?(loss_prob = 0.0) ?(faults = Faults.none) ?(hardened = true) ?sampler
-    ~n_routers ~n_users ~duration_ms ~mean_interarrival_ms () =
+    ?(loss_prob = 0.0) ?(faults = Faults.none) ?(hardened = true)
+    ?(invoices = false) ?sampler ~n_routers ~n_users ~duration_ms
+    ~mean_interarrival_ms () =
   let world = make_world ~seed ~loss_prob ~faults () in
   (* retransmission jitter has its own stream: hardened but fault-free
      runs draw exactly the same placement/arrival sequence as before *)
@@ -339,6 +359,8 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
   in
   (* routers on a rough grid *)
   let grid = int_of_float (ceil (sqrt (float_of_int n_routers))) in
+  (* per-router session meters, kept for §IV-D attribution after the run *)
+  let meters = ref [] in
   let routers =
     List.init n_routers (fun i ->
         let router = Deployment.add_router world.deployment ~router_id:i in
@@ -346,6 +368,8 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
         let x = (float_of_int (i mod grid) +. 0.5) *. (area_m /. float_of_int grid) in
         let y = (float_of_int (i / grid) +. 0.5) *. (area_m /. float_of_int grid) in
         let node = make_router_node ~addr:i router in
+        let meter = if invoices then Some (Accounting.create_meter ()) else None in
+        (match meter with Some m -> meters := (node, m) :: !meters | None -> ());
         let handler payload =
           match parse_envelope payload with
           | Some (tag, sender, req, body) when tag = tag_access_request -> begin
@@ -356,7 +380,10 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
             with
             | Some request ->
               router_service world cost node ~url_size ~sender
-                ~under_attack:false ~req ~on_accept:(on_accept node) request
+                ~under_attack:false ~req ~on_accept:(on_accept node)
+                ?meter:
+                  (Option.map (fun m -> (m, String.length body)) meter)
+                request
             | None -> Metrics.incr world.metrics "router.unparseable"
           end
           | Some _ -> ()
@@ -646,6 +673,32 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
       0.0 router_nodes
     /. float_of_int (List.length router_nodes)
   in
+  (* §IV-D attribution: open every metered session's logged signature at
+     the operator to find its group, then merge the per-router invoices
+     into one city-wide table *)
+  let invoice_table =
+    if not invoices then []
+    else begin
+      let no = Deployment.operator world.deployment in
+      let by_group = Hashtbl.create 8 in
+      List.iter
+        (fun (node, m) ->
+          List.iter
+            (fun line ->
+              let g = line.Accounting.il_group_id in
+              let s, b, d =
+                Option.value ~default:(0, 0, 0) (Hashtbl.find_opt by_group g)
+              in
+              Hashtbl.replace by_group g
+                ( s + line.Accounting.il_sessions,
+                  b + line.Accounting.il_bytes,
+                  d + line.Accounting.il_duration_ms ))
+            (Accounting.invoice no ~router:node.rn m))
+        !meters;
+      Hashtbl.fold (fun g (s, b, d) acc -> (g, s, b, d) :: acc) by_group []
+      |> List.sort compare
+    end
+  in
   {
     cr_attempts = !attempts;
     cr_successes = successes;
@@ -671,6 +724,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
           ("stale_accepts", Metrics.count world.metrics "faults.stale_accepts");
           ("dropped_unknown", Net.frames_dropped_unknown world.net);
         ];
+    cr_invoices = invoice_table;
   }
 
 (* ------------------------------------------------------------------ *)

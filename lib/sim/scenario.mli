@@ -45,12 +45,18 @@ type city_result = {
       (** injected-fault bookkeeping: link counters (frames lost /
           duplicated / corrupted / reordered) plus crashes, restarts,
           stale-list acceptances and unknown-destination drops *)
+  cr_invoices : (int * int * int * int) list;
+      (** with [~invoices:true]: the city-wide per-group billing table
+          [(group id, sessions, bytes, duration ms)], sorted by group —
+          every accepted handshake is metered (M.2 bytes up, M.3 bytes
+          down, modeled service time as duration) and attributed to its
+          user group through the §IV-D audit path. Empty otherwise. *)
 }
 
 val city_auth :
   ?seed:int -> ?cost:cost_model -> ?area_m:float -> ?range_m:float ->
   ?beacon_period_ms:int -> ?url_size:int -> ?loss_prob:float ->
-  ?faults:Faults.plan -> ?hardened:bool ->
+  ?faults:Faults.plan -> ?hardened:bool -> ?invoices:bool ->
   ?sampler:Peace_obs.Timeseries.t ->
   n_routers:int -> n_users:int -> duration_ms:int ->
   mean_interarrival_ms:float -> unit -> city_result

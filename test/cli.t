@@ -276,3 +276,72 @@ surface — it prints the body and exits by status class, so a degraded
   $ grep -cv '^{.*}$' flight.jsonl
   0
   [1]
+
+/flight?level= raises the scrape's severity floor server-side; an
+unknown level is a 400 (which fails the one-shot scrape):
+
+  $ peace serve --port 0 --announce port3.txt --max-requests 2 2>/dev/null &
+  $ for i in $(seq 1 100); do [ -s port3.txt ] && break; sleep 0.1; done
+  $ peace watch --port $(cat port3.txt) --get '/flight?level=warn' > warnflight.jsonl
+  $ peace watch --port $(cat port3.txt) --get '/flight?level=shouting'
+  unknown level
+  [1]
+  $ wait
+  $ grep -cv '^{.*}$' warnflight.jsonl
+  0
+  [1]
+
+The tamper-evident audit ledger. A city run with --audit records every
+access decision and session close into a hash-chained JSONL file whose
+checkpoints are signed with a seed-derived ECDSA key; --invoices prints
+the §IV-D per-group billing table (group-level only — no individual
+user appears). `peace audit verify` re-walks the chain and the
+checkpoint signatures offline:
+
+  $ peace simulate city --invoices --audit ledger.jsonl --seed 7 2>audit.log
+  auth: 116/117 ok, handshake 77.9 ms mean, 1151664 bytes on air
+  group   sessions     bytes  duration ms
+  1            116     27608         6960
+  $ grep -c 'audit ledger' audit.log
+  1
+  $ peace audit verify ledger.jsonl
+  ok: 360 records, 11 checkpoints (signed), head seq 359
+
+The genesis record pins the chain parameters and the verification key,
+so the file is self-contained:
+
+  $ head -1 ledger.jsonl | grep -c '"format":"peace-audit-v1"'
+  1
+  $ head -1 ledger.jsonl | grep -c '"algo":"ecdsa-secp160r1"'
+  1
+
+Any in-place edit breaks the hash chain at the altered record:
+
+  $ sed '6s/"ts":"1/"ts":"2/' ledger.jsonl > flipped.jsonl
+  $ peace audit verify flipped.jsonl
+  ledger INVALID at seq 5: record hash mismatch (record altered)
+  [1]
+
+Cutting the tail is detected because a valid ledger must end at a
+checkpoint — and --allow-open accepts the same prefix when a crash cut
+the file short:
+
+  $ head -n -1 ledger.jsonl > truncated.jsonl
+  $ peace audit verify truncated.jsonl
+  ledger INVALID at seq 358: ledger does not end at a checkpoint (tail truncated?)
+  [1]
+  $ peace audit verify truncated.jsonl --allow-open
+  ok: 359 records, 10 checkpoints (signed), head seq 358
+
+Reordering records breaks the sequence numbering where the swap starts:
+
+  $ { sed -n '1,2p' ledger.jsonl; sed -n '4p' ledger.jsonl; sed -n '3p' ledger.jsonl; sed -n '5,$p' ledger.jsonl; } > reordered.jsonl
+  $ peace audit verify reordered.jsonl
+  ledger INVALID at seq 2: out-of-order record: found seq 3 where 2 was expected
+  [1]
+
+The old opening workflow still answers at the group level (the default
+subcommand):
+
+  $ peace audit -m "hello mesh" -s "$SIG" --grt grt.txt
+  signer: company-x/key-0

@@ -152,7 +152,7 @@ let test_accounting () =
     let sid = Session.id su in
     Accounting.record_up meter ~session_id:sid ~bytes;
     Accounting.record_down meter ~session_id:sid ~bytes:(2 * bytes);
-    Accounting.close_session meter ~session_id:sid ~duration_ms:1000;
+    ignore (Accounting.close_session meter ~session_id:sid ~duration_ms:1000);
     sid
   in
   ignore (run a 100);
@@ -173,9 +173,43 @@ let test_accounting () =
   (* an unmetered foreign session never appears: nothing to bill *)
   let meter2 = Accounting.create_meter () in
   Accounting.record_up meter2 ~session_id:"ghost" ~bytes:999;
-  Accounting.close_session meter2 ~session_id:"ghost" ~duration_ms:1;
+  ignore (Accounting.close_session meter2 ~session_id:"ghost" ~duration_ms:1);
   Alcotest.(check int) "ghost session unbillable" 0
     (List.length (Accounting.invoice (Deployment.operator d) ~router meter2))
+
+(* billing must be impossible to inflate from the metering side: unknown
+   or repeated closes produce nothing, and only a close makes a session
+   billable at all *)
+let test_accounting_edges () =
+  let meter = Accounting.create_meter () in
+  Alcotest.(check bool) "close of unknown session refused" false
+    (Accounting.close_session meter ~session_id:"nope" ~duration_ms:5);
+  Alcotest.(check int) "no usage invented" 0
+    (List.length (Accounting.usages meter));
+  (* a zero-byte session: the explicit open makes its duration billable *)
+  Accounting.open_session meter ~session_id:"idle";
+  Alcotest.(check int) "open counted" 1 (Accounting.open_sessions meter);
+  Alcotest.(check bool) "zero-byte close accepted" true
+    (Accounting.close_session meter ~session_id:"idle" ~duration_ms:250);
+  (match Accounting.usages meter with
+  | [ u ] ->
+    Alcotest.(check int) "zero bytes up" 0 u.Accounting.u_bytes_up;
+    Alcotest.(check int) "zero bytes down" 0 u.Accounting.u_bytes_down;
+    Alcotest.(check int) "duration billed" 250 u.Accounting.u_duration_ms
+  | l -> Alcotest.failf "expected 1 usage, got %d" (List.length l));
+  Alcotest.(check bool) "double close refused" false
+    (Accounting.close_session meter ~session_id:"idle" ~duration_ms:999);
+  Alcotest.(check int) "double close duplicates nothing" 1
+    (List.length (Accounting.usages meter));
+  (* traffic opens implicitly, but an unclosed session never bills *)
+  Accounting.record_up meter ~session_id:"live" ~bytes:10;
+  Alcotest.(check int) "implicit open counted" 1
+    (Accounting.open_sessions meter);
+  Alcotest.(check int) "unclosed session excluded from usages" 1
+    (List.length (Accounting.usages meter));
+  Accounting.open_session meter ~session_id:"live";
+  Alcotest.(check int) "re-open of a live session is idempotent" 1
+    (Accounting.open_sessions meter)
 
 let test_roaming_scenario () =
   let r =
@@ -206,6 +240,7 @@ let suite =
     ( "accounting",
       [
         Alcotest.test_case "group-level invoices" `Quick test_accounting;
+        Alcotest.test_case "metering edge cases" `Quick test_accounting_edges;
         Alcotest.test_case "roaming handoffs" `Slow test_roaming_scenario;
       ] );
     ( "adaptive-defense",

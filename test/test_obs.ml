@@ -866,6 +866,32 @@ let test_log_levels_and_counters () =
       Alcotest.(check int) "accepted events bump the labeled counter"
         (before + 1) (R.Counter.value c_warn))
 
+let test_log_min_level () =
+  Log.clear ();
+  Fun.protect
+    ~finally:(fun () -> Log.set_level Log.Debug)
+    (fun () ->
+      Log.set_level Log.Debug;
+      Log.debug "d";
+      Log.info "i";
+      Log.warn "w";
+      Log.error "e";
+      Alcotest.(check int) "no floor: everything" 4
+        (List.length (Log.recent ()));
+      Alcotest.(check (list string)) "warn floor keeps warn and error"
+        [ "warn"; "error" ]
+        (List.map
+           (fun e -> Log.level_to_string (Log.entry_level e))
+           (Log.recent ~min_level:Log.Warn ()));
+      Alcotest.(check int) "error floor" 1
+        (List.length (Log.recent ~min_level:Log.Error ()));
+      (* the jsonl face — what /flight?level= serves — filters the same *)
+      let lines body =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' body)
+      in
+      Alcotest.(check int) "recent_jsonl filters too" 2
+        (List.length (lines (Log.recent_jsonl ~min_level:Log.Warn ()))))
+
 let test_log_jsonl_and_sink () =
   Log.clear ();
   let sunk = ref [] in
@@ -1053,6 +1079,243 @@ let test_live_ops_endpoints () =
       | Ok () -> ()
       | Error msg -> Alcotest.failf "server errored: %s" msg)
 
+(* --- the tamper-evident audit ledger --- *)
+
+module Audit = Peace_obs.Audit
+module Ecdsa = Peace_ec.Ecdsa
+
+let hex s =
+  String.concat ""
+    (List.init (String.length s) (fun i ->
+         Printf.sprintf "%02x" (Char.code s.[i])))
+
+let unhex h =
+  String.init
+    (String.length h / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let audit_curve = Lazy.force Peace_ec.Curves.secp160r1
+
+let audit_key =
+  lazy
+    (Ecdsa.generate audit_curve
+       (Peace_hash.Drbg.bytes_fn
+          (Peace_hash.Drbg.create ~seed:"test-obs-audit" ())))
+
+let audit_signer () =
+  let key = Lazy.force audit_key in
+  {
+    Audit.s_algo = "ecdsa-" ^ Peace_ec.Curve.name audit_curve;
+    s_pk = hex (Peace_ec.Curve.encode audit_curve key.Ecdsa.q);
+    s_sign =
+      (fun payload ->
+        hex
+          (Ecdsa.signature_to_bytes audit_curve
+             (Ecdsa.sign audit_curve ~key payload)));
+  }
+
+let audit_verify_sig ~algo:_ ~pk ~payload ~signature =
+  match
+    ( Peace_ec.Curve.decode audit_curve (unhex pk),
+      Ecdsa.signature_of_bytes audit_curve (unhex signature) )
+  with
+  | Some public, Some s -> Ecdsa.verify audit_curve ~public payload s
+  | _ -> false
+
+(* a sealed 20-event ledger with a checkpoint every 8 records, signed *)
+let audit_fixture () =
+  let lines = ref [] in
+  let ledger =
+    Audit.create ~checkpoint_every:8 ~signer:(audit_signer ())
+      ~sink:(fun line -> lines := line :: !lines)
+      ~meta:[ ("source", "test") ]
+      ()
+  in
+  for i = 1 to 20 do
+    ignore
+      (Audit.append ledger ~kind:"access_accept"
+         [ ("router", "1"); ("session", Printf.sprintf "%04x" i) ])
+  done;
+  Audit.seal ledger;
+  (ledger, List.rev !lines)
+
+let expect_break ?(verify_sig = true) lines ~seq ~reason_infix what =
+  match
+    Audit.verify
+      ?verify_sig:(if verify_sig then Some audit_verify_sig else None)
+      lines
+  with
+  | Ok _ -> Alcotest.failf "%s: verification unexpectedly passed" what
+  | Error b ->
+    Alcotest.(check int) (what ^ ": first bad seq") seq b.Audit.br_seq;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: reason %S mentions %S" what b.Audit.br_reason
+         reason_infix)
+      true
+      (Astring.String.is_infix ~affix:reason_infix b.Audit.br_reason)
+
+let test_audit_chain_roundtrip () =
+  let ledger, lines = audit_fixture () in
+  (* 20 events + genesis + 2 interior checkpoints + the sealing one *)
+  Alcotest.(check int) "records counted" 24 (Audit.records ledger);
+  Alcotest.(check int) "checkpoints counted" 3 (Audit.checkpoints ledger);
+  Alcotest.(check bool) "sealed" true (Audit.sealed ledger);
+  Alcotest.(check int) "sink saw every record" 24 (List.length lines);
+  (* sealing is idempotent, appends after sealing are counted no-ops *)
+  Audit.seal ledger;
+  let seq_before = fst (Audit.head ledger) in
+  Alcotest.(check int) "append after seal returns head seq" seq_before
+    (Audit.append ledger ~kind:"late" []);
+  Alcotest.(check int) "…and adds nothing" 24 (Audit.records ledger);
+  (match Audit.verify ~verify_sig:audit_verify_sig lines with
+  | Error b -> Alcotest.failf "clean ledger failed at %d: %s" b.Audit.br_seq b.Audit.br_reason
+  | Ok r ->
+    Alcotest.(check int) "verify counts records" 24 r.Audit.vr_records;
+    Alcotest.(check int) "verify counts checkpoints" 3 r.Audit.vr_checkpoints;
+    Alcotest.(check bool) "signed ledger reported signed" true r.Audit.vr_signed;
+    Alcotest.(check string) "verify head matches the live chain"
+      (snd (Audit.head ledger))
+      r.Audit.vr_head);
+  (* chain-only verification (no key) also passes *)
+  (match Audit.verify lines with
+  | Ok _ -> ()
+  | Error b -> Alcotest.failf "chain-only verify failed: %s" b.Audit.br_reason);
+  (* head_json parses and agrees *)
+  match J.parse (Audit.head_json ledger) with
+  | Error e -> Alcotest.failf "head_json invalid: %s" e
+  | Ok doc ->
+    Alcotest.(check bool) "head_json seq" true
+      (J.member "seq" doc = Some (J.Num (float_of_int (fst (Audit.head ledger)))));
+    Alcotest.(check bool) "head_json sealed flag" true
+      (J.member "sealed" doc = Some (J.Bool true))
+
+let test_audit_since () =
+  let ledger, lines = audit_fixture () in
+  let all = Audit.since ledger (-1) in
+  Alcotest.(check int) "since -1 replays everything" 24 (List.length all);
+  Alcotest.(check (list string)) "ring agrees with the sink" lines all;
+  let tail = Audit.since ledger 20 in
+  Alcotest.(check int) "since 20 returns seq 21..23" 3 (List.length tail);
+  Alcotest.(check (list string)) "tail records in order"
+    (List.filteri (fun i _ -> i > 20) lines)
+    tail;
+  Alcotest.(check int) "since head returns nothing" 0
+    (List.length (Audit.since ledger (fst (Audit.head ledger))))
+
+let test_audit_tamper_flip () =
+  let _, lines = audit_fixture () in
+  (* flip one byte inside record 5's attrs (its session id) *)
+  let tampered =
+    List.mapi
+      (fun i line ->
+        if i = 5 then
+          match Astring.String.cut ~sep:"\"session\":\"0005\"" line with
+          | Some (a, b) -> a ^ "\"session\":\"0006\"" ^ b
+          | None -> Alcotest.failf "session attr not found in %S" line
+        else line)
+      lines
+  in
+  expect_break tampered ~seq:5 ~reason_infix:"hash" "byte flip"
+
+let test_audit_tamper_truncate () =
+  let _, lines = audit_fixture () in
+  (* cut the tail mid-window: the ledger no longer ends at a checkpoint *)
+  let cut = List.filteri (fun i _ -> i < 22) lines in
+  expect_break cut ~seq:21 ~reason_infix:"checkpoint" "truncation";
+  (* --allow-open (require_seal:false) accepts the same prefix *)
+  match Audit.verify ~verify_sig:audit_verify_sig ~require_seal:false cut with
+  | Ok r -> Alcotest.(check int) "open verify sees the prefix" 22 r.Audit.vr_records
+  | Error b -> Alcotest.failf "open verify failed: %s" b.Audit.br_reason
+
+let test_audit_tamper_reorder () =
+  let _, lines = audit_fixture () in
+  let arr = Array.of_list lines in
+  (* swap two event records: the seq sequence breaks where 3 should be *)
+  let tmp = arr.(3) in
+  arr.(3) <- arr.(4);
+  arr.(4) <- tmp;
+  expect_break (Array.to_list arr) ~seq:3 ~reason_infix:"seq" "reorder"
+
+let test_audit_tamper_signature () =
+  let _, lines = audit_fixture () in
+  (* re-chain the ledger around a forged checkpoint signature: the hashes
+     all recompute, so only the signature check can catch it *)
+  let prev = ref "" in
+  let forged =
+    List.mapi
+      (fun i line ->
+        let doc = match J.parse line with Ok d -> d | Error e -> failwith e in
+        let field name =
+          match J.member name doc with Some (J.Str s) -> s | _ -> failwith name
+        in
+        let seq = i in
+        let ts = field "ts" and kind = field "kind" in
+        let attrs =
+          match J.member "attrs" doc with
+          | Some (J.Obj kvs) ->
+            List.map
+              (fun (k, v) ->
+                match v with J.Str s -> (k, s) | _ -> failwith "attr")
+              kvs
+          | _ -> []
+        in
+        let attrs =
+          if kind = "checkpoint" && seq = 9 then
+            List.map
+              (fun (k, v) ->
+                if k = "sig" then
+                  (* flip the leading hex digit, staying valid hex *)
+                  ( k,
+                    (if v.[0] = '0' then "1" else "0")
+                    ^ String.sub v 1 (String.length v - 1) )
+                else (k, v))
+              attrs
+          else attrs
+        in
+        let prev_hex = if seq = 0 then field "prev" else !prev in
+        let attrs_json =
+          String.concat ","
+            (List.map
+               (fun (k, v) -> J.str k ^ ":" ^ J.str v)
+               (List.sort (fun (a, _) (b, _) -> compare a b) attrs))
+        in
+        let canonical =
+          Printf.sprintf "{\"seq\":%d,\"ts\":%s,\"kind\":%s,\"prev\":%s,\"attrs\":{%s}}"
+            seq (J.str ts) (J.str kind) (J.str prev_hex) attrs_json
+        in
+        let hash =
+          Peace_hash.Sha256.to_hex (Peace_hash.Sha256.digest (prev_hex ^ canonical))
+        in
+        prev := hash;
+        Printf.sprintf "%s,\"hash\":\"%s\"}"
+          (String.sub canonical 0 (String.length canonical - 1))
+          hash)
+      lines
+  in
+  (* sanity: the re-chained forgery passes a chain-only walk… *)
+  (match Audit.verify forged with
+  | Ok _ -> ()
+  | Error b ->
+    Alcotest.failf "re-chained forgery should pass chain-only: %s" b.Audit.br_reason);
+  (* …and only the signature check exposes it *)
+  expect_break forged ~seq:9 ~reason_infix:"signature" "forged checkpoint"
+
+let test_audit_installed_emit () =
+  Alcotest.(check bool) "no ledger installed by default" true
+    (Audit.installed () = None);
+  Audit.emit ~kind:"noop" [];
+  let ledger = Audit.create ~checkpoint_every:1000 () in
+  Audit.install (Some ledger);
+  Fun.protect
+    ~finally:(fun () -> Audit.install None)
+    (fun () ->
+      Audit.emit ~kind:"access_reject" [ ("code", "7") ];
+      Alcotest.(check int) "emit reaches the installed ledger" 2
+        (Audit.records ledger));
+  Audit.emit ~kind:"after" [];
+  Alcotest.(check int) "uninstalled ledger stops growing" 2
+    (Audit.records ledger)
+
 let () =
   Alcotest.run "peace-obs"
     [
@@ -1117,7 +1380,24 @@ let () =
           Alcotest.test_case "flight-recorder ring" `Quick test_log_ring;
           Alcotest.test_case "levels and counters" `Quick
             test_log_levels_and_counters;
+          Alcotest.test_case "min-level floor" `Quick test_log_min_level;
           Alcotest.test_case "jsonl and sink" `Quick test_log_jsonl_and_sink;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "chain round-trip" `Quick
+            test_audit_chain_roundtrip;
+          Alcotest.test_case "since replay" `Quick test_audit_since;
+          Alcotest.test_case "byte flip detected" `Quick
+            test_audit_tamper_flip;
+          Alcotest.test_case "truncation detected" `Quick
+            test_audit_tamper_truncate;
+          Alcotest.test_case "reorder detected" `Quick
+            test_audit_tamper_reorder;
+          Alcotest.test_case "forged checkpoint signature detected" `Quick
+            test_audit_tamper_signature;
+          Alcotest.test_case "installed ledger and emit" `Quick
+            test_audit_installed_emit;
         ] );
       ( "runtime",
         [
