@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the alerting layer on the live path: boot
+# serve-auth with an --alerts rules file, drive it with an impaired
+# loadgen burst (malformed frames -> decode errors), scrape /alerts
+# until the error-budget burn rule fires, then let clean traffic drain
+# the short window and assert the rule resolves. Driven by
+# `dune build @alertsmoke`.
+set -euo pipefail
+
+PEACE=${1:?usage: alertsmoke.sh PATH_TO_PEACE_CLI}
+case "$PEACE" in /*) ;; *) PEACE="$PWD/$PEACE" ;; esac
+DIR=$(mktemp -d /tmp/peace-alertsmoke.XXXXXX)
+SERVER_PID=
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+SOCK="unix:$DIR/auth.sock"
+
+# tight windows so the multi-window burn both fires and resolves within
+# a smoke-test budget: 20% of connections erroring over 5s AND 30s
+cat > "$DIR/rules.txt" <<'EOF'
+# alertsmoke rules
+error-burn=burn:service.errors_total/service.connections_total:5s,30s:20%
+queue-full=over:service.conn_queue_depth:50:5s
+EOF
+
+# the rules file must lint before it serves
+"$PEACE" alerts lint "$DIR/rules.txt" >/dev/null
+
+"$PEACE" serve-auth --addr "$SOCK" --users 2 --duration 60 \
+  --alerts "$DIR/rules.txt" \
+  --metrics-port 0 --metrics-announce "$DIR/port.txt" 2>"$DIR/server.log" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$DIR/port.txt" ] && break
+  sleep 0.1
+done
+[ -s "$DIR/port.txt" ] || { echo "alertsmoke: metrics port never announced"; cat "$DIR/server.log"; exit 1; }
+PORT=$(cat "$DIR/port.txt")
+
+grep -q "alert evaluator on" "$DIR/server.log" \
+  || { echo "alertsmoke: evaluator did not announce itself"; cat "$DIR/server.log"; exit 1; }
+
+# before any trouble: /alerts answers with both rules, nothing firing
+"$PEACE" watch --port "$PORT" --get /alerts > "$DIR/quiet.json"
+grep -q '"rule":"error-burn"' "$DIR/quiet.json" \
+  || { echo "alertsmoke: /alerts misses the burn rule"; cat "$DIR/quiet.json"; exit 1; }
+if grep -q '"state":"firing"' "$DIR/quiet.json"; then
+  echo "alertsmoke: rules firing before any load"; cat "$DIR/quiet.json"; exit 1
+fi
+
+# a burst where most requests carry garbage payloads: decode errors pile
+# onto service.errors_total while every connection still counts
+"$PEACE" loadgen --addr "$SOCK" --users 2 --concurrency 2 --duration 2 \
+  --impair malformed:0.9 >/dev/null
+
+FIRED=
+for _ in $(seq 1 40); do
+  if "$PEACE" watch --port "$PORT" --get '/alerts?state=firing' 2>/dev/null \
+      | grep -q '"rule":"error-burn"'; then
+    FIRED=1
+    break
+  fi
+  sleep 0.25
+done
+[ -n "$FIRED" ] || {
+  echo "alertsmoke: error-burn never fired under impaired load"
+  "$PEACE" watch --port "$PORT" --get /alerts || true
+  exit 1
+}
+
+# clean traffic refills the denominator; once the 5s short window holds
+# no errors the multi-window burn must resolve
+"$PEACE" loadgen --addr "$SOCK" --users 2 --concurrency 2 --duration 2 >/dev/null
+
+RESOLVED=
+for _ in $(seq 1 60); do
+  if ! "$PEACE" watch --port "$PORT" --get '/alerts?state=firing' 2>/dev/null \
+      | grep -q '"rule":"error-burn"'; then
+    RESOLVED=1
+    break
+  fi
+  sleep 0.25
+done
+[ -n "$RESOLVED" ] || {
+  echo "alertsmoke: error-burn never resolved after the impairment stopped"
+  "$PEACE" watch --port "$PORT" --get /alerts || true
+  exit 1
+}
+"$PEACE" watch --port "$PORT" --get /alerts > "$DIR/after.json"
+grep -q '"rule":"error-burn","spec":"[^"]*","state":"resolved"' "$DIR/after.json" \
+  || { echo "alertsmoke: burn rule not marked resolved"; cat "$DIR/after.json"; exit 1; }
+
+# the threshold rule stayed quiet throughout
+if grep -q '"rule":"queue-full","spec":"[^"]*","state":"firing"' "$DIR/after.json"; then
+  echo "alertsmoke: queue rule fired on a two-user smoke"; exit 1
+fi
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+echo "alertsmoke: ok (burn rule fired under impairment, resolved after recovery)"

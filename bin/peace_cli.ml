@@ -618,6 +618,20 @@ let chaos seed =
       ("dup + corrupt + reorder", "dup:0.05,corrupt:0.05,reorder:0.1:40");
     ]
   in
+  (* every hardened run also carries the alert evaluator on sim time:
+     the frame-loss rate rule must trip under the burst plans, the
+     corruption rule under the dup+corrupt+reorder plan, and the clean
+     plan must trip nothing *)
+  let alert_rules =
+    match
+      Peace_obs.Alert.rules_of_string
+        "frame-loss=rate:sim.faults.frames_lost:2:10s\n\
+         corruption=rate:sim.faults.corrupted:0.5:10s\n"
+    with
+    | Ok rules -> rules
+    | Error msg -> failwith ("chaos: internal bad alert rule: " ^ msg)
+  in
+  let fired = ref [] in
   Printf.printf "%-26s %-9s %7s %6s %5s %5s %11s\n" "plan" "mode" "ok/att"
     "retx" "t/o" "fail" "t-auth ms";
   List.iter
@@ -632,15 +646,37 @@ let chaos seed =
           let r =
             Scenario.city_auth ~seed ~faults ~hardened ~n_routers:4
               ~n_users:16 ~area_m:1500.0 ~range_m:600.0 ~duration_ms:45_000
-              ~mean_interarrival_ms:9_000.0 ()
+              ~mean_interarrival_ms:9_000.0
+              ~alert_rules:(if hardened then alert_rules else [])
+              ()
           in
+          if hardened then
+            fired :=
+              ( label,
+                List.filter_map
+                  (fun (ts, name, st) ->
+                    if st = Peace_obs.Alert.Firing then Some (name, ts)
+                    else None)
+                  r.Scenario.cr_alerts )
+              :: !fired;
           Printf.printf "%-26s %-9s %3d/%-3d %6d %5d %5d %11.1f\n" label
             (if hardened then "hardened" else "baseline")
             r.Scenario.cr_successes r.Scenario.cr_attempts
             r.Scenario.cr_retransmissions r.Scenario.cr_timeouts
             r.Scenario.cr_failovers r.Scenario.cr_time_to_auth_mean_ms)
         [ true; false ])
-    plans
+    plans;
+  (* deterministic: same seed -> same firing rules at the same sim ms *)
+  Printf.printf "\nalerts tripped (hardened runs, sim ms):\n";
+  List.iter
+    (fun (label, firings) ->
+      Printf.printf "  %-26s %s\n" label
+        (if firings = [] then "-"
+         else
+           String.concat ", "
+             (List.map (fun (name, ts) -> Printf.sprintf "%s@%d" name ts)
+                firings)))
+    (List.rev !fired)
 
 let chaos_cmd =
   let seed =
@@ -1238,7 +1274,7 @@ let make_testbed params_src seed n_users =
 
 let serve_auth trace params_src testbed_seed n_users addr workers verify_domains
     beacon_period_ms announce duration audit_path metrics_port metrics_announce
-    =
+    alerts_src =
   Peace_sock.ignore_sigpipe ();
   with_trace trace @@ fun () ->
   let testbed = make_testbed params_src testbed_seed n_users in
@@ -1276,6 +1312,37 @@ let serve_auth trace params_src testbed_seed n_users addr workers verify_domains
         Peace_obs.Audit.install None;
         close_out oc
   in
+  (* --alerts brings up the rule engine before the listener, so the very
+     first reject already feeds the stream detectors. The evaluator runs
+     on its own daemon domain (wall clock, two evals per second) and is
+     attached behind /alerts on the metrics listener. *)
+  (match alerts_src with
+  | None -> ()
+  | Some src -> (
+    let text =
+      if src = "default" then Service.Authority.default_alert_rules
+      else read_file src
+    in
+    match Peace_obs.Alert.rules_of_string text with
+    | Error e ->
+      Printf.eprintf "error: bad --alerts rules: %s\n%s\n" e
+        Peace_obs.Alert.grammar;
+      exit 1
+    | Ok [] ->
+      prerr_endline "error: --alerts: no rules in the file";
+      exit 1
+    | Ok rules ->
+      let t = Peace_obs.Alert.create ~audit:(audit_path <> None) rules in
+      Peace_obs.Alert.install_tap t;
+      Peace_obs.Serve.set_alerts_source (Some t);
+      ignore
+        (Domain.spawn (fun () ->
+             while true do
+               ignore (Peace_obs.Alert.eval t);
+               Unix.sleepf 0.5
+             done));
+      Printf.eprintf "peace serve-auth: alert evaluator on (%d rules)\n%!"
+        (List.length rules)));
   let server =
     or_die
       (Service.Authority.start ~workers ~verify_domains ~beacon_period_ms
@@ -1321,11 +1388,12 @@ let serve_auth trace params_src testbed_seed n_users addr workers verify_domains
                  | None -> ());
                  Printf.eprintf
                    "peace serve-auth: metrics on http://127.0.0.1:%d (GET \
-                    /metrics, /healthz, /flight, /series%s)\n\
+                    /metrics, /healthz, /flight, /series%s%s)\n\
                     %!"
                    p
                    (if audit_path <> None then ", /audit/head, /audit"
-                    else ""))
+                    else "")
+                   (if alerts_src <> None then ", /alerts" else ""))
                ()
            with
            | Ok () -> ()
@@ -1421,6 +1489,19 @@ let serve_auth_cmd =
              audit verify); browse live via /audit on the metrics \
              listener.")
   in
+  let alerts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alerts" ] ~docv:"RULES"
+          ~doc:
+            "Run the alert rule engine over the live registry and audit \
+             stream: $(docv) is a rules file (or the literal $(b,default) \
+             for the stock authority rules). Rules evaluate twice a \
+             second; state transitions land in the flight recorder (and \
+             the --audit ledger when one is kept), and /alerts on the \
+             metrics listener reports current statuses.")
+  in
   Cmd.v
     (Cmd.info "serve-auth"
        ~doc:
@@ -1430,7 +1511,7 @@ let serve_auth_cmd =
       const serve_auth $ trace_arg $ params_arg $ testbed_seed_arg $ users_arg
       $ addr_arg ~default:(Peace_sock.Tcp ("127.0.0.1", 7464))
       $ workers $ verify_domains $ beacon_period $ announce $ duration
-      $ audit $ metrics_port $ metrics_announce)
+      $ audit $ metrics_port $ metrics_announce $ alerts)
 
 let concurrency_arg =
   Arg.(
@@ -1691,6 +1772,34 @@ let watch_row ~dt old_snap new_snap =
     (cur "peace_service_conn_queue_depth")
     (cur "peace_service_connections_active")
 
+(* Firing-alerts pane: scrape /alerts?state=firing and render one line per
+   firing rule under the dashboard row. Servers without an evaluator 404
+   the path — stay silent then, the dashboard works unchanged. *)
+let watch_alerts_pane host port =
+  match Peace_obs.Serve.http_get ~host ~port "/alerts?state=firing" with
+  | Error _ | Ok (404, _) -> ()
+  | Ok (_, body) -> (
+    match J.parse body with
+    | Error _ -> ()
+    | Ok j ->
+      let alerts =
+        Option.bind (J.member "alerts" j) J.to_list |> Option.value ~default:[]
+      in
+      List.iter
+        (fun a ->
+          let s k = Option.bind (J.member k a) J.to_str in
+          let v = Option.bind (J.member "value" a) J.to_float in
+          Printf.printf "  ALERT firing %s (%s)%s%s\n%!"
+            (Option.value ~default:"?" (s "rule"))
+            (Option.value ~default:"?" (s "spec"))
+            (match v with
+            | Some f -> Printf.sprintf " value %s" (J.num_to_string f)
+            | None -> "")
+            (match s "detail" with
+            | Some d when d <> "" -> " — " ^ d
+            | _ -> ""))
+        alerts)
+
 let watch host port interval once count get_path =
   match get_path with
   | Some path -> (
@@ -1736,6 +1845,7 @@ let watch host port interval once count get_path =
           | Some snap ->
             let now = Unix.gettimeofday () in
             watch_row ~dt:(Stdlib.max 1e-9 (now -. t_prev)) prev snap;
+            watch_alerts_pane host port;
             loop snap now (Option.map (fun n -> n - 1) remaining))
       in
       loop first (Unix.gettimeofday ()) rows)
@@ -1790,6 +1900,122 @@ let watch_cmd =
     Term.(
       const watch $ host $ port $ interval $ once $ count $ get_path)
 
+(* --- alerts --- *)
+
+let load_alert_rules src =
+  let text =
+    if src = "default" then Service.Authority.default_alert_rules
+    else read_file src
+  in
+  match Peace_obs.Alert.rules_of_string text with
+  | Error e ->
+    Printf.eprintf "error: bad alert rules: %s\n%s\n" e Peace_obs.Alert.grammar;
+    exit 1
+  | Ok [] ->
+    prerr_endline "error: no rules in the file";
+    exit 1
+  | Ok rules -> rules
+
+let alerts_rules_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"RULES"
+        ~doc:
+          "Alert rules file (one spec per line, # comments), or the literal \
+           $(b,default) for the stock authority rules.")
+
+(* Offline rule evaluation: replay a recorded metric timeline (JSONL, one
+   {"kind":"sample","series":S,"ts":T,"v":V} object per line — the shape
+   peace slo / bench emit) through the evaluator on the recording's own
+   clock. CI gate: exits 1 listing the rules that fired. *)
+let alerts_check rules_src timeline_path =
+  let rules = load_alert_rules rules_src in
+  match
+    Peace_obs.Alert.replay_timeline ~audit:false rules (read_file timeline_path)
+  with
+  | Error e ->
+    Printf.eprintf "error: %s: %s\n" timeline_path e;
+    exit 2
+  | Ok (t, statuses) ->
+    let trans = Peace_obs.Alert.transitions t in
+    let first_firing name =
+      List.find_map
+        (fun (ts, n, st) ->
+          if n = name && st = Peace_obs.Alert.Firing then Some ts else None)
+        trans
+    in
+    Printf.printf "%-24s %-10s %-6s %s\n" "rule" "state" "fired" "first-firing-ms";
+    List.iter
+      (fun s ->
+        let name = s.Peace_obs.Alert.s_name in
+        match first_firing name with
+        | Some ts ->
+          Printf.printf "%-24s %-10s %-6s %d\n" name
+            (Peace_obs.Alert.state_to_string s.Peace_obs.Alert.s_state)
+            "yes" ts
+        | None ->
+          Printf.printf "%-24s %-10s %-6s %s\n" name
+            (Peace_obs.Alert.state_to_string s.Peace_obs.Alert.s_state)
+            "no" "-")
+      statuses;
+    let fired =
+      List.filter_map
+        (fun s ->
+          let name = s.Peace_obs.Alert.s_name in
+          Option.map (fun ts -> (name, ts)) (first_firing name))
+        statuses
+    in
+    if fired = [] then print_endline "no rules fired"
+    else begin
+      Printf.printf "fired: %s\n"
+        (String.concat ", "
+           (List.map (fun (n, ts) -> Printf.sprintf "%s@%d" n ts) fired));
+      exit 1
+    end
+
+(* Parse-only check of a rules file: print every rule in canonical form. *)
+let alerts_lint rules_src =
+  let rules = load_alert_rules rules_src in
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %s\n" r.Peace_obs.Alert.r_name
+        (Peace_obs.Alert.to_string r))
+    rules;
+  Printf.printf "%d rules ok\n" (List.length rules)
+
+let alerts_cmd =
+  let timeline =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Recorded metric timeline to evaluate against: JSONL with one \
+             {\"kind\":\"sample\",\"series\":S,\"ts\":T,\"v\":V} object per \
+             line, evaluated on the recording's own clock.")
+  in
+  let check =
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Replay a recorded timeline through the alert rules offline; \
+            exit 1 listing the rules that fired")
+      Term.(const alerts_check $ alerts_rules_arg $ timeline)
+  in
+  let lint =
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:"Parse an alert rules file and print each rule canonically")
+      Term.(const alerts_lint $ alerts_rules_arg)
+  in
+  Cmd.group
+    (Cmd.info "alerts"
+       ~doc:
+         "Offline tools for the alert rule engine (see peace serve-auth \
+          --alerts for live evaluation)")
+    [ check; lint ]
+
 (* --- validate-params --- *)
 
 let validate_params params_src =
@@ -1833,4 +2059,5 @@ let () =
             loadgen_cmd;
             slo_cmd;
             watch_cmd;
+            alerts_cmd;
           ]))

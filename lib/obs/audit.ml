@@ -179,7 +179,18 @@ let current : t option Atomic.t = Atomic.make None
 let install o = Atomic.set current o
 let installed () = Atomic.get current
 
+(* a tap sees every emitted event whether or not a ledger is installed —
+   the alert layer's stream detectors subscribe here without forcing an
+   audit trail on processes that don't keep one *)
+let tap : (string -> (string * string) list -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_tap f = Atomic.set tap f
+
 let emit ~kind attrs =
+  (match Atomic.get tap with
+  | None -> ()
+  | Some f -> ( try f kind attrs with _ -> ()));
   match Atomic.get current with
   | None -> ()
   | Some t -> ignore (append t ~kind attrs)

@@ -88,6 +88,12 @@ val install : t option -> unit
 val installed : unit -> t option
 val emit : kind:string -> (string * string) list -> unit
 
+val set_tap : (string -> (string * string) list -> unit) option -> unit
+(** Install (or remove) a process-wide event tap: the function sees every
+    {!emit}ted [(kind, attrs)] — whether or not a ledger is installed —
+    before the ledger append. Exceptions in the tap are swallowed. The
+    alert layer's stream detectors ({!Alert.install_tap}) subscribe here. *)
+
 val with_file :
   ?checkpoint_every:int ->
   ?signer:signer ->

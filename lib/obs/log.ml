@@ -123,25 +123,31 @@ let entry_level e = e.e_level
 let msg e = e.e_msg
 let attrs e = e.e_attrs
 
-let recent ?min_level ?n () =
+let recent ?min_level ?label ?n () =
   let r = Atomic.get ring in
   let cap = Array.length r.slots in
   let cur = Atomic.get r.cursor in
   let want = match n with Some n -> Stdlib.min n cap | None -> cap in
   let floor = match min_level with None -> 0 | Some l -> severity l in
+  let keep e =
+    severity e.e_level >= floor
+    && match label with
+       | None -> true
+       | Some (k, v) -> List.mem (k, v) e.e_attrs
+  in
   let lo = Stdlib.max 0 (cur - want) in
   let out = ref [] in
   (* newest first while scanning backwards, then reverse to oldest-first *)
   for i = cur - 1 downto lo do
     match Atomic.get r.slots.(i mod cap) with
-    | Some e when severity e.e_level >= floor -> out := e :: !out
+    | Some e when keep e -> out := e :: !out
     | Some _ | None -> ()
   done;
   !out
 
-let recent_jsonl ?min_level ?n () =
+let recent_jsonl ?min_level ?label ?n () =
   String.concat ""
-    (List.map (fun e -> entry_json e ^ "\n") (recent ?min_level ?n ()))
+    (List.map (fun e -> entry_json e ^ "\n") (recent ?min_level ?label ?n ()))
 
 let with_file path f =
   let oc = open_out path in

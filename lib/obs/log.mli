@@ -45,16 +45,20 @@ val entry_level : entry -> level
 val msg : entry -> string
 val attrs : entry -> (string * string) list
 
-val recent : ?min_level:level -> ?n:int -> unit -> entry list
+val recent :
+  ?min_level:level -> ?label:string * string -> ?n:int -> unit -> entry list
 (** The most recent events, oldest first ([n] caps the count; default is
     the whole ring). [min_level] drops entries below that severity — the
-    [/flight?level=warn] filter. Note [n] caps the {e scan}, not the
-    filtered result: the last [n] events are fetched, then filtered.
+    [/flight?level=warn] filter. [label:(k, v)] keeps only entries whose
+    attrs contain exactly that pair — the [/flight?label=k:v] filter.
+    Note [n] caps the {e scan}, not the filtered result: the last [n]
+    events are fetched, then filtered.
     Snapshots without stopping writers: under heavy concurrent logging an
     event racing the snapshot may or may not appear, but every returned
     entry is a real, complete event. *)
 
-val recent_jsonl : ?min_level:level -> ?n:int -> unit -> string
+val recent_jsonl :
+  ?min_level:level -> ?label:string * string -> ?n:int -> unit -> string
 (** {!recent} rendered as JSONL (each line newline-terminated) — the
     body of the [/flight] endpoint. *)
 

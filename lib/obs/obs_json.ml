@@ -84,14 +84,19 @@ let parse text =
     else fail ("expected " ^ word)
   in
   let utf8_of_code buf code =
-    (* enough for \uXXXX escapes below the surrogate range *)
     if code < 0x80 then Buffer.add_char buf (Char.chr code)
     else if code < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
-    else begin
+    else if code < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
@@ -119,13 +124,33 @@ let parse text =
           | 'r' -> Buffer.add_char buf '\r'
           | 't' -> Buffer.add_char buf '\t'
           | 'u' ->
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub text !pos 4 in
-            pos := !pos + 4;
-            let code =
+            let read_hex4 () =
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub text !pos 4 in
+              pos := !pos + 4;
               try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
             in
-            utf8_of_code buf code
+            let code = read_hex4 () in
+            if code >= 0xD800 && code <= 0xDBFF
+               && !pos + 2 <= n
+               && text.[!pos] = '\\'
+               && text.[!pos + 1] = 'u'
+            then begin
+              (* a high surrogate followed by another \u escape: combine
+                 the pair into one supplementary-plane scalar *)
+              let save = !pos in
+              pos := !pos + 2;
+              let low = read_hex4 () in
+              if low >= 0xDC00 && low <= 0xDFFF then
+                utf8_of_code buf
+                  (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+              else begin
+                (* not a low surrogate: decode both independently *)
+                pos := save;
+                utf8_of_code buf code
+              end
+            end
+            else utf8_of_code buf code
           | _ -> fail "unknown escape");
           loop ())
       | Some c ->

@@ -28,7 +28,10 @@ val to_string : t -> string
 
 val parse : string -> (t, string) result
 (** Parse one complete JSON value (trailing garbage is an error).
-    [\uXXXX] escapes decode to UTF-8; surrogate pairs are not combined. *)
+    [\uXXXX] escapes decode to UTF-8; a high/low surrogate pair (e.g.
+    [😀]) combines into the single supplementary-plane scalar
+    it encodes, emitted as one 4-byte UTF-8 sequence. An unpaired
+    surrogate decodes alone, as before. *)
 
 val member : string -> t -> t option
 (** [member key (Obj ...)] is the field's value; [None] on a non-object

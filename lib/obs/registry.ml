@@ -233,6 +233,42 @@ let reset_all () =
       Hashtbl.iter (fun _ g -> Gauge.reset g) gauges_tbl;
       Hashtbl.iter (fun _ h -> Histogram.reset h) histograms_tbl)
 
+(* Resolve a metric name to one float for rule evaluation (Alert):
+   an exact gauge or counter wins; otherwise all labelled series whose
+   base name matches are summed (counters, then gauges); otherwise the
+   count-weighted mean of matching histograms. *)
+let lookup name =
+  let find tbl = with_lock (fun () -> Hashtbl.find_opt tbl name) in
+  match find gauges_tbl with
+  | Some g -> Some (float_of_int (Gauge.value g))
+  | None -> (
+    match find counters_tbl with
+    | Some c -> Some (float_of_int (Counter.value c))
+    | None -> (
+      let matching dump_list =
+        List.filter (fun (n, _) -> fst (split_name n) = name) dump_list
+      in
+      let sum_values l =
+        List.fold_left (fun acc (_, v) -> acc + v) 0 l
+      in
+      match matching (counters ()) with
+      | _ :: _ as hits -> Some (float_of_int (sum_values hits))
+      | [] -> (
+        match matching (gauges ()) with
+        | _ :: _ as hits -> Some (float_of_int (sum_values hits))
+        | [] ->
+          let hs = matching (histograms ()) in
+          let count =
+            List.fold_left (fun a (_, h) -> a + Histogram.count h) 0 hs
+          in
+          if hs = [] || count = 0 then None
+          else begin
+            let sum =
+              List.fold_left (fun a (_, h) -> a + Histogram.sum h) 0 hs
+            in
+            Some (float_of_int sum /. float_of_int count)
+          end)))
+
 let delta ~before ~after =
   List.filter_map
     (fun (name, v) ->

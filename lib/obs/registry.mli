@@ -123,6 +123,15 @@ val counters : unit -> (string * int) list
 val gauges : unit -> (string * int) list
 val histograms : unit -> (string * Histogram.t) list
 
+val lookup : string -> float option
+(** Resolve a metric name to one float for rule evaluation ({!Alert}):
+    an exact gauge or counter (full series key) wins; otherwise every
+    labelled series whose base name matches is summed — counters first,
+    then gauges (e.g. [service.errors_total] sums all
+    [service.errors_total{kind=...}]); otherwise the count-weighted mean
+    of matching histograms. [None] when no metric matches or matching
+    histograms hold no observations. *)
+
 val reset_all : unit -> unit
 (** Zero every registered metric (registrations survive). *)
 

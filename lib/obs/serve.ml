@@ -6,10 +6,11 @@
    Routes:
      GET /metrics            -> Prometheus text exposition of the live registry
      GET /healthz[?verbose]  -> evaluate registered health checks; 503 when any fails
-     GET /flight[?n=K][&level=L] -> the flight-recorder ring (Log.recent) as JSONL
+     GET /flight[?n=K][&level=L][&label=K:V] -> the flight-recorder ring (Log.recent) as JSONL
      GET /series[?name=S]    -> the attached Timeseries sampler as JSONL
      GET /audit/head         -> head of the installed audit ledger as JSON
-     GET /audit[?since=SEQ]  -> buffered audit records after SEQ as JSONL *)
+     GET /audit[?since=SEQ]  -> buffered audit records after SEQ as JSONL
+     GET /alerts[?state=S]   -> the attached Alert evaluator's statuses as JSON *)
 
 let http_response ?(status = "200 OK") ?(content_type = "text/plain") body =
   Printf.sprintf
@@ -58,6 +59,12 @@ let health_results () =
 let series_source : Timeseries.t option Atomic.t = Atomic.make None
 let set_series_source s = Atomic.set series_source s
 
+(* /alerts exposes whatever evaluator the host process attaches (the
+   authority attaches the one its background evaluator drives). None ->
+   404, same contract as /series. *)
+let alerts_source : Alert.t option Atomic.t = Atomic.make None
+let set_alerts_source a = Atomic.set alerts_source a
+
 let query_get q key = List.assoc_opt key q
 
 let query_int q key =
@@ -98,14 +105,29 @@ let route path query =
     else http_response ~status:"503 Service Unavailable" body
   | "/flight" -> (
     let n = query_int query "n" in
-    match query_get query "level" with
-    | Some l when Log.level_of_string l = None ->
+    let label =
+      (* KEY:VALUE; a missing or empty key/value is malformed *)
+      match query_get query "label" with
+      | None -> Ok None
+      | Some raw -> (
+        match String.index_opt raw ':' with
+        | Some i when i > 0 && i < String.length raw - 1 ->
+          Ok
+            (Some
+               ( String.sub raw 0 i,
+                 String.sub raw (i + 1) (String.length raw - i - 1) ))
+        | _ -> Error ())
+    in
+    match (query_get query "level", label) with
+    | Some l, _ when Log.level_of_string l = None ->
       http_response ~status:"400 Bad Request" "unknown level\n"
-    | level_raw ->
+    | _, Error () ->
+      http_response ~status:"400 Bad Request" "label filter must be KEY:VALUE\n"
+    | level_raw, Ok label ->
       let min_level = Option.bind level_raw Log.level_of_string in
       http_response
         ~content_type:"application/jsonl"
-        (Log.recent_jsonl ?min_level ?n ()))
+        (Log.recent_jsonl ?min_level ?label ?n ()))
   | "/audit/head" -> (
     match Audit.installed () with
     | None -> http_response ~status:"404 Not Found" "no audit ledger\n"
@@ -115,15 +137,31 @@ let route path query =
   | "/audit" -> (
     match Audit.installed () with
     | None -> http_response ~status:"404 Not Found" "no audit ledger\n"
-    | Some ledger ->
-      let after = Option.value ~default:(-1) (query_int query "since") in
-      let buf = Buffer.create 1024 in
-      List.iter
-        (fun line ->
-          Buffer.add_string buf line;
-          Buffer.add_char buf '\n')
-        (Audit.since ledger after);
-      http_response ~content_type:"application/jsonl" (Buffer.contents buf))
+    | Some ledger -> (
+      match (query_get query "since", query_int query "since") with
+      | Some _, None ->
+        http_response ~status:"400 Bad Request" "since must be an integer\n"
+      | since_raw, since_int ->
+        ignore since_raw;
+        let after = Option.value ~default:(-1) since_int in
+        let buf = Buffer.create 1024 in
+        List.iter
+          (fun line ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n')
+          (Audit.since ledger after);
+        http_response ~content_type:"application/jsonl" (Buffer.contents buf)))
+  | "/alerts" -> (
+    match Atomic.get alerts_source with
+    | None -> http_response ~status:"404 Not Found" "no alert evaluator\n"
+    | Some t -> (
+      match query_get query "state" with
+      | Some s when Alert.state_of_string s = None ->
+        http_response ~status:"400 Bad Request" "unknown alert state\n"
+      | state_raw ->
+        let state = Option.bind state_raw Alert.state_of_string in
+        http_response ~content_type:"application/json"
+          (Alert.to_json ?state t ^ "\n")))
   | "/series" -> (
     match Atomic.get series_source with
     | None -> http_response ~status:"404 Not Found" "no series source\n"

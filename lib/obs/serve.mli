@@ -7,14 +7,19 @@
       when all pass, [503] listing the failures when any is degraded;
       [?verbose] reports every check's verdict
     - [GET /flight]: the {!Log} flight-recorder ring as JSONL ([?n=K]
-      caps the event count, [?level=L] drops entries below severity [L];
-      an unknown level is a 400)
+      caps the event count, [?level=L] drops entries below severity [L],
+      [?label=K:V] keeps only entries carrying that attr; an unknown
+      level or a malformed label filter is a 400)
     - [GET /series]: the attached {!Timeseries} sampler as JSONL
       ([?name=S] selects one series; 404 when no sampler is attached)
     - [GET /audit/head]: chain head of the installed {!Audit} ledger as
       JSON; 404 when no ledger is installed
     - [GET /audit]: the ledger's buffered records as JSONL ([?since=SEQ]
-      returns records with sequence number > SEQ)
+      returns records with sequence number > SEQ; a non-numeric [since]
+      is a 400)
+    - [GET /alerts]: the attached {!Alert} evaluator's statuses as JSON
+      ([?state=firing] filters to one state; 404 when no evaluator is
+      attached, 400 on an unknown state)
 
     Sequential (one request at a time, connection closed per response),
     which is exactly the access pattern of a metrics scraper. *)
@@ -56,6 +61,11 @@ val health_results : unit -> (string * (unit, string) result) list
 
 val set_series_source : Timeseries.t option -> unit
 (** Attach (or detach) the sampler behind [/series]. *)
+
+val set_alerts_source : Alert.t option -> unit
+(** Attach (or detach) the alert evaluator behind [/alerts]. The serve
+    loop only renders current statuses; whoever attaches the evaluator
+    is responsible for driving {!Alert.eval} periodically. *)
 
 (** {1 Plumbing shared with tests and the CLI} *)
 

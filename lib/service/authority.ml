@@ -362,3 +362,18 @@ let stop t =
 let service_counters () =
   let keep (name, _) = String.length name >= 8 && String.sub name 0 8 = "service." in
   List.filter keep (Obs.counters ()) @ List.filter keep (Obs.gauges ())
+
+(* The stock rule set `peace serve-auth --alerts default` loads: the
+   SLO burn mirrors the /healthz error-rate check but with proper
+   multi-window debounce, the queue threshold mirrors queue_health, the
+   storm/reuse detectors watch the audit stream, and the anomaly rule
+   watches the end-to-end request latency histogram. Windows are short
+   (seconds, not Prometheus-style hours) because the authority's traffic
+   is bursty lab load, not a month-long error budget. *)
+let default_alert_rules =
+  "# PEACE authority stock alert rules\n\
+   error-burn=burn:service.errors_total/service.connections_total:15s,1m:10%\n\
+   queue-full=over:service.conn_queue_depth:8:5s\n\
+   reject-storm=storm:6:20:30s\n\
+   revoked-reuse=reuse:5:5m\n\
+   latency-anomaly=anomaly:service.request_ns:4:10s\n"

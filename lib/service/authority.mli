@@ -83,3 +83,10 @@ val stop : t -> unit
 val service_counters : unit -> (string * int) list
 (** Current [service.*] counters and gauges from the registry, sorted by
     name — the post-run report surface for examples and [peace slo]. *)
+
+val default_alert_rules : string
+(** The stock {!Peace_obs.Alert} rules text [peace serve-auth --alerts
+    default] loads: an error-rate SLO burn over
+    [service.errors_total/service.connections_total], a connection-queue
+    depth threshold, reject-storm and revoked-credential-reuse stream
+    detectors, and a request-latency anomaly rule. *)

@@ -273,6 +273,7 @@ type city_result = {
   cr_recovery_mean_ms : float;
   cr_fault_counters : (string * int) list;
   cr_invoices : (int * int * int * int) list;
+  cr_alerts : (int * string * Peace_obs.Alert.state) list;
 }
 
 type user_node = {
@@ -332,9 +333,26 @@ let legacy_timeout_ms = 3_000
 let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
     ?(range_m = 450.0) ?(beacon_period_ms = 500) ?(url_size = 0)
     ?(loss_prob = 0.0) ?(faults = Faults.none) ?(hardened = true)
-    ?(invoices = false) ?sampler ~n_routers ~n_users ~duration_ms
-    ~mean_interarrival_ms () =
+    ?(invoices = false) ?sampler ?(alert_rules = []) ~n_routers ~n_users
+    ~duration_ms ~mean_interarrival_ms () =
   let world = make_world ~seed ~loss_prob ~faults () in
+  (* alert rules evaluate on simulated time: the evaluator clock is the
+     engine clock and an eval tick runs once per simulated second, so a
+     given seed and fault plan produce the same firing sequence at the
+     same sim timestamps on every run *)
+  let alerts =
+    match alert_rules with
+    | [] -> None
+    | rules ->
+      let t =
+        Peace_obs.Alert.create ~now:(fun () -> Engine.now world.engine) rules
+      in
+      Peace_obs.Alert.install_tap t;
+      Engine.schedule_every world.engine ~period:1_000
+        ~until:(1_000_000 + duration_ms) (fun () ->
+          ignore (Peace_obs.Alert.eval t));
+      Some t
+  in
   (* retransmission jitter has its own stream: hardened but fault-free
      runs draw exactly the same placement/arrival sequence as before *)
   let retx_rand = Sim_rand.create ~seed:(seed lxor 0x0707) in
@@ -655,6 +673,7 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
     Engine.attach_sampler world.engine ~period:1_000
       ~until:(1_000_000 + duration_ms) s);
   Engine.run ~until:(1_000_000 + duration_ms) world.engine;
+  (match alerts with Some _ -> Peace_obs.Alert.uninstall_tap () | None -> ());
   let successes = Metrics.count world.metrics "user.authenticated" in
   let failures =
     List.filter
@@ -725,6 +744,10 @@ let city_auth ?(seed = 42) ?(cost = default_cost_model) ?(area_m = 2000.0)
           ("dropped_unknown", Net.frames_dropped_unknown world.net);
         ];
     cr_invoices = invoice_table;
+    cr_alerts =
+      (match alerts with
+      | Some t -> Peace_obs.Alert.transitions t
+      | None -> []);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -51,6 +51,10 @@ type city_result = {
           every accepted handshake is metered (M.2 bytes up, M.3 bytes
           down, modeled service time as duration) and attributed to its
           user group through the §IV-D audit path. Empty otherwise. *)
+  cr_alerts : (int * string * Peace_obs.Alert.state) list;
+      (** with [~alert_rules]: every alert state transition as
+          [(sim ms, rule name, new state)], oldest first — deterministic
+          for a fixed seed and fault plan. Empty otherwise. *)
 }
 
 val city_auth :
@@ -58,6 +62,7 @@ val city_auth :
   ?beacon_period_ms:int -> ?url_size:int -> ?loss_prob:float ->
   ?faults:Faults.plan -> ?hardened:bool -> ?invoices:bool ->
   ?sampler:Peace_obs.Timeseries.t ->
+  ?alert_rules:Peace_obs.Alert.rule list ->
   n_routers:int -> n_users:int -> duration_ms:int ->
   mean_interarrival_ms:float -> unit -> city_result
 (** Routers on a grid over an [area_m]² city; users placed uniformly;
@@ -88,6 +93,12 @@ val city_auth :
     With [~hardened:false] an interrupted handshake simply times out after
     a fixed 3 s and waits for a later beacon — the legacy behaviour, kept
     as the E15 baseline.
+
+    [alert_rules] installs a {!Peace_obs.Alert} evaluator on the engine
+    clock — rules evaluate once per simulated second and the audit tap
+    feeds its stream detectors from the routers' reject/revocation
+    events — so a fault plan provably trips the matching rules at
+    reproducible sim timestamps ([cr_alerts]).
 
     A [sampler] is attached to the engine ({!Engine.attach_sampler}) and
     tracks city-wide gauges on simulated time, one sample per simulated

@@ -116,11 +116,49 @@ A malformed spec is a usage error (exit 1) that points at the grammar:
 
 The chaos sweep compares the hardened handshake path against the legacy
 fixed-timeout baseline under a fixed set of fault plans — under burst
-loss, hardening recovers by retransmitting and authenticates faster:
+loss, hardening recovers by retransmitting and authenticates faster —
+and runs the alert evaluator on the simulation clock, so the fault plan
+provably trips the matching rule at a reproducible sim timestamp:
 
   $ peace chaos | grep 'burst 20% loss'
   burst 20% loss             hardened   65/65       5     0     0       465.9
   burst 20% loss             baseline   65/65       0     0     0       515.4
+    burst 20% loss             frame-loss@1003000
+
+The same rule grammar works offline: `peace alerts lint` canonicalises
+a rules file, and `peace alerts check --timeline` replays a recorded
+metric timeline through the evaluator on the recording's own clock,
+exiting 1 and listing the rules that fired — the CI-gate shape:
+
+  $ cat > rules.txt <<'EOF'
+  > # demo rules
+  > hot=over:demo.queue:5:1s
+  > calm=under:demo.queue:-1
+  > EOF
+  $ peace alerts lint rules.txt
+  hot                      hot=over:demo.queue:5:1s
+  calm                     calm=under:demo.queue:-1
+  2 rules ok
+  $ cat > timeline.jsonl <<'EOF'
+  > {"kind":"sample","series":"demo.queue","ts":1000,"v":2}
+  > {"kind":"sample","series":"demo.queue","ts":2000,"v":9}
+  > {"kind":"sample","series":"demo.queue","ts":4000,"v":9}
+  > {"kind":"sample","series":"demo.queue","ts":5000,"v":1}
+  > EOF
+  $ peace alerts check rules.txt --timeline timeline.jsonl
+  rule                     state      fired  first-firing-ms
+  hot                      resolved   yes    4000
+  calm                     inactive   no     -
+  fired: hot@4000
+  [1]
+
+A malformed rule is a usage error that points at the grammar:
+
+  $ echo 'over:x:nope' > bad.txt
+  $ peace alerts lint bad.txt 2>&1 | grep -c 'is not a number'
+  1
+  $ peace alerts lint bad.txt 2>/dev/null
+  [1]
 
 bench-report diffs two benchmark result files; a self-diff never
 regresses (exit 0), a worse-direction move beyond the threshold fails

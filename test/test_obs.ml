@@ -1300,6 +1300,55 @@ let test_audit_tamper_signature () =
   (* …and only the signature check exposes it *)
   expect_break forged ~seq:9 ~reason_infix:"signature" "forged checkpoint"
 
+(* --- UTF-16 surrogate pairs in JSON strings --- *)
+
+let test_json_surrogates () =
+  let parse_str s =
+    match J.parse s with
+    | Ok (J.Str v) -> v
+    | Ok _ -> Alcotest.failf "%S did not parse to a string" s
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  Alcotest.(check string) "surrogate pair combines into one 4-byte scalar"
+    "\xf0\x9f\x98\x80"
+    (parse_str "\"\\ud83d\\ude00\"");
+  Alcotest.(check string) "astral scalar survives escape round-trip"
+    "\xf0\x9f\x98\x80"
+    (parse_str (J.str "\xf0\x9f\x98\x80"));
+  Alcotest.(check string) "lone high surrogate decodes alone" "\xed\xa0\xbd"
+    (parse_str "\"\\ud83d\"");
+  Alcotest.(check string) "high surrogate + non-low escape decode separately"
+    "\xed\xa0\xbdA"
+    (parse_str "\"\\ud83d\\u0041\"");
+  Alcotest.(check string) "high surrogate + literal char decode separately"
+    "\xed\xa0\xbdx"
+    (parse_str "\"\\ud83dx\"");
+  Alcotest.(check string) "lone low surrogate decodes alone" "\xed\xb8\x80"
+    (parse_str "\"\\ude00\"")
+
+(* --- flight-recorder label filter --- *)
+
+let test_log_label_filter () =
+  Log.clear ();
+  Log.info ~attrs:[ ("router", "r1"); ("op", "auth") ] "one";
+  Log.info ~attrs:[ ("router", "r2") ] "two";
+  Log.info "three";
+  let msgs l = List.map Log.msg l in
+  Alcotest.(check (list string)) "label filter keeps matching entries"
+    [ "one" ]
+    (msgs (Log.recent ~label:("router", "r1") ()));
+  Alcotest.(check (list string)) "any attr position matches" [ "one" ]
+    (msgs (Log.recent ~label:("op", "auth") ()));
+  Alcotest.(check (list string)) "value must match too" []
+    (msgs (Log.recent ~label:("router", "r9") ()));
+  Alcotest.(check int) "no filter sees everything" 3
+    (List.length (Log.recent ()));
+  Alcotest.(check bool) "jsonl honours the filter" true
+    (let j = Log.recent_jsonl ~label:("router", "r2") () in
+     Astring.String.is_infix ~affix:"\"msg\":\"two\"" j
+     && not (Astring.String.is_infix ~affix:"\"msg\":\"one\"" j));
+  Log.clear ()
+
 let test_audit_installed_emit () =
   Alcotest.(check bool) "no ledger installed by default" true
     (Audit.installed () = None);
@@ -1315,6 +1364,384 @@ let test_audit_installed_emit () =
   Audit.emit ~kind:"after" [];
   Alcotest.(check int) "uninstalled ledger stops growing" 2
     (Audit.records ledger)
+
+(* --- the alert rule engine --- *)
+
+module Alert = Peace_obs.Alert
+
+let alert_rules specs =
+  match Alert.rules_of_string specs with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" specs e
+
+let firing_names t = List.map (fun s -> s.Alert.s_name) (Alert.firing t)
+
+let test_alert_grammar () =
+  (* every condition form round-trips through its canonical spec *)
+  List.iter
+    (fun spec ->
+      match Alert.of_string spec with
+      | Error e -> Alcotest.failf "parse %S: %s" spec e
+      | Ok r -> (
+        Alcotest.(check string) ("canonical " ^ spec) spec (Alert.to_string r);
+        match Alert.of_string (Alert.to_string r) with
+        | Ok r' -> Alcotest.(check bool) ("round-trip " ^ spec) true (r = r')
+        | Error e -> Alcotest.failf "re-parse %S: %s" spec e))
+    [
+      "hot=over:service.conn_queue_depth:8:5s";
+      "cold=under:service.workers_busy:0.5:1m";
+      "loss=rate:sim.faults.frames_lost:2:10s";
+      "burn=burn:service.errors_total/service.requests_total:5m,1h:2%";
+      "storm=storm:6:20:30s";
+      "reuse=reuse:5:5m";
+      "slow=anomaly:service.request_ns:4:1500ms";
+      "over:x:1";
+    ];
+  (* unnamed rules default to the canonical token *)
+  (match Alert.of_string "over:x:1.5" with
+  | Ok r -> Alcotest.(check string) "default name" "over:x:1.5" r.Alert.r_name
+  | Error e -> Alcotest.fail e);
+  (* malformed specs are errors, never crashes *)
+  List.iter
+    (fun spec ->
+      match Alert.of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" spec)
+    [
+      "";
+      "over:x";
+      "over:x:notanumber";
+      "over:x:1:5q";
+      "rate:x:1";
+      "burn:a/b:5m:2%";
+      "burn:ab:5m,1h:2%";
+      "burn:a/b:1h,5m:2%";
+      "storm:x:1:1s";
+      "reuse:0:1s";
+      "anomaly:x:-1";
+      "nope:x:1";
+    ];
+  (* rules files: comments, blank lines, ';' separators *)
+  (match Alert.rules_of_string "# header\n\na=over:x:1; b=under:y:2 # tail\n" with
+  | Ok [ a; b ] ->
+    Alcotest.(check string) "first" "a" a.Alert.r_name;
+    Alcotest.(check string) "second" "b" b.Alert.r_name
+  | Ok l -> Alcotest.failf "expected 2 rules, got %d" (List.length l)
+  | Error e -> Alcotest.fail e);
+  match Alert.rules_of_string "a=over:x:1\na=under:y:2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate names should be an error"
+
+let test_alert_threshold_states () =
+  let clock = ref 0 and v = ref 0.0 in
+  let t = Alert.create ~now:(fun () -> !clock) (alert_rules "hot=over:m:10:100ms") in
+  let eval () = ignore (Alert.eval ~lookup:(fun _ -> Some !v) t) in
+  let state () =
+    (List.hd (Alert.statuses t)).Alert.s_state
+  in
+  eval ();
+  Alcotest.(check string) "below the limit: inactive" "inactive"
+    (Alert.state_to_string (state ()));
+  clock := 10;
+  v := 50.0;
+  eval ();
+  Alcotest.(check string) "above the limit: pending" "pending"
+    (Alert.state_to_string (state ()));
+  clock := 50;
+  eval ();
+  Alcotest.(check string) "for-duration not yet held" "pending"
+    (Alert.state_to_string (state ()));
+  clock := 120;
+  eval ();
+  Alcotest.(check string) "held past for-duration: firing" "firing"
+    (Alert.state_to_string (state ()));
+  Alcotest.(check (list string)) "firing lists it" [ "hot" ] (firing_names t);
+  Alcotest.(check int) "firing gauge set" 1
+    (R.Gauge.value (R.gauge ~labels:[ ("rule", "hot") ] "alerts.firing"));
+  clock := 130;
+  v := 3.0;
+  eval ();
+  Alcotest.(check string) "recovered: resolved" "resolved"
+    (Alert.state_to_string (state ()));
+  Alcotest.(check int) "firing gauge cleared" 0
+    (R.Gauge.value (R.gauge ~labels:[ ("rule", "hot") ] "alerts.firing"));
+  clock := 140;
+  v := 50.0;
+  eval ();
+  clock := 150;
+  v := 0.0;
+  eval ();
+  Alcotest.(check (list (pair int string)))
+    "the full transition history, oldest first"
+    [
+      (10, "pending");
+      (120, "firing");
+      (130, "resolved");
+      (140, "pending");
+      (150, "inactive");
+    ]
+    (List.map
+       (fun (ts, _, st) -> (ts, Alert.state_to_string st))
+       (Alert.transitions t))
+
+let test_alert_rate_and_burn () =
+  let clock = ref 0 in
+  let values : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let set k v = Hashtbl.replace values k v in
+  let lookup k = Hashtbl.find_opt values k in
+  let t =
+    Alert.create ~now:(fun () -> !clock)
+      (alert_rules "fast=rate:m:5:1s\nburn=burn:err/req:1s,4s:10%")
+  in
+  let eval () = ignore (Alert.eval ~lookup t) in
+  (* t=0: baselines only *)
+  set "m" 0.0;
+  set "err" 0.0;
+  set "req" 0.0;
+  eval ();
+  Alcotest.(check (list string)) "one sample is no rate" [] (firing_names t);
+  (* the counter climbs 10/s: above the 5/s limit *)
+  clock := 1000;
+  set "m" 10.0;
+  set "err" 5.0;
+  set "req" 10.0;
+  eval ();
+  Alcotest.(check bool) "rate fires on the window delta" true
+    (List.mem "fast" (firing_names t));
+  (* err/req = 50% over both windows once the long window has history *)
+  clock := 2000;
+  set "m" 10.5;
+  set "err" 10.0;
+  set "req" 20.0;
+  eval ();
+  Alcotest.(check bool) "burn fires when both windows exceed budget" true
+    (List.mem "burn" (firing_names t));
+  Alcotest.(check bool) "rate resolves when the counter flattens" true
+    (not (List.mem "fast" (firing_names t)));
+  (* errors stop: the short window recovers first and un-fires the rule
+     even while the long window is still above budget *)
+  clock := 4000;
+  set "err" 10.0;
+  set "req" 40.0;
+  eval ();
+  Alcotest.(check bool) "short-window recovery resolves the burn" true
+    (not (List.mem "burn" (firing_names t)))
+
+let test_alert_storm_and_reuse () =
+  let clock = ref 100 in
+  let t =
+    Alert.create ~now:(fun () -> !clock)
+      (alert_rules "storm=storm:6:3:1s\nreuse=reuse:2:1s")
+  in
+  let eval () = ignore (Alert.eval ~lookup:(fun _ -> None) t) in
+  let reject code router =
+    Alert.observe t ~kind:"access_reject"
+      [ ("code", string_of_int code); ("router", router) ]
+  in
+  (* code-7 rejects before a URL reissue do not arm the reuse detector *)
+  reject 7 "r1";
+  reject 7 "r1";
+  eval ();
+  Alcotest.(check (list string)) "reuse quiet before reissue" []
+    (firing_names t);
+  (* a storm is one source hammering: 2 from r1 + 1 from r2 is not 3 *)
+  reject 6 "r1";
+  reject 6 "r2";
+  reject 6 "r1";
+  eval ();
+  Alcotest.(check (list string)) "storm counts per source" []
+    (firing_names t);
+  reject 6 "r1";
+  eval ();
+  Alcotest.(check (list string)) "third reject from one source fires"
+    [ "storm" ] (firing_names t);
+  (* after the reissue, code-7 rejects count *)
+  Alert.observe t ~kind:"revocation_update" [ ("list", "url") ];
+  reject 7 "r1";
+  reject 7 "r3";
+  eval ();
+  Alcotest.(check bool) "reuse fires after reissue" true
+    (List.mem "reuse" (firing_names t));
+  (* the windows drain: both resolve *)
+  clock := !clock + 5_000;
+  eval ();
+  Alcotest.(check (list string)) "windows drain, rules resolve" []
+    (firing_names t);
+  Alcotest.(check bool) "resolution recorded" true
+    (List.exists
+       (fun (_, n, st) -> n = "storm" && st = Alert.Resolved)
+       (Alert.transitions t))
+
+let test_alert_anomaly () =
+  let clock = ref 0 and v = ref 100.0 in
+  let t =
+    Alert.create ~now:(fun () -> !clock) (alert_rules "slow=anomaly:m:4")
+  in
+  let eval () =
+    clock := !clock + 1000;
+    ignore (Alert.eval ~lookup:(fun _ -> Some !v) t)
+  in
+  (* a constant signal through warmup never alerts *)
+  for _ = 1 to 10 do
+    eval ()
+  done;
+  Alcotest.(check (list string)) "constant signal is not anomalous" []
+    (firing_names t);
+  (* a 2x spike against a flat history is far beyond z = 4 *)
+  v := 200.0;
+  eval ();
+  Alcotest.(check (list string)) "spike fires" [ "slow" ] (firing_names t);
+  Alcotest.(check bool) "z-score is the status value" true
+    ((List.hd (Alert.statuses t)).Alert.s_value > 4.0)
+
+let test_alert_replay_and_json () =
+  let rules = alert_rules "hot=over:m:5" in
+  let timeline =
+    String.concat "\n"
+      [
+        "{\"kind\":\"sample\",\"series\":\"m\",\"ts\":1000,\"v\":1}";
+        "not json at all";
+        "{\"kind\":\"note\",\"text\":\"ignored\"}";
+        "{\"kind\":\"sample\",\"series\":\"m\",\"ts\":2000,\"v\":9}";
+        "{\"kind\":\"sample\",\"series\":\"m\",\"ts\":3000,\"v\":2}";
+      ]
+  in
+  (match Alert.replay_timeline rules timeline with
+  | Error e -> Alcotest.fail e
+  | Ok (t, statuses) ->
+    Alcotest.(check (list (pair int string)))
+      "the recorded clock drives the firing sequence"
+      [ (2000, "firing"); (3000, "resolved") ]
+      (List.map
+         (fun (ts, _, st) -> (ts, Alert.state_to_string st))
+         (Alert.transitions t));
+    Alcotest.(check int) "final statuses returned" 1 (List.length statuses);
+    (* /alerts body: parseable JSON carrying the status fields *)
+    match J.parse (Alert.to_json t) with
+    | Error e -> Alcotest.failf "to_json invalid: %s" e
+    | Ok j ->
+      let alerts =
+        match Option.bind (J.member "alerts" j) J.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "no alerts array"
+      in
+      Alcotest.(check int) "one alert object" 1 (List.length alerts);
+      let a = List.hd alerts in
+      Alcotest.(check (option string)) "rule name" (Some "hot")
+        (Option.bind (J.member "rule" a) J.to_str);
+      Alcotest.(check (option string)) "state" (Some "resolved")
+        (Option.bind (J.member "state" a) J.to_str);
+      Alcotest.(check bool) "state filter drops non-matching" true
+        (Alert.to_json ~state:Alert.Firing t = "{\"alerts\":[]}"));
+  (* a malformed sample line is an error, not a crash *)
+  match
+    Alert.replay_timeline rules "{\"kind\":\"sample\",\"series\":\"m\"}"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed sample should be an error"
+
+let test_registry_lookup () =
+  R.Counter.add (R.counter "test.lookup.plain") 5;
+  Alcotest.(check (option (float 1e-9))) "exact counter" (Some 5.0)
+    (R.lookup "test.lookup.plain");
+  R.Gauge.set (R.gauge "test.lookup.gauge") 7;
+  Alcotest.(check (option (float 1e-9))) "exact gauge" (Some 7.0)
+    (R.lookup "test.lookup.gauge");
+  R.Counter.add (R.counter ~labels:[ ("k", "a") ] "test.lookup.fam") 3;
+  R.Counter.add (R.counter ~labels:[ ("k", "b") ] "test.lookup.fam") 4;
+  Alcotest.(check (option (float 1e-9))) "label series sum by base name"
+    (Some 7.0)
+    (R.lookup "test.lookup.fam");
+  let h = R.histogram "test.lookup.hist" in
+  R.Histogram.observe h 10;
+  R.Histogram.observe h 20;
+  (match R.lookup "test.lookup.hist" with
+  | Some mean -> Alcotest.(check bool) "histogram mean" true (mean > 0.0)
+  | None -> Alcotest.fail "histogram lookup returned no data");
+  Alcotest.(check (option (float 1e-9))) "unknown name is None" None
+    (R.lookup "test.lookup.nothing")
+
+(* --- /flight?label, /audit?since edges, /alerts over HTTP --- *)
+
+let test_serve_alerts_and_filters () =
+  Log.clear ();
+  Log.warn ~attrs:[ ("router", "r1") ] "from r1";
+  Log.warn ~attrs:[ ("router", "r2") ] "from r2";
+  let ledger = Audit.create ~checkpoint_every:1000 () in
+  Audit.install (Some ledger);
+  Audit.emit ~kind:"access_reject" [ ("code", "6"); ("router", "1") ];
+  Serve.set_alerts_source None;
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.serve ~port:0 ~max_requests:10
+          ~on_listen:(fun p -> Atomic.set port p)
+          ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.set_alerts_source None;
+      Audit.install None)
+    (fun () ->
+      let rec wait_port tries =
+        if Atomic.get port = 0 then
+          if tries = 0 then Alcotest.fail "server never listened"
+          else begin
+            Unix.sleepf 0.01;
+            wait_port (tries - 1)
+          end
+      in
+      wait_port 500;
+      let get path =
+        match Serve.http_get ~port:(Atomic.get port) path with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "GET %s: %s" path e
+      in
+      let infix a s = Astring.String.is_infix ~affix:a s in
+      let code, body = get "/flight?label=router:r1" in
+      Alcotest.(check int) "label filter answers 200" 200 code;
+      Alcotest.(check bool) "only the matching entry survives" true
+        (infix "from r1" body && not (infix "from r2" body));
+      let code, body = get "/flight?label=nocolon" in
+      Alcotest.(check int) "malformed label is 400" 400 code;
+      Alcotest.(check bool) "…and says what it wants" true
+        (infix "KEY:VALUE" body);
+      let code, body = get "/audit?since=abc" in
+      Alcotest.(check int) "non-numeric since is 400" 400 code;
+      Alcotest.(check bool) "…with a reason" true (infix "integer" body);
+      let code, body = get "/audit?since=-5" in
+      Alcotest.(check int) "negative since answers 200" 200 code;
+      Alcotest.(check bool) "…replaying everything" true
+        (infix "access_reject" body);
+      let code, body = get "/audit?since=99999" in
+      Alcotest.(check int) "since beyond head answers 200" 200 code;
+      Alcotest.(check string) "…with an empty body" "" body;
+      let code, body = get "/alerts" in
+      Alcotest.(check int) "no evaluator: 404" 404 code;
+      Alcotest.(check bool) "…and says so" true (infix "no alert" body);
+      let t = Alert.create (alert_rules "storm=storm:6:1:1m") in
+      Alert.install_tap t;
+      Audit.emit ~kind:"access_reject" [ ("code", "6"); ("router", "1") ];
+      ignore (Alert.eval ~lookup:(fun _ -> None) t);
+      Alert.uninstall_tap ();
+      Serve.set_alerts_source (Some t);
+      let code, body = get "/alerts" in
+      Alcotest.(check int) "attached evaluator answers 200" 200 code;
+      Alcotest.(check bool) "statuses rendered as JSON" true
+        (infix "\"rule\":\"storm\"" body && infix "\"state\":\"firing\"" body);
+      let code, body = get "/alerts?state=firing" in
+      Alcotest.(check int) "state filter answers 200" 200 code;
+      Alcotest.(check bool) "firing subset" true (infix "\"storm\"" body);
+      let code, body = get "/alerts?state=resolved" in
+      Alcotest.(check int) "empty filter still 200" 200 code;
+      Alcotest.(check bool) "…with an empty list" true
+        (infix "{\"alerts\":[]}" body);
+      let code, body = get "/alerts?state=bogus" in
+      Alcotest.(check int) "unknown state is 400" 400 code;
+      Alcotest.(check bool) "…named as such" true (infix "unknown" body);
+      match Domain.join server with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "server errored: %s" msg)
 
 let () =
   Alcotest.run "peace-obs"
@@ -1347,6 +1774,8 @@ let () =
           Alcotest.test_case "summary/jsonl/to_metrics" `Quick test_export;
           Alcotest.test_case "json escaping" `Quick test_json_escape;
           Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "utf-16 surrogate pairs" `Quick
+            test_json_surrogates;
         ] );
       ( "labels",
         [
@@ -1382,6 +1811,7 @@ let () =
             test_log_levels_and_counters;
           Alcotest.test_case "min-level floor" `Quick test_log_min_level;
           Alcotest.test_case "jsonl and sink" `Quick test_log_jsonl_and_sink;
+          Alcotest.test_case "label filter" `Quick test_log_label_filter;
         ] );
       ( "audit",
         [
@@ -1398,6 +1828,25 @@ let () =
             test_audit_tamper_signature;
           Alcotest.test_case "installed ledger and emit" `Quick
             test_audit_installed_emit;
+        ] );
+      ( "alert",
+        [
+          Alcotest.test_case "spec grammar round-trip" `Quick
+            test_alert_grammar;
+          Alcotest.test_case "threshold state machine" `Quick
+            test_alert_threshold_states;
+          Alcotest.test_case "rate + multi-window burn" `Quick
+            test_alert_rate_and_burn;
+          Alcotest.test_case "reject storm + revoked reuse" `Quick
+            test_alert_storm_and_reuse;
+          Alcotest.test_case "latency anomaly (EWMA z)" `Quick
+            test_alert_anomaly;
+          Alcotest.test_case "timeline replay + /alerts JSON" `Quick
+            test_alert_replay_and_json;
+          Alcotest.test_case "registry lookup resolution" `Quick
+            test_registry_lookup;
+          Alcotest.test_case "/flight label, /audit since, /alerts HTTP"
+            `Quick test_serve_alerts_and_filters;
         ] );
       ( "runtime",
         [

@@ -510,6 +510,56 @@ let test_city_stale_partition () =
   Alcotest.(check bool) "stale router admitted the revoked user" true
     (List.assoc "stale_accepts" r.Scenario.cr_fault_counters > 0)
 
+let test_city_alerts_deterministic () =
+  (* the stale-partition plan revokes user 0 mid-run: the operator
+     reissues the URL (revocation_update list=url) and honest routers
+     then reject the revoked user with wire code 7 — so the reuse rule
+     must fire, at the same sim millisecond on every same-seed run. A
+     never-true metric rule rides along to prove quiet rules stay quiet. *)
+  let faults =
+    match Faults.of_string "stale:5000" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let rules =
+    match
+      Peace_obs.Alert.rules_of_string
+        "reuse=reuse:2:5m\nquiet=over:no.such.metric:1"
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let run alert_rules =
+    Scenario.city_auth ~seed:19 ~faults ~n_routers:2 ~n_users:6
+      ~area_m:400.0 ~range_m:2_000.0 ~duration_ms:90_000
+      ~mean_interarrival_ms:5_000.0 ~alert_rules ()
+  in
+  let r1 = run rules in
+  let r2 = run rules in
+  Alcotest.(check bool) "same seed, same firing sequence" true
+    (r1.Scenario.cr_alerts = r2.Scenario.cr_alerts);
+  let firing_ts =
+    List.filter_map
+      (fun (ts, name, st) ->
+        if name = "reuse" && st = Peace_obs.Alert.Firing then Some ts else None)
+      r1.Scenario.cr_alerts
+  in
+  Alcotest.(check bool) "revoked-credential reuse fired" true (firing_ts <> []);
+  List.iter
+    (fun ts ->
+      Alcotest.(check int) "firing lands on a sim evaluation second" 0
+        ((ts - 1_000_000) mod 1_000))
+    firing_ts;
+  Alcotest.(check bool) "the quiet rule never fired" true
+    (List.for_all
+       (fun (_, name, st) -> name <> "quiet" || st <> Peace_obs.Alert.Firing)
+       r1.Scenario.cr_alerts);
+  (* the evaluator only observes: the simulation outcome is bit-identical
+     to the run without rules *)
+  let r0 = run [] in
+  Alcotest.(check bool) "alert evaluation does not perturb the sim" true
+    ({ r1 with Scenario.cr_alerts = [] } = r0)
+
 let test_dos_with_faults () =
   (* the dos scenario takes the same plans; churn on its single router *)
   let faults =
@@ -605,6 +655,8 @@ let suite =
         Alcotest.test_case "churn recovers" `Slow test_city_churn_recovers;
         Alcotest.test_case "stale partition counted" `Slow
           test_city_stale_partition;
+        Alcotest.test_case "alert firing sequence deterministic" `Slow
+          test_city_alerts_deterministic;
         Alcotest.test_case "dos under faults" `Slow test_dos_with_faults;
       ] );
   ]
